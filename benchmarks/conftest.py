@@ -1,0 +1,47 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation by
+calling the corresponding function in :mod:`repro.experiments.figures`, prints
+the rows it produces (the same rows/series the paper reports) and asserts the
+qualitative shape discussed in EXPERIMENTS.md.
+
+The experiment size is controlled by ``REPRO_BENCH_SCALE`` (default 1, a quick
+run finishing in minutes); raise it to move toward the paper's eight trials of
+750+ observations.
+"""
+
+import sys
+
+import pytest
+
+from repro.experiments.harness import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def experiment_config():
+    """The experiment size shared by all figure benchmarks."""
+    return ExperimentConfig.from_scale()
+
+
+def print_rows(title, rows):
+    """Print experiment rows as an aligned table under a heading.
+
+    Output goes to the real stdout (bypassing pytest's capture) so the rows
+    are visible in the terminal / tee'd log even when the benchmark passes.
+    """
+    lines = ["", "=== {} ===".format(title)]
+    if not rows:
+        lines.append("(no rows)")
+    else:
+        keys = list(rows[0].keys())
+        widths = {
+            key: max(len(str(key)), max(len(str(row.get(key, ""))) for row in rows))
+            for key in keys
+        }
+        lines.append("  ".join(str(key).ljust(widths[key]) for key in keys))
+        for row in rows:
+            lines.append("  ".join(str(row.get(key, "")).ljust(widths[key]) for key in keys))
+    text = "\n".join(lines) + "\n"
+    print(text, end="")
+    sys.__stdout__.write(text)
+    sys.__stdout__.flush()

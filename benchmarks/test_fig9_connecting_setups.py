@@ -1,0 +1,33 @@
+"""E4 — Fig. 9: cross-table connecting setups.
+
+Direct flattening vs DEREC vs the three connecting setups (threshold mean,
+threshold median, hierarchical clustering), on both the KS p-value and the
+Wasserstein distance.
+"""
+
+from statistics import mean
+
+from benchmarks.conftest import print_rows
+from repro.experiments.figures import fig9_connecting_setups
+
+
+def test_fig9_connecting_setups(benchmark, experiment_config):
+    outcome = benchmark.pedantic(
+        fig9_connecting_setups, kwargs={"config": experiment_config}, rounds=1, iterations=1
+    )
+    print_rows("Fig. 9 — cross-table connecting setups", outcome["rows"])
+
+    rows = {row["configuration"]: row for row in outcome["rows"]}
+    connecting = [rows["connect_threshold_mean"], rows["connect_threshold_median"],
+                  rows["connect_hierarchical"]]
+    derec = rows["derec"]
+    flatten = rows["direct_flatten"]
+
+    # every connecting setup beats the DEREC benchmark on the primary score
+    for setup in connecting:
+        assert setup["mean_p_value"] > derec["mean_p_value"]
+    # the connecting setups are, on average, at least as good as direct flattening
+    assert mean(s["mean_p_value"] for s in connecting) >= flatten["mean_p_value"] - 0.02
+    # the three connecting setups behave similarly (Fig. 9's "similar graphical outperformance")
+    p_values = [s["mean_p_value"] for s in connecting]
+    assert max(p_values) - min(p_values) < 0.15

@@ -1,0 +1,67 @@
+"""Quickstart: synthesize a multi-table dataset with GReaTER and score its fidelity.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script generates a small DIGIX-like dataset (two child tables sharing user
+IDs), runs the full GReaTER pipeline — contextual parent extraction, data
+semantic enhancement, cross-table connecting, parent/child synthesis, inverse
+mapping — and prints the distribution-of-distribution fidelity of the
+synthetic output against the original data.
+"""
+
+from repro.connecting import ConnectorConfig
+from repro.datasets import DigixConfig, generate_digix_like
+from repro.enhancement import EnhancerConfig
+from repro.evaluation import FidelityEvaluator
+from repro.pipelines import GReaTERPipeline, PipelineConfig
+
+
+def main():
+    # 1. a small multi-table dataset: an ads table and a feeds table sharing user_id
+    dataset = generate_digix_like(DigixConfig(
+        n_tasks=1,
+        n_users_per_task=12,
+        ads_rows_per_user=(2, 4),
+        feeds_rows_per_user=(2, 4),
+        seed=7,
+    ))
+    trial = dataset.trials()[0]
+    print("ads table:   {} rows x {} columns".format(*trial.ads.shape))
+    print("feeds table: {} rows x {} columns".format(*trial.feeds.shape))
+
+    # 2. the GReaTER pipeline: understandability-based semantic enhancement plus
+    #    the 'up-and-stay' threshold cross-table connecting method
+    config = PipelineConfig(
+        subject_column="user_id",
+        drop_columns=("task_id",),
+        enhancer=EnhancerConfig(semantic_level="understandability"),
+        connector=ConnectorConfig(independence_method="threshold_mean",
+                                  remove_noisy_columns=False),
+        seed=0,
+    )
+    pipeline = GReaTERPipeline(config)
+    result = pipeline.run(trial.ads, trial.feeds)
+
+    print("\nsynthetic flat table: {} rows x {} columns".format(*result.synthetic_flat.shape))
+    print("independent columns re-appended by bootstrap sampling:",
+          result.details["independent_columns"])
+    print("columns given semantically enhanced labels:", result.details["mapped_columns"])
+
+    print("\nfirst synthetic rows (original label space):")
+    for row in result.synthetic_flat.head(3).iter_rows():
+        print("  ", row)
+
+    # 3. fidelity: the distribution-of-distribution similarity of Sec. 4.1.3
+    report = FidelityEvaluator().evaluate(result.original_flat, result.synthetic_flat,
+                                          label="greater")
+    summary = report.summary()
+    print("\nfidelity over {} column pairs:".format(int(summary["n_pairs"])))
+    print("  mean KS p-value      : {:.3f}".format(summary["mean_p_value"]))
+    print("  pairs with p > 0.05  : {:.1%}".format(report.fraction_above(0.05)))
+    print("  mean Wasserstein dist: {:.3f}".format(summary["mean_w_distance"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Semantic-enhancement study: how label semantics change what the LLM backbone sees.
+
+Run with::
+
+    python examples/semantic_enhancement_study.py
+
+The script walks through the Fig. 2 / Fig. 3 story on the toy table:
+
+1. show the ambiguous textual encoding ('1' used by three unrelated columns)
+   and the token collisions it produces;
+2. apply the differentiability-based and understandability-based
+   transformations and show the enhanced encodings;
+3. fine-tune the backbone on each variant and compare how well the sampled
+   rows preserve a conditional relationship of the original table;
+4. inverse-map the synthetic output and show it returns in the original
+   label format, then destroy the mapping (the Sec. 3.2.3 privacy step).
+"""
+
+from repro.datasets.toy import fig2_single_table
+from repro.enhancement import (
+    DataSemanticEnhancer,
+    EnhancerConfig,
+    MappingError,
+)
+from repro.evaluation import FidelityEvaluator
+from repro.great import GReaTConfig, GReaTSynthesizer
+from repro.llm.finetune import FineTuneConfig
+from repro.llm.ngram_model import ModelConfig
+from repro.llm.tokenizer import WordTokenizer
+from repro.textenc import EncoderConfig, TextualEncoder
+
+
+def show_token_collisions(table, title):
+    tokenizer = WordTokenizer()
+    labeled = [(name, value) for name in table.column_names for value in table.column(name)]
+    collisions = tokenizer.token_collisions(labeled)
+    print("{}: {} surface token(s) shared across columns".format(title, len(collisions)))
+    for token, columns in sorted(collisions.items()):
+        print("   token {!r} appears in columns {}".format(token, columns))
+
+
+def synthesize_and_score(table, label, seed=0):
+    config = GReaTConfig(
+        fine_tune=FineTuneConfig(epochs=5, batches=2, model=ModelConfig(order=5)),
+        seed=seed,
+    )
+    synthesizer = GReaTSynthesizer(config).fit(table)
+    synthetic = synthesizer.sample(40, seed=seed)
+    report = FidelityEvaluator(min_conditional_samples=1).evaluate(table, synthetic, label=label)
+    print("  {:32s} mean KS p-value = {:.3f}".format(label, report.summary()["mean_p_value"]))
+    return synthetic
+
+
+def main():
+    table = fig2_single_table()
+    encoder = TextualEncoder(EncoderConfig(permute_features=False))
+
+    print("original encoding of the first row:")
+    print("  ", encoder.encode_row(table.row(0), columns=table.column_names))
+    show_token_collisions(table, "original table")
+
+    print("\nfidelity of the synthesizer under each semantic level:")
+    synthesize_and_score(table, "no mapping (GReaT baseline)")
+
+    results = {}
+    for level in ("differentiability", "understandability"):
+        enhancer = DataSemanticEnhancer(EnhancerConfig(semantic_level=level, seed=0))
+        enhanced = enhancer.fit_transform(
+            table, columns=["Lunch", "Dinner", "Access Device", "Genre"]
+        )
+        print("\n{} encoding of the first row:".format(level))
+        print("  ", encoder.encode_row(enhanced.row(0), columns=enhanced.column_names))
+        show_token_collisions(enhanced, "{} table".format(level))
+        synthetic = synthesize_and_score(enhanced, "{} mapping".format(level))
+
+        restored = enhancer.inverse_transform(synthetic)
+        print("  synthetic rows inverse-mapped back to numeric labels, e.g.:",
+              restored.row(0))
+        enhancer.destroy_mapping()
+        try:
+            enhancer.inverse_transform(synthetic)
+        except MappingError:
+            print("  mapping destroyed after synthesis - inverse mapping is no longer possible")
+        results[level] = restored
+
+    print("\nBoth transformations eliminate the token collisions; the understandability")
+    print("mapping additionally produces labels a pre-trained LLM could reason about.")
+
+
+if __name__ == "__main__":
+    main()

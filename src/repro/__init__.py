@@ -1,0 +1,60 @@
+"""GReaTER reproduction library.
+
+This package reproduces the system described in *GReaTER: Generate Realistic
+Tabular data after data Enhancement and Reduction* (ICDE 2025).  It contains:
+
+* ``repro.frame`` — a lightweight column-oriented tabular substrate (the role
+  pandas plays in the original pipeline).
+* ``repro.stats`` — the statistical toolkit the paper relies on (Cramer's V,
+  Kolmogorov-Smirnov test, Wasserstein distance, hierarchical clustering, ...).
+* ``repro.llm`` — an offline language-model substrate standing in for the
+  GPT-2 backbone used by GReaT / REaLTabFormer.
+* ``repro.textenc`` — GReaT-style textual encoding of table rows.
+* ``repro.great`` — the single-table GReaT baseline synthesizer.
+* ``repro.relational`` — contextual-variable parent extraction and the
+  parent/child (REaLTabFormer-style) synthesizer.
+* ``repro.enhancement`` — the Data Semantic Enhancement System (Sec. 3.2).
+* ``repro.connecting`` — the Cross-table Connecting Method (Sec. 3.3).
+* ``repro.pipelines`` — end-to-end GReaTER, DEREC and direct-flattening
+  pipelines.
+* ``repro.evaluation`` — the distribution-of-distribution fidelity metrics
+  (Algorithm 1) and the ablation reports.
+* ``repro.datasets`` — the DIGIX-like synthetic dataset generator and the toy
+  tables used in the paper's figures.
+"""
+
+from repro.frame import Table, Column
+from repro.pipelines import (
+    GReaTERPipeline,
+    DERECPipeline,
+    DirectFlattenPipeline,
+    PipelineConfig,
+)
+from repro.enhancement import (
+    DataSemanticEnhancer,
+    DifferentiabilityTransform,
+    UnderstandabilityTransform,
+    MappingSystem,
+)
+from repro.connecting import CrossTableConnector, ConnectorConfig
+from repro.evaluation import FidelityEvaluator, FidelityReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Table",
+    "Column",
+    "GReaTERPipeline",
+    "DERECPipeline",
+    "DirectFlattenPipeline",
+    "PipelineConfig",
+    "DataSemanticEnhancer",
+    "DifferentiabilityTransform",
+    "UnderstandabilityTransform",
+    "MappingSystem",
+    "CrossTableConnector",
+    "ConnectorConfig",
+    "FidelityEvaluator",
+    "FidelityReport",
+    "__version__",
+]

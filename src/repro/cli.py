@@ -1,0 +1,106 @@
+"""Command-line entry point.
+
+``greater <experiment>`` runs one of the paper's experiments and prints its
+rows; ``greater list`` shows what is available.  The heavy lifting lives in
+:mod:`repro.experiments.figures`, so the CLI, the benchmarks and the examples
+all produce the same numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import (
+    dataset_statistics,
+    fig2_token_ambiguity,
+    fig4_flattening_bias,
+    fig5_correlation_heatmap,
+    fig7_overall_fidelity,
+    fig8_semantic_enhancement,
+    fig9_connecting_setups,
+    fig10_ablation,
+    sec442_special_transform,
+)
+from repro.experiments.harness import ExperimentConfig
+
+EXPERIMENTS = {
+    "fig2": (fig2_token_ambiguity, "token ambiguity of repeated numerical labels"),
+    "fig4": (fig4_flattening_bias, "flattening dimensionality and engaged-subject bias"),
+    "fig5": (fig5_correlation_heatmap, "correlation heatmap before/after noisy-column removal"),
+    "fig7": (fig7_overall_fidelity, "overall fidelity: GReaTER vs DEREC vs direct flattening"),
+    "fig8": (fig8_semantic_enhancement, "semantic enhancement setups"),
+    "fig9": (fig9_connecting_setups, "cross-table connecting setups"),
+    "fig10": (fig10_ablation, "ablation table (improved/worsened pair counts)"),
+    "sec442": (sec442_special_transform, "dataset-specific caret->'and' transformation"),
+    "dataset": (dataset_statistics, "DIGIX-like dataset statistics"),
+}
+
+#: Experiments that accept an :class:`ExperimentConfig`.
+_CONFIGURABLE = {"fig5", "fig7", "fig8", "fig9", "fig10", "sec442", "dataset"}
+
+
+def _print_rows(rows: list[dict]) -> None:
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    widths = {key: max(len(str(key)), max(len(str(row.get(key, ""))) for row in rows)) for key in keys}
+    header = "  ".join(str(key).ljust(widths[key]) for key in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(key, "")).ljust(widths[key]) for key in keys))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="greater",
+        description="Run the GReaTER reproduction experiments.",
+    )
+    parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["list"],
+                        help="experiment to run, or 'list' to show descriptions")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="number of task-ID trials (defaults to the quick setting)")
+    parser.add_argument("--users-per-task", type=int, default=None,
+                        help="number of users per task subgroup")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    parser.add_argument("--json", action="store_true", help="print the rows as JSON")
+    return parser
+
+
+def _experiment_config(args) -> ExperimentConfig:
+    base = ExperimentConfig(seed=args.seed)
+    return ExperimentConfig(
+        n_trials=args.trials if args.trials is not None else base.n_trials,
+        n_users_per_task=args.users_per_task if args.users_per_task is not None else base.n_users_per_task,
+        ads_rows_per_user=base.ads_rows_per_user,
+        feeds_rows_per_user=base.feeds_rows_per_user,
+        seed=args.seed,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print("{:8s} {}".format(name, EXPERIMENTS[name][1]))
+        return 0
+
+    function, _ = EXPERIMENTS[args.experiment]
+    if args.experiment in _CONFIGURABLE:
+        outcome = function(config=_experiment_config(args))
+    else:
+        outcome = function()
+
+    rows = outcome.get("rows", [])
+    if args.json:
+        print(json.dumps(rows, indent=2, default=str))
+    else:
+        _print_rows(rows)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Cross-table Connecting Method (Sec. 3.3).
+
+Given two child tables sharing a subject key, the method produces a single
+fused child table while avoiding the dimensionality blow-up and engaged-subject
+bias of direct flattening:
+
+1. **determine independence** (Sec. 3.3.1) — from the pairwise association
+   matrix, find columns with low correlation to everything else, either with
+   the 'up-and-stay' threshold separation or with hierarchical clustering;
+2. **reduce dimension** (Sec. 3.3.2) — remove the independent columns and drop
+   the duplicate rows this exposes in the flattened table;
+3. **append by sampling** (Sec. 3.3.3) — bootstrap-sample the independent
+   columns back onto the reduced table, drawing from per-subject value pools
+   so no (subject, value) combination absent from the original data is created.
+
+It also contains the dataset preprocessing of Sec. 4.1.2 (dropping
+pseudo-ID / timestamp columns whose Cramer's V is misleading) and the plain
+direct-flattening baseline.
+"""
+
+from repro.connecting.flatten import direct_flatten, flattening_report, FlatteningReport
+from repro.connecting.independence import (
+    HierarchicalClusteringSeparation,
+    IndependenceResult,
+    ThresholdSeparation,
+)
+from repro.connecting.reduction import reduce_dimension, ReductionReport
+from repro.connecting.sampling import BootstrapAppender, SubjectPools
+from repro.connecting.preprocessing import NoisyColumnFilter, remove_noisy_columns
+from repro.connecting.connector import ConnectorConfig, CrossTableConnector, ConnectionResult
+
+__all__ = [
+    "direct_flatten",
+    "flattening_report",
+    "FlatteningReport",
+    "ThresholdSeparation",
+    "HierarchicalClusteringSeparation",
+    "IndependenceResult",
+    "reduce_dimension",
+    "ReductionReport",
+    "BootstrapAppender",
+    "SubjectPools",
+    "NoisyColumnFilter",
+    "remove_noisy_columns",
+    "CrossTableConnector",
+    "ConnectorConfig",
+    "ConnectionResult",
+]

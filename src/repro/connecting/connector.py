@@ -1,0 +1,157 @@
+"""The Cross-table Connecting Method, end to end (Sec. 3.3, Fig. 4 steps 1-3).
+
+Given two child tables sharing a subject key, the connector:
+
+0. removes pseudo-ID columns whose association scores would be misleading
+   (Sec. 4.1.2);
+1. flattens the two tables on the subject key;
+2. determines which columns are independent of everything else (threshold
+   separation or hierarchical clustering);
+3. removes those columns and the duplicate rows that removal exposes;
+4. bootstrap-appends the independent columns back from per-subject pools.
+
+The result is a single fused child table whose many-to-many structure has been
+turned into a one-to-many structure with respect to the parent table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.connecting.flatten import FlatteningReport, direct_flatten, flattening_report
+from repro.connecting.independence import (
+    HierarchicalClusteringSeparation,
+    IndependenceResult,
+    ThresholdSeparation,
+)
+from repro.connecting.preprocessing import NoisyColumnFilter
+from repro.connecting.reduction import ReductionReport, reduce_dimension
+from repro.connecting.sampling import BootstrapAppender
+from repro.frame.table import Table
+
+#: Supported independence-determination setups (Sec. 4.1.6 / Fig. 9).
+INDEPENDENCE_METHODS = ("threshold_mean", "threshold_median", "hierarchical", "none")
+
+
+@dataclass(frozen=True)
+class ConnectorConfig:
+    """Configuration of the Cross-table Connecting Method.
+
+    Parameters
+    ----------
+    independence_method:
+        ``"threshold_mean"`` / ``"threshold_median"`` (the 'up-and-stay'
+        threshold separation with the matrix mean / median as threshold),
+        ``"hierarchical"`` (average-linkage clustering), or ``"none"``
+        (skip independence handling — pure direct flattening).
+    remove_noisy_columns:
+        Apply the Sec. 4.1.2 pseudo-ID filter before measuring associations.
+    per_subject_pools:
+        Use per-subject bootstrap pools when re-appending independent columns
+        (the paper's validity guarantee); ``False`` is the ablation contrast.
+    """
+
+    independence_method: str = "threshold_mean"
+    remove_noisy_columns: bool = True
+    per_subject_pools: bool = True
+    noisy_uniqueness_threshold: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.independence_method not in INDEPENDENCE_METHODS:
+            raise ValueError(
+                "independence_method must be one of {}, got {!r}".format(
+                    INDEPENDENCE_METHODS, self.independence_method
+                )
+            )
+
+
+@dataclass
+class ConnectionResult:
+    """Everything the connector produced, for downstream synthesis and reporting."""
+
+    connected: Table
+    flattened: Table
+    subject_column: str
+    independence: IndependenceResult | None
+    reduction: ReductionReport | None
+    flattening: FlatteningReport
+    removed_noisy_columns: tuple[str, ...] = ()
+    appended_columns: tuple[str, ...] = ()
+
+
+class CrossTableConnector:
+    """Fuse two child tables into one low-noise child table."""
+
+    def __init__(self, config: ConnectorConfig | None = None):
+        self.config = config or ConnectorConfig()
+
+    def _independence_strategy(self):
+        method = self.config.independence_method
+        if method == "threshold_mean":
+            return ThresholdSeparation(threshold="mean")
+        if method == "threshold_median":
+            return ThresholdSeparation(threshold="median")
+        if method == "hierarchical":
+            return HierarchicalClusteringSeparation()
+        return None
+
+    def connect(self, first: Table, second: Table, subject_column: str) -> ConnectionResult:
+        """Run the full method and return the fused table with its diagnostics."""
+        flattened = direct_flatten(first, second, subject_column)
+        if flattened.num_rows == 0:
+            raise ValueError(
+                "flattening produced no rows; the tables share no subject in {!r}".format(subject_column)
+            )
+        flat_report = flattening_report(first, second, flattened, subject_column)
+
+        removed_noisy: tuple[str, ...] = ()
+        working = flattened
+        if self.config.remove_noisy_columns:
+            noisy_filter = NoisyColumnFilter(
+                uniqueness_threshold=self.config.noisy_uniqueness_threshold,
+                protect_columns=(subject_column,),
+            )
+            working, removed = noisy_filter.apply(working)
+            removed_noisy = tuple(removed)
+
+        strategy = self._independence_strategy()
+        if strategy is None:
+            return ConnectionResult(
+                connected=working,
+                flattened=flattened,
+                subject_column=subject_column,
+                independence=None,
+                reduction=None,
+                flattening=flat_report,
+                removed_noisy_columns=removed_noisy,
+                appended_columns=(),
+            )
+
+        feature_columns = [name for name in working.column_names if name != subject_column]
+        independence = strategy.determine(working, feature_columns)
+        independent = list(independence.independent_columns)
+
+        reduced, reduction = reduce_dimension(working, independent)
+        if independent:
+            appender = BootstrapAppender(
+                subject_column=subject_column,
+                per_subject=self.config.per_subject_pools,
+                seed=self.config.seed,
+            ).fit(working, independent)
+            connected = appender.append(reduced, seed=self.config.seed)
+            appended = tuple(appender.columns)
+        else:
+            connected = reduced
+            appended = ()
+
+        return ConnectionResult(
+            connected=connected,
+            flattened=flattened,
+            subject_column=subject_column,
+            independence=independence,
+            reduction=reduction,
+            flattening=flat_report,
+            removed_noisy_columns=removed_noisy,
+            appended_columns=appended,
+        )

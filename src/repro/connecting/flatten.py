@@ -1,0 +1,59 @@
+"""Direct flattening baseline and its diagnostics (Sec. 3.3, Fig. 4 step 0)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frame.ops import inner_join, value_counts
+from repro.frame.table import Table
+
+
+def direct_flatten(first: Table, second: Table, subject_column: str) -> Table:
+    """Flatten two child tables by joining every pair of rows sharing the subject.
+
+    This is the naive baseline the Cross-table Connecting Method improves on:
+    a subject with ``a`` rows in the first table and ``b`` rows in the second
+    contributes ``a * b`` flattened rows, so engaged subjects dominate.
+    """
+    return inner_join(first, second, on=subject_column)
+
+
+@dataclass(frozen=True)
+class FlatteningReport:
+    """Diagnostics of a flattening operation (the Fig. 4 '0.1'/'0.2' problems)."""
+
+    rows_first: int
+    rows_second: int
+    rows_flattened: int
+    columns_flattened: int
+    #: share of flattened rows contributed by the single most engaged subject
+    max_subject_share: float
+    #: ratio between the most and least engaged subject's flattened row counts
+    engagement_ratio: float
+
+    @property
+    def blowup_factor(self) -> float:
+        """Flattened rows per original first-table row."""
+        if self.rows_first == 0:
+            return 0.0
+        return self.rows_flattened / self.rows_first
+
+
+def flattening_report(first: Table, second: Table, flattened: Table,
+                      subject_column: str) -> FlatteningReport:
+    """Quantify the dimensionality blow-up and engaged-subject bias of a flattening."""
+    shares = value_counts(flattened, subject_column, normalize=True)
+    counts = value_counts(flattened, subject_column)
+    max_share = max(shares.values()) if shares else 0.0
+    if counts:
+        engagement_ratio = max(counts.values()) / max(min(counts.values()), 1)
+    else:
+        engagement_ratio = 0.0
+    return FlatteningReport(
+        rows_first=first.num_rows,
+        rows_second=second.num_rows,
+        rows_flattened=flattened.num_rows,
+        columns_flattened=flattened.num_columns,
+        max_subject_share=max_share,
+        engagement_ratio=engagement_ratio,
+    )

@@ -1,0 +1,159 @@
+"""Independence determination (Sec. 3.3.1).
+
+Both methods start from the pairwise association matrix of the candidate
+columns (Cramer's V for categorical pairs, |Pearson| for numeric pairs):
+
+* :class:`ThresholdSeparation` — the 'up-and-stay' rule: a column is
+  independent when *every* one of its pairwise associations with the other
+  columns stays below the threshold.  The threshold defaults to the mean (or
+  median) of the off-diagonal associations, the tuning of Sec. 4.1.6.
+* :class:`HierarchicalClusteringSeparation` — convert associations into
+  distances, run average-linkage agglomerative clustering, and call the
+  columns that end up in singleton clusters independent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frame.table import Table
+from repro.stats.clustering import AgglomerativeClustering
+from repro.stats.correlation import association_matrix
+
+
+@dataclass(frozen=True)
+class IndependenceResult:
+    """Outcome of an independence determination."""
+
+    independent_columns: tuple[str, ...]
+    dependent_columns: tuple[str, ...]
+    threshold: float
+    method: str
+    matrix: np.ndarray = field(repr=False, compare=False, default=None)
+    column_order: tuple[str, ...] = ()
+
+
+def _off_diagonal_values(matrix: np.ndarray) -> np.ndarray:
+    mask = ~np.eye(matrix.shape[0], dtype=bool)
+    return matrix[mask]
+
+
+@dataclass
+class ThresholdSeparation:
+    """'Up-and-stay' threshold rule over the pairwise association matrix.
+
+    Parameters
+    ----------
+    threshold:
+        Either a float in [0, 1], or the string ``"mean"`` / ``"median"`` to
+        derive it from the off-diagonal associations (the paper's tuning).
+    """
+
+    threshold: float | str = "mean"
+
+    def __post_init__(self):
+        if isinstance(self.threshold, str):
+            if self.threshold not in ("mean", "median"):
+                raise ValueError("threshold must be a float, 'mean' or 'median'")
+        elif not 0.0 <= float(self.threshold) <= 1.0:
+            raise ValueError("a numeric threshold must lie in [0, 1]")
+
+    def resolve_threshold(self, matrix: np.ndarray) -> float:
+        """Concrete threshold value for a given association matrix."""
+        if isinstance(self.threshold, str):
+            off_diag = _off_diagonal_values(matrix)
+            if off_diag.size == 0:
+                return 0.0
+            if self.threshold == "mean":
+                return float(off_diag.mean())
+            return float(np.median(off_diag))
+        return float(self.threshold)
+
+    def determine(self, table: Table, columns: Sequence[str] | None = None) -> IndependenceResult:
+        """Classify the given columns (all columns by default) as independent or not."""
+        matrix, names = association_matrix(table, columns)
+        threshold = self.resolve_threshold(matrix)
+        independent = []
+        dependent = []
+        for i, name in enumerate(names):
+            others = [matrix[i, j] for j in range(len(names)) if j != i]
+            if others and all(value < threshold for value in others):
+                independent.append(name)
+            else:
+                dependent.append(name)
+        return IndependenceResult(
+            independent_columns=tuple(independent),
+            dependent_columns=tuple(dependent),
+            threshold=threshold,
+            method="threshold_{}".format(self.threshold),
+            matrix=matrix,
+            column_order=tuple(names),
+        )
+
+
+@dataclass
+class HierarchicalClusteringSeparation:
+    """Average-linkage clustering on association-derived distances.
+
+    Columns whose cluster (cut at ``distance_threshold``) is a singleton are
+    deemed independent of the rest.  The distance between two columns is
+    ``1 - association``; the default cut derives the threshold from the mean
+    pairwise distance, mirroring the threshold method's tuning.
+    """
+
+    linkage: str = "average"
+    distance_threshold: float | str = "mean"
+
+    def __post_init__(self):
+        if isinstance(self.distance_threshold, str):
+            if self.distance_threshold not in ("mean", "median"):
+                raise ValueError("distance_threshold must be a float, 'mean' or 'median'")
+        elif not 0.0 <= float(self.distance_threshold) <= 1.0:
+            raise ValueError("a numeric distance_threshold must lie in [0, 1]")
+
+    def resolve_threshold(self, distances: np.ndarray) -> float:
+        if isinstance(self.distance_threshold, str):
+            off_diag = _off_diagonal_values(distances)
+            if off_diag.size == 0:
+                return 0.0
+            if self.distance_threshold == "mean":
+                return float(off_diag.mean())
+            return float(np.median(off_diag))
+        return float(self.distance_threshold)
+
+    def determine(self, table: Table, columns: Sequence[str] | None = None) -> IndependenceResult:
+        """Classify the given columns via singleton clusters of the dendrogram cut."""
+        matrix, names = association_matrix(table, columns)
+        if len(names) < 2:
+            return IndependenceResult(
+                independent_columns=(),
+                dependent_columns=tuple(names),
+                threshold=0.0,
+                method="hierarchical_{}".format(self.linkage),
+                matrix=matrix,
+                column_order=tuple(names),
+            )
+        distances = 1.0 - matrix
+        np.fill_diagonal(distances, 0.0)
+        threshold = self.resolve_threshold(distances)
+        clustering = AgglomerativeClustering(linkage=self.linkage).fit(distances)
+        clusters = clustering.clusters_at_distance(threshold)
+        independent = []
+        dependent = []
+        for cluster in clusters:
+            cluster_names = [names[i] for i in cluster]
+            if len(cluster) == 1:
+                independent.extend(cluster_names)
+            else:
+                dependent.extend(cluster_names)
+        return IndependenceResult(
+            independent_columns=tuple(sorted(independent, key=names.index)),
+            dependent_columns=tuple(sorted(dependent, key=names.index)),
+            threshold=threshold,
+            method="hierarchical_{}".format(self.linkage),
+            matrix=matrix,
+            column_order=tuple(names),
+        )

@@ -1,0 +1,137 @@
+"""Append-by-sampling of independent columns (Sec. 3.3.3).
+
+Independent columns interact little with the rest of the features, so their
+row order matters less — but they must stay in the table for downstream use.
+They are appended back onto the reduced table by bootstrap sampling, with one
+value pool **per subject** so no (subject, value) combination absent from the
+original data can be fabricated (Fig. 4: Anson only ever watched 'Anime', so
+Anson's pool contains only 'Anime').
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.frame.errors import ColumnNotFoundError
+from repro.frame.table import Table
+
+
+@dataclass
+class SubjectPools:
+    """Per-subject value pools for one independent column."""
+
+    column: str
+    pools: dict = field(default_factory=dict)
+    global_pool: list = field(default_factory=list)
+
+    @classmethod
+    def from_table(cls, table: Table, subject_column: str, column: str) -> "SubjectPools":
+        """Build the pools from the original (pre-reduction) table."""
+        if subject_column not in table.column_names:
+            raise ColumnNotFoundError(subject_column, table.column_names)
+        if column not in table.column_names:
+            raise ColumnNotFoundError(column, table.column_names)
+        subjects = table.column(subject_column)
+        values = table.column(column)
+        pools: dict = {}
+        global_pool: list = []
+        for subject, value in zip(subjects, values):
+            if value is None:
+                continue
+            pools.setdefault(subject, []).append(value)
+            global_pool.append(value)
+        return cls(column=column, pools=pools, global_pool=global_pool)
+
+    def pool_for(self, subject) -> list:
+        """The value pool for *subject* (falls back to the global pool for unseen subjects)."""
+        pool = self.pools.get(subject)
+        if pool:
+            return pool
+        return self.global_pool
+
+    def draw(self, subject, rng: random.Random):
+        """Bootstrap-draw one value for *subject*."""
+        pool = self.pool_for(subject)
+        if not pool:
+            return None
+        return rng.choice(pool)
+
+    def allowed_values(self, subject) -> set:
+        """Values that may legitimately appear for *subject*."""
+        return set(self.pools.get(subject, self.global_pool))
+
+
+@dataclass
+class BootstrapAppender:
+    """Append independent columns back onto a reduced table by per-subject sampling.
+
+    Parameters
+    ----------
+    per_subject:
+        When true (the paper's method), each subject draws only from its own
+        pool.  When false, values are drawn from the global pool — the ablation
+        contrast that *can* fabricate non-existent combinations.
+    """
+
+    subject_column: str
+    per_subject: bool = True
+    seed: int = 0
+
+    def fit(self, original: Table, independent_columns: Sequence[str]) -> "BootstrapAppender":
+        """Record the value pools of the independent columns from the original table."""
+        self._pools = {
+            column: SubjectPools.from_table(original, self.subject_column, column)
+            for column in independent_columns
+            if column in original.column_names
+        }
+        return self
+
+    @property
+    def columns(self) -> list[str]:
+        """Independent columns the appender will add back."""
+        self._require_fitted()
+        return list(self._pools.keys())
+
+    def append(self, reduced: Table, seed: int | None = None) -> Table:
+        """Add every fitted independent column to *reduced* by bootstrap sampling."""
+        self._require_fitted()
+        if self.subject_column not in reduced.column_names:
+            raise ColumnNotFoundError(self.subject_column, reduced.column_names)
+        rng = random.Random(self.seed if seed is None else seed)
+        subjects = reduced.column(self.subject_column)
+        out = reduced
+        for column, pools in self._pools.items():
+            values = []
+            for subject in subjects:
+                if self.per_subject:
+                    values.append(pools.draw(subject, rng))
+                else:
+                    pool = pools.global_pool
+                    values.append(rng.choice(pool) if pool else None)
+            out = out.with_column(column, values)
+        return out
+
+    def validates(self, table: Table) -> bool:
+        """True when every appended (subject, value) pair exists in the original pools.
+
+        Only meaningful in per-subject mode; this is the validity guarantee of
+        Sec. 3.3.3.
+        """
+        self._require_fitted()
+        subjects = table.column(self.subject_column)
+        for column, pools in self._pools.items():
+            if column not in table.column_names:
+                continue
+            values = table.column(column)
+            for subject, value in zip(subjects, values):
+                if value is None:
+                    continue
+                if value not in pools.allowed_values(subject):
+                    return False
+        return True
+
+    def _require_fitted(self):
+        if not hasattr(self, "_pools"):
+            raise RuntimeError("call fit() before appending")

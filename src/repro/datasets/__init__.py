@@ -1,0 +1,26 @@
+"""Datasets used by the experiments.
+
+* :mod:`repro.datasets.digix` — a deterministic synthetic generator that
+  reproduces the statistical shape of the DIGIX 2022 Advertisement + Feeds
+  CTR dataset the paper evaluates on (two child tables sharing user IDs,
+  task-ID subgroups, ~1.55% click-through rate, mostly weakly associated
+  categorical features, pseudo-ID columns, caret-separated interest lists).
+* :mod:`repro.datasets.toy` — the small illustrative tables of Fig. 2, Fig. 4
+  and Fig. 11 (Grace/Yin/Anson, membership + visit logbook).
+"""
+
+from repro.datasets.digix import DigixConfig, DigixDataset, generate_digix_like
+from repro.datasets.toy import (
+    fig2_single_table,
+    fig4_child_tables,
+    fig11_membership_and_visits,
+)
+
+__all__ = [
+    "DigixConfig",
+    "DigixDataset",
+    "generate_digix_like",
+    "fig2_single_table",
+    "fig4_child_tables",
+    "fig11_membership_and_visits",
+]

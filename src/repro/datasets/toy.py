@@ -1,0 +1,97 @@
+"""Toy tables from the paper's illustrative figures.
+
+These are used by the examples, tests and the Fig. 2 / Fig. 4 benchmarks to
+demonstrate the ambiguity and bias problems on data small enough to inspect by
+hand.
+"""
+
+from __future__ import annotations
+
+from repro.frame.table import Table
+
+
+def fig2_single_table() -> Table:
+    """The Fig. 2 example: repeated numerical labels across unrelated features.
+
+    The row 'Name: Grace, Lunch: 1, Dinner: 2, Access Device: 1, Genre: 1'
+    shows three different '1's (a lunch dish, a device and a genre) that
+    tokenize identically.
+    """
+    return Table.from_records(
+        [
+            {"Name": "Grace", "Lunch": 1, "Dinner": 2, "Access Device": 1, "Genre": 1},
+            {"Name": "Yin", "Lunch": 2, "Dinner": 1, "Access Device": 2, "Genre": 2},
+            {"Name": "Anson", "Lunch": 1, "Dinner": 3, "Access Device": 1, "Genre": 3},
+            {"Name": "Maya", "Lunch": 3, "Dinner": 2, "Access Device": 2, "Genre": 1},
+            {"Name": "Leo", "Lunch": 2, "Dinner": 1, "Access Device": 1, "Genre": 2},
+            {"Name": "Iris", "Lunch": 1, "Dinner": 3, "Access Device": 2, "Genre": 3},
+        ],
+        columns=["Name", "Lunch", "Dinner", "Access Device", "Genre"],
+    )
+
+
+def fig4_child_tables() -> tuple[Table, Table, str]:
+    """The Fig. 4 example: two child tables whose flattening over-represents 'Yin'.
+
+    Returns ``(meals_table, viewing_table, subject_column)``.  Yin has many
+    rows in both tables (the engaged subject); Grace and Anson have few, and
+    Anson only ever watches 'Anime'.
+    """
+    meals = Table.from_records(
+        [
+            {"Name": "Yin", "Lunch": "Spaghetti", "Dinner": "Chicken"},
+            {"Name": "Yin", "Lunch": "Spaghetti", "Dinner": "Steak"},
+            {"Name": "Yin", "Lunch": "Rice", "Dinner": "Chicken"},
+            {"Name": "Yin", "Lunch": "Noodles", "Dinner": "Steak"},
+            {"Name": "Grace", "Lunch": "Rice", "Dinner": "Steak"},
+            {"Name": "Anson", "Lunch": "Sandwich", "Dinner": "Curry"},
+        ],
+        columns=["Name", "Lunch", "Dinner"],
+    )
+    viewing = Table.from_records(
+        [
+            {"Name": "Yin", "Access Device": "Desktop", "Genre": "Action"},
+            {"Name": "Yin", "Access Device": "Desktop", "Genre": "Comedy"},
+            {"Name": "Grace", "Access Device": "Laptop", "Genre": "Action"},
+            {"Name": "Grace", "Access Device": "Phone", "Genre": "Drama"},
+            {"Name": "Anson", "Access Device": "Phone", "Genre": "Anime"},
+        ],
+        columns=["Name", "Access Device", "Genre"],
+    )
+    return meals, viewing, "Name"
+
+
+def fig11_membership_and_visits() -> tuple[Table, Table, str]:
+    """The Fig. 11/12 example: a membership (parent) table and a visit logbook (child).
+
+    Gender and birth date are contextual (constant per subject across visits);
+    the visit details vary.  Returns ``(visits_child_table_with_contextual_columns,
+    expected_parent_table, subject_column)`` so callers can check contextual
+    extraction against the known ground truth.
+    """
+    visits = Table.from_records(
+        [
+            {"member_id": "M1", "gender": "F", "birth_date": "1990-04-01",
+             "visit_date": "2024-01-03", "spend": 25},
+            {"member_id": "M1", "gender": "F", "birth_date": "1990-04-01",
+             "visit_date": "2024-02-14", "spend": 40},
+            {"member_id": "M1", "gender": "F", "birth_date": "1990-04-01",
+             "visit_date": "2024-03-22", "spend": 18},
+            {"member_id": "M2", "gender": "M", "birth_date": "1985-11-20",
+             "visit_date": "2024-01-09", "spend": 60},
+            {"member_id": "M2", "gender": "M", "birth_date": "1985-11-20",
+             "visit_date": "2024-04-02", "spend": 35},
+            {"member_id": "M3", "gender": "F", "birth_date": "2001-06-15",
+             "visit_date": "2024-02-01", "spend": 12},
+        ],
+        columns=["member_id", "gender", "birth_date", "visit_date", "spend"],
+    )
+    parent = Table.from_records(
+        [
+            {"member_id": "M1", "gender": "F", "birth_date": "1990-04-01"},
+            {"member_id": "M2", "gender": "M", "birth_date": "1985-11-20"},
+            {"member_id": "M3", "gender": "F", "birth_date": "2001-06-15"},
+        ],
+        columns=["member_id", "gender", "birth_date"],
+    )
+    return visits, parent, "member_id"

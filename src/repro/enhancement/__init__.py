@@ -1,0 +1,46 @@
+"""Data Semantic Enhancement System (Sec. 3.2).
+
+Numerical category labels ('1', '2', ...) reused across columns collapse to
+identical tokens in the textual encoding, confusing the LLM backbone (Fig. 2).
+This subpackage rewrites those labels before encoding and restores them after
+synthesis:
+
+* :class:`DifferentiabilityTransform` (Sec. 3.2.1) — map every category of
+  every selected column to a globally unique representation (random names from
+  the embedded names database), guaranteeing no repeated categories.
+* :class:`UnderstandabilityTransform` (Sec. 3.2.2) — map categories to
+  semantically meaningful labels designed per column (gender codes to
+  'male'/'female'/'others', age codes to age groups, province codes to city
+  names, ...), which also guarantees differentiability.
+* :class:`MappingSystem` / inverse mapping (Sec. 3.2.3) — record every
+  per-column mapping so synthetic output is transformed back to the original
+  label space, and support deletion after synthesis to prevent privacy
+  leakage through the mapping itself.
+* :func:`caret_to_and` (Sec. 4.4.2) — the dataset-specific transformation that
+  rewrites '20^35^42' interest lists as natural-language 'and'-joined lists.
+"""
+
+from repro.enhancement.mapping import ColumnMapping, MappingSystem, MappingError
+from repro.enhancement.differentiability import DifferentiabilityTransform
+from repro.enhancement.understandability import (
+    UnderstandabilityTransform,
+    default_digix_semantic_mappings,
+)
+from repro.enhancement.special import CaretToAndTransform, caret_to_and, and_to_caret
+from repro.enhancement.enhancer import DataSemanticEnhancer, EnhancerConfig
+from repro.enhancement.names_db import UniqueNameGenerator
+
+__all__ = [
+    "MappingSystem",
+    "ColumnMapping",
+    "MappingError",
+    "DifferentiabilityTransform",
+    "UnderstandabilityTransform",
+    "default_digix_semantic_mappings",
+    "CaretToAndTransform",
+    "caret_to_and",
+    "and_to_caret",
+    "DataSemanticEnhancer",
+    "EnhancerConfig",
+    "UniqueNameGenerator",
+]

@@ -1,0 +1,81 @@
+"""Differentiability-based transformation module (Sec. 3.2.1).
+
+Count the categories across all selected columns (n = n_col1 + n_col2 + ...),
+mint exactly that many unique representations, and map each (column, category)
+pair to its own representation.  The representations need not relate to the
+actual semantics — the point is only that no category label repeats anywhere
+in the transformed table, so the tokenizer can no longer conflate them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.enhancement.mapping import ColumnMapping, MappingSystem
+from repro.enhancement.names_db import UniqueNameGenerator
+from repro.frame.table import Table
+
+
+@dataclass
+class DifferentiabilityTransform:
+    """Automatic unique-representation mapping for selected categorical columns.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the unique-name generator so experiments are repeatable.
+    max_categories:
+        Safety valve: refuse to map columns with more distinct values than
+        this (they are effectively identifiers, not categories, and mapping
+        them would explode the vocabulary without any benefit).
+    """
+
+    seed: int = 0
+    max_categories: int = 200
+
+    def select_columns(self, table: Table, columns: Sequence[str] | None = None) -> list[str]:
+        """Columns to transform: the caller's selection, or every categorical-like column."""
+        if columns is not None:
+            missing = [name for name in columns if name not in table.column_names]
+            if missing:
+                raise KeyError("columns not in table: {}".format(missing))
+            return list(columns)
+        selected = []
+        for name in table.column_names:
+            column = table.column(name)
+            if column.is_categorical_like() and column.nunique() <= self.max_categories:
+                selected.append(name)
+        return selected
+
+    def total_categories(self, table: Table, columns: Sequence[str]) -> int:
+        """n = n_column1 + n_column2 + ... over the selected columns."""
+        return sum(table.column(name).nunique() for name in columns)
+
+    def build_mapping(self, table: Table, columns: Sequence[str] | None = None) -> MappingSystem:
+        """Create the mapping system for *table*.
+
+        Existing string values in the table are reserved so a minted
+        representation can never collide with a value already present.
+        """
+        selected = self.select_columns(table, columns)
+        reserved = set()
+        for name in table.column_names:
+            for value in table.column(name).unique():
+                if isinstance(value, str):
+                    reserved.add(value)
+        generator = UniqueNameGenerator(seed=self.seed, reserved=reserved)
+
+        system = MappingSystem()
+        for name in selected:
+            categories = table.column(name).unique()
+            if len(categories) > self.max_categories:
+                continue
+            forward = {category: generator.next_name() for category in categories}
+            system.add(ColumnMapping(column=name, forward=forward))
+        return system
+
+    def fit_transform(self, table: Table, columns: Sequence[str] | None = None) -> tuple[Table, MappingSystem]:
+        """Build the mapping and return ``(transformed_table, mapping_system)``."""
+        system = self.build_mapping(table, columns)
+        return system.transform(table), system

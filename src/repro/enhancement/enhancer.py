@@ -1,0 +1,125 @@
+"""Facade over the Data Semantic Enhancement System.
+
+One object that (1) builds the requested mapping (none / differentiability /
+understandability), (2) optionally applies the dataset-specific caret→'and'
+rewrite, (3) transforms the training table, and (4) inverse-transforms the
+synthetic table — then can destroy the mapping per Sec. 3.2.3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.enhancement.differentiability import DifferentiabilityTransform
+from repro.enhancement.mapping import MappingError, MappingSystem
+from repro.enhancement.special import CaretToAndTransform
+from repro.enhancement.understandability import UnderstandabilityTransform
+from repro.frame.table import Table
+
+#: Supported semantic levels, in increasing order of semantics.
+SEMANTIC_LEVELS = ("none", "differentiability", "understandability")
+
+
+@dataclass(frozen=True)
+class EnhancerConfig:
+    """Configuration of the enhancement facade.
+
+    Parameters
+    ----------
+    semantic_level:
+        ``"none"`` (GReaT baseline behaviour), ``"differentiability"``
+        (Sec. 3.2.1) or ``"understandability"`` (Sec. 3.2.2).
+    apply_special_transform:
+        Whether to also apply the caret→'and' rewrite of Sec. 4.4.2.
+    columns:
+        Explicit columns to enhance; ``None`` selects categorical-like columns
+        automatically.
+    """
+
+    semantic_level: str = "understandability"
+    apply_special_transform: bool = False
+    columns: tuple[str, ...] | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.semantic_level not in SEMANTIC_LEVELS:
+            raise ValueError(
+                "semantic_level must be one of {}, got {!r}".format(SEMANTIC_LEVELS, self.semantic_level)
+            )
+
+
+class DataSemanticEnhancer:
+    """Fit a mapping on a training table, transform it, and invert synthetic output."""
+
+    def __init__(self, config: EnhancerConfig | None = None,
+                 designed_mappings: dict | None = None):
+        self.config = config or EnhancerConfig()
+        self._designed_mappings = designed_mappings
+        self._mapping: MappingSystem | None = None
+        self._special = CaretToAndTransform(columns=None)
+        self._special_columns: list[str] = []
+
+    # -- fitting / forward --------------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._mapping is not None
+
+    @property
+    def mapping(self) -> MappingSystem:
+        """The fitted mapping system (raises before fit)."""
+        self._require_fitted()
+        return self._mapping
+
+    def fit_transform(self, table: Table, columns: Sequence[str] | None = None) -> Table:
+        """Build the mapping from *table* and return the enhanced table."""
+        columns = columns if columns is not None else self.config.columns
+        level = self.config.semantic_level
+        if level == "none":
+            self._mapping = MappingSystem()
+            enhanced = table
+        elif level == "differentiability":
+            transform = DifferentiabilityTransform(seed=self.config.seed)
+            enhanced, self._mapping = transform.fit_transform(table, columns)
+        else:
+            kwargs = {}
+            if self._designed_mappings is not None:
+                kwargs["designed_mappings"] = self._designed_mappings
+            transform = UnderstandabilityTransform(seed=self.config.seed, **kwargs)
+            enhanced, self._mapping = transform.fit_transform(table, columns)
+
+        if self.config.apply_special_transform:
+            self._special_columns = self._special.select_columns(enhanced)
+            enhanced = self._special.transform(enhanced)
+        return enhanced
+
+    def transform(self, table: Table) -> Table:
+        """Apply the already fitted mapping to another table (e.g. a held-out split)."""
+        self._require_fitted()
+        out = self._mapping.transform(table)
+        if self.config.apply_special_transform:
+            present = tuple(name for name in self._special_columns if name in out.column_names)
+            special = CaretToAndTransform(columns=present if present else ())
+            if present:
+                out = special.transform(out)
+        return out
+
+    # -- inverse ---------------------------------------------------------------------
+
+    def inverse_transform(self, table: Table) -> Table:
+        """Map a synthetic table back to the original label space."""
+        self._require_fitted()
+        out = table
+        if self.config.apply_special_transform:
+            out = self._special.inverse_transform(out)
+        return self._mapping.inverse_transform(out)
+
+    def destroy_mapping(self) -> None:
+        """Erase the mapping after synthesis (privacy step of Sec. 3.2.3)."""
+        self._require_fitted()
+        self._mapping.destroy()
+
+    def _require_fitted(self):
+        if self._mapping is None:
+            raise MappingError("call fit_transform() before using the enhancer")

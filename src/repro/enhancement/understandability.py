@@ -1,0 +1,157 @@
+"""Understandability-based transformation module (Sec. 3.2.2 / 4.1.5).
+
+Categories are mapped to labels "expected to occur in the given column":
+gender codes become 'male'/'female'/'others', age codes become age-group
+strings, province codes become city names, boolean-ish codes become
+'yes'/'no'.  The mapping is designed per column by a data scientist (the paper
+notes automating it with an LLM is future work); this module ships the
+designed mappings for the DIGIX-like schema plus a rule-based fallback that
+guarantees differentiability for any column lacking a designed mapping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.enhancement.mapping import ColumnMapping, MappingSystem
+from repro.enhancement.names_db import UniqueNameGenerator
+from repro.frame.table import Table
+
+#: 71 US cities used to relabel the DIGIX 'residence' province codes (Sec. 4.1.5).
+#: Single-word city names are used so every mapped label is a single token for
+#: the word tokenizer (multi-token labels would dilute the n-gram context).
+US_CITIES = (
+    "Chicago", "Houston", "Phoenix", "Philadelphia", "Dallas", "Austin",
+    "Jacksonville", "Columbus", "Charlotte", "Indianapolis", "Seattle", "Denver",
+    "Washington", "Boston", "Nashville", "Detroit", "Portland", "Memphis",
+    "Louisville", "Baltimore", "Milwaukee", "Albuquerque", "Tucson", "Fresno",
+    "Mesa", "Sacramento", "Atlanta", "Omaha", "Raleigh", "Miami",
+    "Oakland", "Minneapolis", "Tulsa", "Tampa", "Arlington", "Wichita",
+    "Bakersfield", "Cleveland", "Aurora", "Anaheim", "Honolulu", "Riverside",
+    "Lexington", "Henderson", "Stockton", "Cincinnati", "Pittsburgh", "Greensboro",
+    "Lincoln", "Anchorage", "Plano", "Orlando", "Irvine", "Newark",
+    "Durham", "Chandler", "Gilbert", "Reno", "Hialeah", "Garland",
+    "Chesapeake", "Irving", "Scottsdale", "Fremont", "Madison", "Spokane",
+    "Richmond", "Fontana", "Tacoma", "Modesto", "Glendale",
+)
+
+#: Age-group labels for codes '2'..'8' (Sec. 4.1.5: ages 20 through 89).
+AGE_GROUPS = {
+    2: "twenties",
+    3: "thirties",
+    4: "forties",
+    5: "fifties",
+    6: "sixties",
+    7: "seventies",
+    8: "eighties",
+}
+
+#: Gender-code mapping (Sec. 4.1.5: '2', '3', '4' -> male / female / others).
+GENDER_LABELS = {2: "male", 3: "female", 4: "others"}
+
+
+def default_digix_semantic_mappings() -> dict[str, dict]:
+    """The designed per-column mappings for the DIGIX-like schema.
+
+    Keys are the generator's column names; callers with differently named
+    columns can rename or supply their own designs.
+    """
+    return {
+        "gender": dict(GENDER_LABELS),
+        "age": dict(AGE_GROUPS),
+        "residence": {code: city for code, city in enumerate(US_CITIES, start=1)},
+        "device_size": {
+            1: "phone", 2: "phablet", 3: "tablet", 4: "laptop", 5: "desktop",
+        },
+        "net_type": {1: "wifi", 2: "cellular", 3: "fiber", 4: "wired"},
+        "label": {0: "unclicked", 1: "clicked"},
+    }
+
+
+@dataclass
+class UnderstandabilityTransform:
+    """Designed semantic mapping with a rule-based fallback.
+
+    Parameters
+    ----------
+    designed_mappings:
+        Column -> {original category -> meaningful label}.  Defaults to the
+        DIGIX-like designs of Sec. 4.1.5.
+    fallback:
+        What to do with selected columns lacking a design: ``"template"``
+        builds '<column> category <value>' labels (still differentiable and
+        mildly semantic), ``"names"`` falls back to unique names (pure
+        differentiability), ``"skip"`` leaves the column untouched.
+    """
+
+    designed_mappings: dict[str, Mapping] = field(default_factory=default_digix_semantic_mappings)
+    fallback: str = "template"
+    seed: int = 0
+    max_categories: int = 200
+
+    def __post_init__(self):
+        if self.fallback not in ("template", "names", "skip"):
+            raise ValueError("fallback must be 'template', 'names' or 'skip'")
+
+    def select_columns(self, table: Table, columns: Sequence[str] | None = None) -> list[str]:
+        """Columns to transform (designed columns plus categorical-like ones)."""
+        if columns is not None:
+            missing = [name for name in columns if name not in table.column_names]
+            if missing:
+                raise KeyError("columns not in table: {}".format(missing))
+            return list(columns)
+        selected = []
+        for name in table.column_names:
+            column = table.column(name)
+            if name in self.designed_mappings or (
+                column.is_categorical_like() and column.nunique() <= self.max_categories
+            ):
+                selected.append(name)
+        return selected
+
+    def build_mapping(self, table: Table, columns: Sequence[str] | None = None) -> MappingSystem:
+        """Create the mapping system, preferring designed mappings per column."""
+        selected = self.select_columns(table, columns)
+        reserved = set()
+        for name in table.column_names:
+            for value in table.column(name).unique():
+                if isinstance(value, str):
+                    reserved.add(value)
+        generator = UniqueNameGenerator(seed=self.seed, reserved=reserved)
+
+        system = MappingSystem()
+        for name in selected:
+            categories = table.column(name).unique()
+            if len(categories) > self.max_categories:
+                continue
+            designed = self.designed_mappings.get(name, {})
+            forward = {}
+            used_labels = set()
+            for category in categories:
+                label = designed.get(category)
+                if label is None:
+                    label = self._fallback_label(name, category, generator)
+                # guarantee uniqueness within the column even if a design repeats a label
+                base_label = label
+                suffix = 2
+                while label in used_labels:
+                    label = "{} ({})".format(base_label, suffix)
+                    suffix += 1
+                used_labels.add(label)
+                forward[category] = label
+            if self.fallback == "skip" and not designed:
+                continue
+            system.add(ColumnMapping(column=name, forward=forward))
+        return system
+
+    def _fallback_label(self, column: str, category, generator: UniqueNameGenerator) -> str:
+        if self.fallback == "names":
+            return generator.next_name()
+        # underscore-joined so the label stays a single token for the tokenizer
+        return "{}_{}".format(column, category)
+
+    def fit_transform(self, table: Table, columns: Sequence[str] | None = None) -> tuple[Table, MappingSystem]:
+        """Build the mapping and return ``(transformed_table, mapping_system)``."""
+        system = self.build_mapping(table, columns)
+        return system.transform(table), system

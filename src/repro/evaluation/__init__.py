@@ -1,0 +1,34 @@
+"""Fidelity evaluation (Sec. 4.1.3, Appendix B).
+
+The paper scores synthetic data with the *distribution of distribution
+similarity*: for every ordered column pair (x1, x2) it compares the
+conditional distribution of x2 given each value of x1 between original and
+synthetic data, aggregates per pair with the probability-weighted average of
+Algorithm 1, and then looks at the distribution of those per-pair scores.
+Two similarity measures are used: the Kolmogorov-Smirnov p-value (higher is
+better) and the Wasserstein distance (lower is better).
+"""
+
+from repro.evaluation.fidelity import (
+    ColumnPairFidelity,
+    FidelityEvaluator,
+    FidelityReport,
+    encode_categories,
+)
+from repro.evaluation.ablation import (
+    AblationCounts,
+    PairwiseComparison,
+    compare_reports,
+    summarize_trials,
+)
+
+__all__ = [
+    "FidelityEvaluator",
+    "FidelityReport",
+    "ColumnPairFidelity",
+    "encode_categories",
+    "compare_reports",
+    "PairwiseComparison",
+    "AblationCounts",
+    "summarize_trials",
+]

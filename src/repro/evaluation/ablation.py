@@ -1,0 +1,131 @@
+"""Pairwise comparison and ablation counting (Fig. 10).
+
+The ablation study compares two fidelity reports built against the *same*
+original data: for every column pair scored in both, it asks whether the
+candidate configuration improved or worsened the pair's p-value relative to
+the baseline configuration.  Fig. 10 then reports the max, min and average of
+the improved / worsened counts across the eight independent trials; this
+module computes exactly those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.evaluation.fidelity import FidelityReport
+
+
+@dataclass(frozen=True)
+class PairwiseComparison:
+    """Improved / worsened / unchanged pair counts between two reports."""
+
+    baseline_label: str
+    candidate_label: str
+    improved: int
+    worsened: int
+    unchanged: int
+    mean_p_value_baseline: float
+    mean_p_value_candidate: float
+    mean_w_distance_baseline: float
+    mean_w_distance_candidate: float
+
+    @property
+    def net_improved(self) -> int:
+        """Improved minus worsened pairs (positive means a net fidelity gain)."""
+        return self.improved - self.worsened
+
+    @property
+    def compared_pairs(self) -> int:
+        return self.improved + self.worsened + self.unchanged
+
+
+def compare_reports(baseline: FidelityReport, candidate: FidelityReport,
+                    tolerance: float = 1e-9) -> PairwiseComparison:
+    """Count per-pair p-value improvements of *candidate* over *baseline*.
+
+    Only pairs scored in both reports are compared.  A pair is *improved* when
+    the candidate's p-value exceeds the baseline's by more than *tolerance*,
+    *worsened* in the symmetric case, and *unchanged* otherwise.
+    """
+    baseline_pairs = baseline.pair_scores()
+    candidate_pairs = candidate.pair_scores()
+    shared = sorted(set(baseline_pairs) & set(candidate_pairs))
+    if not shared:
+        raise ValueError("the two reports share no column pairs to compare")
+
+    improved = worsened = unchanged = 0
+    for pair in shared:
+        delta = candidate_pairs[pair].p_value - baseline_pairs[pair].p_value
+        if delta > tolerance:
+            improved += 1
+        elif delta < -tolerance:
+            worsened += 1
+        else:
+            unchanged += 1
+
+    return PairwiseComparison(
+        baseline_label=baseline.label,
+        candidate_label=candidate.label,
+        improved=improved,
+        worsened=worsened,
+        unchanged=unchanged,
+        mean_p_value_baseline=mean(baseline_pairs[p].p_value for p in shared),
+        mean_p_value_candidate=mean(candidate_pairs[p].p_value for p in shared),
+        mean_w_distance_baseline=mean(baseline_pairs[p].w_distance for p in shared),
+        mean_w_distance_candidate=mean(candidate_pairs[p].w_distance for p in shared),
+    )
+
+
+@dataclass(frozen=True)
+class AblationCounts:
+    """Max / min / average of the improved and worsened counts across trials (Fig. 10)."""
+
+    candidate_label: str
+    baseline_label: str
+    n_trials: int
+    max_improved: int
+    min_improved: int
+    avg_improved: float
+    max_worsened: int
+    min_worsened: int
+    avg_worsened: float
+    avg_net_improved: float
+
+    def as_row(self) -> dict:
+        """One printable row of the Fig. 10 table."""
+        return {
+            "configuration": self.candidate_label,
+            "baseline": self.baseline_label,
+            "trials": self.n_trials,
+            "improved(max/avg/min)": "{}/{:.1f}/{}".format(
+                self.max_improved, self.avg_improved, self.min_improved
+            ),
+            "worsened(max/avg/min)": "{}/{:.1f}/{}".format(
+                self.max_worsened, self.avg_worsened, self.min_worsened
+            ),
+            "net(avg)": round(self.avg_net_improved, 2),
+        }
+
+
+def summarize_trials(comparisons: list[PairwiseComparison]) -> AblationCounts:
+    """Aggregate per-trial comparisons into the Fig. 10 counts."""
+    if not comparisons:
+        raise ValueError("at least one trial comparison is required")
+    labels = {(c.baseline_label, c.candidate_label) for c in comparisons}
+    if len(labels) > 1:
+        raise ValueError("all comparisons must involve the same baseline and candidate")
+    improved = [c.improved for c in comparisons]
+    worsened = [c.worsened for c in comparisons]
+    return AblationCounts(
+        candidate_label=comparisons[0].candidate_label,
+        baseline_label=comparisons[0].baseline_label,
+        n_trials=len(comparisons),
+        max_improved=max(improved),
+        min_improved=min(improved),
+        avg_improved=mean(improved),
+        max_worsened=max(worsened),
+        min_worsened=min(worsened),
+        avg_worsened=mean(worsened),
+        avg_net_improved=mean(c.net_improved for c in comparisons),
+    )

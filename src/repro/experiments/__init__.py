@@ -1,0 +1,40 @@
+"""Experiment harness: one entry point per table / figure of the paper.
+
+The benchmark suite, the CLI and the examples all drive the same functions in
+:mod:`repro.experiments.figures`, so a figure's definition (which pipelines,
+which metrics, which aggregation) lives in exactly one place.
+"""
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    TrialResult,
+    run_pipeline_on_trial,
+    run_trials,
+)
+from repro.experiments.figures import (
+    fig2_token_ambiguity,
+    fig4_flattening_bias,
+    fig5_correlation_heatmap,
+    fig7_overall_fidelity,
+    fig8_semantic_enhancement,
+    fig9_connecting_setups,
+    fig10_ablation,
+    dataset_statistics,
+    sec442_special_transform,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "TrialResult",
+    "run_pipeline_on_trial",
+    "run_trials",
+    "fig2_token_ambiguity",
+    "fig4_flattening_bias",
+    "fig5_correlation_heatmap",
+    "fig7_overall_fidelity",
+    "fig8_semantic_enhancement",
+    "fig9_connecting_setups",
+    "fig10_ablation",
+    "dataset_statistics",
+    "sec442_special_transform",
+]

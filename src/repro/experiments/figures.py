@@ -1,0 +1,378 @@
+"""One function per table / figure in the paper's evaluation section.
+
+Each function returns a dictionary with at least a ``"rows"`` key — a list of
+flat dictionaries that print as the same rows/series the paper reports — plus
+whatever raw objects the benchmarks and tests want to assert on.  See
+EXPERIMENTS.md for the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+import numpy as np
+
+from repro.connecting.connector import ConnectorConfig, CrossTableConnector
+from repro.connecting.flatten import direct_flatten, flattening_report
+from repro.connecting.preprocessing import remove_noisy_columns
+from repro.datasets.digix import DigixDataset, PSEUDO_ID_COLUMNS
+from repro.datasets.toy import fig2_single_table, fig4_child_tables
+from repro.enhancement.differentiability import DifferentiabilityTransform
+from repro.enhancement.enhancer import EnhancerConfig
+from repro.enhancement.special import CaretToAndTransform, caret_to_and
+from repro.evaluation.ablation import compare_reports, summarize_trials
+from repro.evaluation.fidelity import FidelityEvaluator
+from repro.experiments.harness import (
+    ExperimentConfig,
+    TrialResult,
+    default_pipeline_config,
+    run_trials,
+)
+from repro.llm.embeddings import CooccurrenceEmbedding
+from repro.llm.tokenizer import WordTokenizer
+from repro.pipelines.config import PipelineConfig
+from repro.pipelines.derec import DERECPipeline
+from repro.pipelines.flatten_baseline import DirectFlattenPipeline
+from repro.pipelines.greater import GReaTERPipeline
+from repro.stats.correlation import association_matrix
+from repro.textenc.encoder import TextualEncoder
+
+#: Connector used whenever a figure needs "the" GReaTER connecting setup.
+_DEFAULT_CONNECTOR = ConnectorConfig(independence_method="threshold_mean",
+                                     remove_noisy_columns=False)
+
+
+# ---------------------------------------------------------------------------
+# aggregation helpers
+# ---------------------------------------------------------------------------
+
+def aggregate_reports(results: list[TrialResult]) -> list[dict]:
+    """Per-configuration aggregate fidelity statistics across trials."""
+    if not results:
+        raise ValueError("no trial results to aggregate")
+    names = list(results[0].reports.keys())
+    rows = []
+    for name in names:
+        p_values: list[float] = []
+        w_distances: list[float] = []
+        fractions: list[float] = []
+        for trial in results:
+            report = trial.reports[name]
+            p_values.extend(report.p_values())
+            w_distances.extend(report.w_distances())
+            fractions.append(report.fraction_above(0.05))
+        rows.append({
+            "configuration": name,
+            "trials": len(results),
+            "pairs": len(p_values),
+            "mean_p_value": round(mean(p_values), 4),
+            "frac_p_above_0.05": round(mean(fractions), 4),
+            "mean_w_distance": round(mean(w_distances), 4),
+        })
+    return rows
+
+
+def _greater_config(seed: int, semantic_level: str = "none",
+                    special: bool = False,
+                    connector: ConnectorConfig = _DEFAULT_CONNECTOR) -> PipelineConfig:
+    return default_pipeline_config(
+        seed=seed,
+        enhancer=EnhancerConfig(semantic_level=semantic_level,
+                                apply_special_transform=special, seed=seed),
+        connector=connector,
+    )
+
+
+def _baseline_config(seed: int, semantic_level: str = "none") -> PipelineConfig:
+    return default_pipeline_config(
+        seed=seed,
+        enhancer=EnhancerConfig(semantic_level=semantic_level, seed=seed),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — ambiguous-label tokenization
+# ---------------------------------------------------------------------------
+
+def fig2_token_ambiguity() -> dict:
+    """Quantify the Fig. 2 ambiguity and how the enhancement removes it.
+
+    Reports, for the toy table, how many surface tokens are shared across
+    columns and the context entropy of the shared tokens, before and after the
+    differentiability-based transformation.
+    """
+    table = fig2_single_table()
+    encoder = TextualEncoder()
+    tokenizer = WordTokenizer()
+
+    def analyse(frame, label):
+        labeled = []
+        for name in frame.column_names:
+            for value in frame.column(name):
+                labeled.append((name, value))
+        collisions = tokenizer.token_collisions(labeled)
+        corpus = encoder.encode_table(frame, permute=False)
+        embedding = CooccurrenceEmbedding(tokenizer, window=4).fit(corpus)
+        shared_entropy = [embedding.context_entropy(token) for token in collisions]
+        return {
+            "setup": label,
+            "shared_tokens": len(collisions),
+            "columns_per_shared_token": round(
+                mean(len(cols) for cols in collisions.values()), 2
+            ) if collisions else 0.0,
+            "mean_context_entropy_of_shared_tokens": round(mean(shared_entropy), 3)
+            if shared_entropy else 0.0,
+        }
+
+    before = analyse(table, "original (ambiguous labels)")
+    enhanced, _ = DifferentiabilityTransform(seed=0).fit_transform(
+        table, columns=["Lunch", "Dinner", "Access Device", "Genre"]
+    )
+    after = analyse(enhanced, "after differentiability transform")
+    return {"rows": [before, after], "table": table, "enhanced": enhanced}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — flattening dimensionality and engaged-subject bias
+# ---------------------------------------------------------------------------
+
+def fig4_flattening_bias() -> dict:
+    """Reproduce the Fig. 4 walk-through on the toy Yin/Grace/Anson tables."""
+    meals, viewing, subject = fig4_child_tables()
+    flattened = direct_flatten(meals, viewing, subject)
+    flat_report = flattening_report(meals, viewing, flattened, subject)
+
+    connector = CrossTableConnector(ConnectorConfig(
+        independence_method="threshold_mean", remove_noisy_columns=False, seed=0,
+    ))
+    connection = connector.connect(meals, viewing, subject)
+
+    rows = [
+        {
+            "setup": "direct flattening",
+            "rows": flat_report.rows_flattened,
+            "columns": flat_report.columns_flattened,
+            "max_subject_share": round(flat_report.max_subject_share, 3),
+        },
+        {
+            "setup": "cross-table connecting",
+            "rows": connection.connected.num_rows,
+            "columns": connection.connected.num_columns,
+            "max_subject_share": round(
+                max(
+                    count / connection.connected.num_rows
+                    for count in _subject_counts(connection.connected, subject).values()
+                ), 3,
+            ) if connection.connected.num_rows else 0.0,
+        },
+    ]
+    return {
+        "rows": rows,
+        "flattened": flattened,
+        "connection": connection,
+        "flattening_report": flat_report,
+    }
+
+
+def _subject_counts(table, subject_column):
+    counts: dict = {}
+    for value in table.column(subject_column):
+        counts[value] = counts.get(value, 0) + 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — correlation heatmap before/after noisy-column removal
+# ---------------------------------------------------------------------------
+
+def fig5_correlation_heatmap(dataset: DigixDataset | None = None,
+                             config: ExperimentConfig | None = None) -> dict:
+    """Association matrix of the flattened data before and after removing
+    the pseudo-ID columns (Sec. 4.1.2)."""
+    if dataset is None:
+        dataset = (config or ExperimentConfig()).dataset()
+    trial = dataset.trials()[0]
+    flattened = direct_flatten(trial.ads.drop("task_id"), trial.feeds.drop("task_id"),
+                               dataset.subject_column)
+    feature_columns = [name for name in flattened.column_names
+                       if name != dataset.subject_column]
+
+    before_matrix, before_names = association_matrix(flattened, feature_columns)
+    cleaned, removed = remove_noisy_columns(flattened, columns=PSEUDO_ID_COLUMNS)
+    after_columns = [name for name in cleaned.column_names if name != dataset.subject_column]
+    after_matrix, after_names = association_matrix(cleaned, after_columns)
+
+    def off_diag_mean(matrix):
+        mask = ~np.eye(matrix.shape[0], dtype=bool)
+        return float(matrix[mask].mean()) if matrix.size > 1 else 0.0
+
+    noisy_rows = [name for name in before_names if name in PSEUDO_ID_COLUMNS]
+    noisy_mean = 0.0
+    if noisy_rows:
+        indices = [before_names.index(name) for name in noisy_rows]
+        values = []
+        for i in indices:
+            values.extend(before_matrix[i, j] for j in range(len(before_names)) if j != i)
+        noisy_mean = float(mean(values))
+
+    rows = [
+        {"setup": "before removal", "columns": len(before_names),
+         "mean_offdiag_association": round(off_diag_mean(before_matrix), 4),
+         "mean_association_of_pseudo_id_columns": round(noisy_mean, 4)},
+        {"setup": "after removal", "columns": len(after_names),
+         "mean_offdiag_association": round(off_diag_mean(after_matrix), 4),
+         "removed_columns": ", ".join(removed)},
+    ]
+    return {
+        "rows": rows,
+        "before": (before_matrix, before_names),
+        "after": (after_matrix, after_names),
+        "removed": removed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — overall fidelity: GReaTER vs DEREC vs direct flattening
+# ---------------------------------------------------------------------------
+
+def fig7_overall_fidelity(config: ExperimentConfig | None = None,
+                          evaluator: FidelityEvaluator | None = None) -> dict:
+    """The headline comparison (Fig. 7): p-value distributions of the three setups."""
+    config = config or ExperimentConfig()
+    dataset = config.dataset()
+    seed = config.seed
+    pipelines = {
+        "direct_flatten": DirectFlattenPipeline(_baseline_config(seed)),
+        "derec": DERECPipeline(_baseline_config(seed)),
+        "greater": GReaTERPipeline(_greater_config(seed, semantic_level="understandability")),
+    }
+    results = run_trials(pipelines, dataset, evaluator=evaluator)
+    return {"rows": aggregate_reports(results), "results": results}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — semantic enhancement setups
+# ---------------------------------------------------------------------------
+
+def fig8_semantic_enhancement(config: ExperimentConfig | None = None,
+                              evaluator: FidelityEvaluator | None = None) -> dict:
+    """No mapping vs differentiability vs understandability (connecting fixed)."""
+    config = config or ExperimentConfig()
+    dataset = config.dataset()
+    seed = config.seed
+    pipelines = {
+        "greater_no_mapping": GReaTERPipeline(_greater_config(seed, "none")),
+        "greater_differentiability": GReaTERPipeline(_greater_config(seed, "differentiability")),
+        "greater_understandability": GReaTERPipeline(_greater_config(seed, "understandability")),
+    }
+    results = run_trials(pipelines, dataset, evaluator=evaluator)
+    return {"rows": aggregate_reports(results), "results": results}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9 — cross-table connecting setups
+# ---------------------------------------------------------------------------
+
+def fig9_connecting_setups(config: ExperimentConfig | None = None,
+                           evaluator: FidelityEvaluator | None = None) -> dict:
+    """Direct flatten vs DEREC vs the three connecting setups (p-value and W-distance)."""
+    config = config or ExperimentConfig()
+    dataset = config.dataset()
+    seed = config.seed
+
+    def connector(method):
+        return ConnectorConfig(independence_method=method, remove_noisy_columns=False)
+
+    pipelines = {
+        "direct_flatten": DirectFlattenPipeline(_baseline_config(seed)),
+        "derec": DERECPipeline(_baseline_config(seed)),
+        "connect_threshold_mean": GReaTERPipeline(
+            _greater_config(seed, "none", connector=connector("threshold_mean"))),
+        "connect_threshold_median": GReaTERPipeline(
+            _greater_config(seed, "none", connector=connector("threshold_median"))),
+        "connect_hierarchical": GReaTERPipeline(
+            _greater_config(seed, "none", connector=connector("hierarchical"))),
+    }
+    results = run_trials(pipelines, dataset, evaluator=evaluator)
+    return {"rows": aggregate_reports(results), "results": results}
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — ablation table
+# ---------------------------------------------------------------------------
+
+def fig10_ablation(config: ExperimentConfig | None = None,
+                   evaluator: FidelityEvaluator | None = None) -> dict:
+    """Stepwise ablation against the direct-flattening baseline (Fig. 10 counts)."""
+    config = config or ExperimentConfig()
+    dataset = config.dataset()
+    seed = config.seed
+    pipelines = {
+        "direct_flatten": DirectFlattenPipeline(_baseline_config(seed)),
+        "connecting_only": GReaTERPipeline(_greater_config(seed, "none")),
+        "connecting_plus_semantic": GReaTERPipeline(_greater_config(seed, "understandability")),
+        "connecting_semantic_special": GReaTERPipeline(
+            _greater_config(seed, "understandability", special=True)),
+    }
+    results = run_trials(pipelines, dataset, evaluator=evaluator)
+
+    rows = []
+    summaries = {}
+    for candidate in ("connecting_only", "connecting_plus_semantic", "connecting_semantic_special"):
+        comparisons = [
+            compare_reports(trial.reports["direct_flatten"], trial.reports[candidate])
+            for trial in results
+        ]
+        summary = summarize_trials(comparisons)
+        summaries[candidate] = summary
+        rows.append(summary.as_row())
+    return {"rows": rows, "results": results, "summaries": summaries}
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.4.2 — dataset-specific caret -> 'and' transformation
+# ---------------------------------------------------------------------------
+
+def sec442_special_transform(config: ExperimentConfig | None = None,
+                             evaluator: FidelityEvaluator | None = None) -> dict:
+    """GReaTER with and without the caret→'and' rewrite of the interest columns."""
+    config = config or ExperimentConfig()
+    dataset = config.dataset()
+    seed = config.seed
+    pipelines = {
+        "greater_standard": GReaTERPipeline(_greater_config(seed, "understandability")),
+        "greater_special_transform": GReaTERPipeline(
+            _greater_config(seed, "understandability", special=True)),
+    }
+    results = run_trials(pipelines, dataset, evaluator=evaluator)
+
+    # also report the transform itself on a sample of values
+    trial = dataset.trials()[0]
+    transform = CaretToAndTransform()
+    sample_values = trial.feeds.column("u_newsCatInterests").values[:3]
+    examples = [{"original": value, "transformed": caret_to_and(value)}
+                for value in sample_values]
+    return {"rows": aggregate_reports(results), "results": results,
+            "examples": examples, "selected_columns": transform.select_columns(trial.feeds)}
+
+
+# ---------------------------------------------------------------------------
+# Sec. 4.1.1 / 4.1.2 — dataset statistics
+# ---------------------------------------------------------------------------
+
+def dataset_statistics(dataset: DigixDataset | None = None,
+                       config: ExperimentConfig | None = None) -> dict:
+    """Check the generator reproduces the published dataset shape."""
+    if dataset is None:
+        dataset = (config or ExperimentConfig()).dataset()
+    trials = dataset.trials()
+    rows_per_trial = [trial.ads.num_rows + trial.feeds.num_rows for trial in trials]
+    rows = [{
+        "click_through_rate": round(dataset.overall_click_rate(), 4),
+        "n_task_subgroups": len(trials),
+        "min_rows_per_subgroup": min(rows_per_trial),
+        "max_rows_per_subgroup": max(rows_per_trial),
+        "ads_rows": dataset.ads.num_rows,
+        "feeds_rows": dataset.feeds.num_rows,
+    }]
+    return {"rows": rows, "dataset": dataset}

@@ -1,0 +1,113 @@
+"""Trial runner shared by every experiment.
+
+A *trial* is one task-ID subgroup of the DIGIX-like dataset (Sec. 4.1.1: the
+paper runs eight independent trials).  The harness runs a named set of
+pipeline configurations on each trial, evaluates every synthetic output
+against that trial's original flat reference, and returns the per-trial
+fidelity reports keyed by configuration name.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.datasets.digix import DigixConfig, DigixDataset, generate_digix_like
+from repro.evaluation.fidelity import FidelityEvaluator, FidelityReport
+from repro.pipelines.base import MultiTablePipeline
+from repro.pipelines.config import PipelineConfig
+
+#: Environment variable that scales the experiment size (1 = default quick run).
+SCALE_ENV_VAR = "REPRO_BENCH_SCALE"
+
+
+def experiment_scale() -> int:
+    """Integer scale factor taken from ``REPRO_BENCH_SCALE`` (default 1)."""
+    try:
+        return max(1, int(os.environ.get(SCALE_ENV_VAR, "1")))
+    except ValueError:
+        return 1
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Size of an experiment run.
+
+    The defaults are deliberately small so the full benchmark suite finishes
+    in minutes; set ``REPRO_BENCH_SCALE`` (or pass explicit values) to move
+    toward the paper's eight trials of 750+ observations.
+    """
+
+    n_trials: int = 2
+    n_users_per_task: int = 12
+    ads_rows_per_user: tuple[int, int] = (2, 4)
+    feeds_rows_per_user: tuple[int, int] = (2, 4)
+    seed: int = 7
+
+    @classmethod
+    def from_scale(cls, scale: int | None = None, seed: int = 7) -> "ExperimentConfig":
+        """Build a config whose size grows with the scale factor."""
+        scale = experiment_scale() if scale is None else max(1, int(scale))
+        return cls(
+            n_trials=min(8, 2 * scale),
+            n_users_per_task=12 * scale,
+            ads_rows_per_user=(2, 3 + scale),
+            feeds_rows_per_user=(2, 3 + scale),
+            seed=seed,
+        )
+
+    def dataset(self) -> DigixDataset:
+        """Generate the DIGIX-like dataset for this experiment size."""
+        return generate_digix_like(DigixConfig(
+            n_tasks=self.n_trials,
+            n_users_per_task=self.n_users_per_task,
+            ads_rows_per_user=self.ads_rows_per_user,
+            feeds_rows_per_user=self.feeds_rows_per_user,
+            seed=self.seed,
+        ))
+
+
+@dataclass
+class TrialResult:
+    """Fidelity reports of every configuration on one trial."""
+
+    trial_id: object
+    reports: dict[str, FidelityReport] = field(default_factory=dict)
+
+
+def run_pipeline_on_trial(pipeline: MultiTablePipeline, trial: DigixDataset,
+                          evaluator: FidelityEvaluator | None = None,
+                          label: str = "") -> FidelityReport:
+    """Run one pipeline on one trial and return its fidelity report."""
+    evaluator = evaluator or FidelityEvaluator()
+    result = pipeline.run(trial.ads, trial.feeds)
+    return evaluator.evaluate(result.original_flat, result.synthetic_flat,
+                              label=label or pipeline.name)
+
+
+def run_trials(pipelines: dict[str, MultiTablePipeline], dataset: DigixDataset,
+               evaluator: FidelityEvaluator | None = None,
+               max_trials: int | None = None) -> list[TrialResult]:
+    """Run every named pipeline on every trial of the dataset."""
+    evaluator = evaluator or FidelityEvaluator()
+    results: list[TrialResult] = []
+    for index, trial in enumerate(dataset.trials()):
+        if max_trials is not None and index >= max_trials:
+            break
+        trial_result = TrialResult(trial_id=trial.ads.column("task_id")[0] if trial.ads.num_rows else index)
+        for name, pipeline in pipelines.items():
+            trial_result.reports[name] = run_pipeline_on_trial(
+                pipeline, trial, evaluator=evaluator, label=name
+            )
+        results.append(trial_result)
+    return results
+
+
+def default_pipeline_config(seed: int = 0, drop_columns: tuple[str, ...] = ("task_id",),
+                            **overrides) -> PipelineConfig:
+    """The pipeline configuration the experiments share.
+
+    ``task_id`` is dropped because it is constant within a trial; the noisy
+    pseudo-ID columns are dropped by the pipelines themselves.
+    """
+    return PipelineConfig(seed=seed, drop_columns=drop_columns, **overrides)

@@ -1,0 +1,39 @@
+"""Lightweight column-oriented tabular substrate.
+
+The GReaTER pipeline is, at its heart, a sequence of relational operations on
+in-memory tables: joins (flattening), group-bys (contextual-variable
+detection), de-duplication (dimension reduction) and sampling (bootstrap
+append).  This subpackage provides the :class:`Table` and :class:`Column`
+containers those operations run on, playing the role pandas plays in the
+original code base but with no external dependency beyond NumPy.
+"""
+
+from repro.frame.column import Column, infer_dtype
+from repro.frame.errors import (
+    ColumnNotFoundError,
+    DuplicateColumnError,
+    FrameError,
+    LengthMismatchError,
+    SchemaError,
+)
+from repro.frame.io import read_csv, write_csv
+from repro.frame.ops import concat_rows, crosstab, inner_join, left_join, value_counts
+from repro.frame.table import Table
+
+__all__ = [
+    "Table",
+    "Column",
+    "infer_dtype",
+    "read_csv",
+    "write_csv",
+    "inner_join",
+    "left_join",
+    "concat_rows",
+    "value_counts",
+    "crosstab",
+    "FrameError",
+    "ColumnNotFoundError",
+    "DuplicateColumnError",
+    "LengthMismatchError",
+    "SchemaError",
+]

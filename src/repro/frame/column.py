@@ -1,0 +1,242 @@
+"""Column container and dtype inference.
+
+A :class:`Column` is a named, immutable-length sequence of Python values with
+an inferred logical dtype.  The GReaTER pipeline handles multi-modal data
+(numbers, label-encoded categories and free strings side by side), so the
+column keeps values as plain Python objects and exposes the dtype only as a
+*description* of the data rather than a storage format.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+#: Logical dtypes understood by the substrate.
+DTYPES = ("int", "float", "str", "bool", "mixed", "empty")
+
+#: Values treated as missing when inferring dtypes and computing statistics.
+MISSING_VALUES = (None,)
+
+
+def _is_missing(value) -> bool:
+    """Return True when *value* counts as missing."""
+    if value is None:
+        return True
+    if isinstance(value, float) and math.isnan(value):
+        return True
+    return False
+
+
+def infer_dtype(values: Iterable) -> str:
+    """Infer the logical dtype of a sequence of values.
+
+    The inference ignores missing values.  A column with both ints and floats
+    is ``"float"``; any other mixture is ``"mixed"``.
+
+    >>> infer_dtype([1, 2, 3])
+    'int'
+    >>> infer_dtype([1, 2.5])
+    'float'
+    >>> infer_dtype(["a", "b"])
+    'str'
+    >>> infer_dtype([1, "a"])
+    'mixed'
+    >>> infer_dtype([None, None])
+    'empty'
+    """
+    seen = set()
+    for value in values:
+        if _is_missing(value):
+            continue
+        if isinstance(value, bool):
+            seen.add("bool")
+        elif isinstance(value, (int, np.integer)):
+            seen.add("int")
+        elif isinstance(value, (float, np.floating)):
+            seen.add("float")
+        elif isinstance(value, str):
+            seen.add("str")
+        else:
+            seen.add("mixed")
+    if not seen:
+        return "empty"
+    if seen == {"int"}:
+        return "int"
+    if seen <= {"int", "float"}:
+        return "float"
+    if seen == {"str"}:
+        return "str"
+    if seen == {"bool"}:
+        return "bool"
+    return "mixed"
+
+
+def coerce_value(value):
+    """Normalise NumPy scalars to plain Python values.
+
+    Keeping plain Python objects in columns makes equality, hashing and CSV
+    round-trips predictable regardless of which library produced the value.
+    """
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    return value
+
+
+class Column(Sequence):
+    """A named sequence of values with an inferred logical dtype.
+
+    Columns are value containers; all relational logic lives on
+    :class:`repro.frame.Table`.
+    """
+
+    __slots__ = ("name", "_values", "_dtype")
+
+    def __init__(self, name: str, values: Iterable, dtype: str | None = None):
+        if not isinstance(name, str) or not name:
+            raise ValueError("column name must be a non-empty string")
+        self.name = name
+        self._values = [coerce_value(v) for v in values]
+        if dtype is not None and dtype not in DTYPES:
+            raise ValueError("unknown dtype {!r}; expected one of {}".format(dtype, DTYPES))
+        self._dtype = dtype or infer_dtype(self._values)
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Column(self.name, self._values[index], dtype=self._dtype)
+        return self._values[index]
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.name == other.name and self._values == other._values
+
+    def __hash__(self):
+        raise TypeError("Column objects are unhashable; hash their values instead")
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._values[:5])
+        suffix = ", ..." if len(self._values) > 5 else ""
+        return "Column({!r}, dtype={!r}, n={}, [{}{}])".format(
+            self.name, self._dtype, len(self._values), preview, suffix
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def dtype(self) -> str:
+        """Logical dtype of the column (one of :data:`DTYPES`)."""
+        return self._dtype
+
+    @property
+    def values(self) -> list:
+        """A copy of the column values as a plain list."""
+        return list(self._values)
+
+    def is_numeric(self) -> bool:
+        """True when every non-missing value is an int or a float."""
+        return self._dtype in ("int", "float")
+
+    def is_categorical_like(self) -> bool:
+        """Heuristic used by the enhancement system.
+
+        A column is "categorical-like" when the number of distinct values is
+        small relative to the number of observations, which is the situation
+        in which label-encoded categories become ambiguous for the LLM.
+        """
+        n = len(self._values)
+        if n == 0:
+            return False
+        distinct = len(self.unique())
+        return distinct <= max(20, int(0.05 * n))
+
+    def missing_count(self) -> int:
+        """Number of missing values in the column."""
+        return sum(1 for v in self._values if _is_missing(v))
+
+    # -- transformations ----------------------------------------------------------
+
+    def rename(self, name: str) -> "Column":
+        """Return a copy of the column under a new name."""
+        return Column(name, self._values, dtype=self._dtype)
+
+    def map(self, func) -> "Column":
+        """Return a new column with *func* applied to every value."""
+        return Column(self.name, [func(v) for v in self._values])
+
+    def astype(self, dtype: str) -> "Column":
+        """Cast the column values to the requested logical dtype.
+
+        Missing values are preserved.  Casting to ``"str"`` uses ``str()``;
+        casting to ``"int"``/``"float"`` parses strings when possible.
+        """
+        if dtype not in ("int", "float", "str"):
+            raise ValueError("can only cast to 'int', 'float' or 'str', not {!r}".format(dtype))
+        caster = {"int": int, "float": float, "str": str}[dtype]
+        converted = []
+        for value in self._values:
+            if _is_missing(value):
+                converted.append(None)
+            else:
+                converted.append(caster(value))
+        return Column(self.name, converted, dtype=dtype)
+
+    def take(self, indices: Iterable[int]) -> "Column":
+        """Return a new column containing the values at *indices* (in order)."""
+        return Column(self.name, [self._values[i] for i in indices], dtype=self._dtype)
+
+    # -- statistics ---------------------------------------------------------------
+
+    def unique(self) -> list:
+        """Distinct non-missing values, in first-seen order."""
+        seen = set()
+        out = []
+        for value in self._values:
+            if _is_missing(value):
+                continue
+            key = value
+            if key not in seen:
+                seen.add(key)
+                out.append(value)
+        return out
+
+    def nunique(self) -> int:
+        """Number of distinct non-missing values."""
+        return len(self.unique())
+
+    def value_counts(self) -> dict:
+        """Mapping from value to number of occurrences (missing excluded)."""
+        counter = Counter(v for v in self._values if not _is_missing(v))
+        return dict(counter)
+
+    def to_numpy(self, dtype=None) -> np.ndarray:
+        """Convert the values to a NumPy array.
+
+        Numeric columns become float arrays (missing → NaN); everything else
+        becomes an object array.
+        """
+        if dtype is not None:
+            return np.asarray(self._values, dtype=dtype)
+        if self.is_numeric():
+            return np.asarray(
+                [float("nan") if _is_missing(v) else float(v) for v in self._values],
+                dtype=float,
+            )
+        return np.asarray(self._values, dtype=object)

@@ -1,0 +1,42 @@
+"""Exceptions raised by the tabular substrate."""
+
+
+class FrameError(Exception):
+    """Base class for all errors raised by :mod:`repro.frame`."""
+
+
+class ColumnNotFoundError(FrameError, KeyError):
+    """A column name was requested that does not exist in the table."""
+
+    def __init__(self, name, available=()):
+        self.name = name
+        self.available = list(available)
+        message = "column {!r} not found".format(name)
+        if self.available:
+            message += " (available: {})".format(", ".join(map(repr, self.available)))
+        super().__init__(message)
+
+
+class DuplicateColumnError(FrameError, ValueError):
+    """Two columns with the same name were supplied to a table."""
+
+    def __init__(self, name):
+        self.name = name
+        super().__init__("duplicate column name {!r}".format(name))
+
+
+class LengthMismatchError(FrameError, ValueError):
+    """Columns of differing lengths were supplied to a table."""
+
+    def __init__(self, expected, got, name=None):
+        self.expected = expected
+        self.got = got
+        self.name = name
+        where = " for column {!r}".format(name) if name is not None else ""
+        super().__init__(
+            "length mismatch{}: expected {} values, got {}".format(where, expected, got)
+        )
+
+
+class SchemaError(FrameError, ValueError):
+    """Two tables that must share a schema do not."""

@@ -1,0 +1,62 @@
+"""CSV input/output for :class:`~repro.frame.Table`.
+
+The DIGIX-like dataset generator can persist its tables so experiments are
+repeatable across processes; this module provides the round-trip.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.frame.table import Table
+
+
+def _parse_cell(text: str):
+    """Parse a CSV cell back into int, float, None or str."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_csv(path, parse_types: bool = True) -> Table:
+    """Read a CSV file into a :class:`Table`.
+
+    When *parse_types* is true (the default), cells are parsed into ints and
+    floats where possible and empty cells become ``None``.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return Table()
+        data = {name: [] for name in header}
+        for row in reader:
+            for name, cell in zip(header, row):
+                data[name].append(_parse_cell(cell) if parse_types else cell)
+            # ragged rows: pad missing cells
+            for name in header[len(row):]:
+                data[name].append(None)
+    return Table(data)
+
+
+def write_csv(table: Table, path) -> Path:
+    """Write a :class:`Table` to a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.iter_rows():
+            writer.writerow(["" if row[name] is None else row[name] for name in table.column_names])
+    return path

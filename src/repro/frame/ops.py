@@ -1,0 +1,153 @@
+"""Relational operations over :class:`~repro.frame.Table`.
+
+These are the primitives the Cross-table Connecting Method is built from:
+joins (direct flattening of two child tables on the shared subject key),
+row concatenation, value counts and contingency tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.frame.errors import ColumnNotFoundError, SchemaError
+from repro.frame.table import Table
+
+
+def _disambiguate(names_left: Sequence[str], names_right: Sequence[str], on: str,
+                  suffixes: tuple[str, str]) -> dict[str, str]:
+    """Return a rename mapping for right-hand columns that clash with the left."""
+    clash = (set(names_left) & set(names_right)) - {on}
+    mapping = {}
+    for name in names_right:
+        if name == on:
+            continue
+        if name in clash:
+            mapping[name] = name + suffixes[1]
+        else:
+            mapping[name] = name
+    return mapping
+
+
+def inner_join(left: Table, right: Table, on: str,
+               suffixes: tuple[str, str] = ("_x", "_y")) -> Table:
+    """Inner join of two tables on the key column *on*.
+
+    This is the "direct flattening" operation of Sec. 3.3 (Fig. 4, step 0):
+    every left row is paired with every right row that shares the key, so a
+    2x5 table flattened with a 2x7 table on a shared subject can blow up to a
+    13x... table and over-represent engaged subjects.
+    """
+    if on not in left.column_names:
+        raise ColumnNotFoundError(on, left.column_names)
+    if on not in right.column_names:
+        raise ColumnNotFoundError(on, right.column_names)
+
+    right_rename = _disambiguate(left.column_names, right.column_names, on, suffixes)
+    out_columns = list(left.column_names) + [right_rename[n] for n in right.column_names if n != on]
+
+    right_groups = right.group_indices(on)
+    right_rows = right.to_records()
+    records = []
+    for left_row in left.iter_rows():
+        key = left_row[on]
+        for right_index in right_groups.get(key, []):
+            right_row = right_rows[right_index]
+            record = dict(left_row)
+            for name, renamed in right_rename.items():
+                record[renamed] = right_row[name]
+            records.append(record)
+    return Table.from_records(records, columns=out_columns)
+
+
+def left_join(left: Table, right: Table, on: str,
+              suffixes: tuple[str, str] = ("_x", "_y")) -> Table:
+    """Left join of two tables on the key column *on*.
+
+    Rows of *left* with no match keep ``None`` for the right-hand columns.
+    """
+    if on not in left.column_names:
+        raise ColumnNotFoundError(on, left.column_names)
+    if on not in right.column_names:
+        raise ColumnNotFoundError(on, right.column_names)
+
+    right_rename = _disambiguate(left.column_names, right.column_names, on, suffixes)
+    out_columns = list(left.column_names) + [right_rename[n] for n in right.column_names if n != on]
+
+    right_groups = right.group_indices(on)
+    right_rows = right.to_records()
+    records = []
+    for left_row in left.iter_rows():
+        key = left_row[on]
+        matches = right_groups.get(key, [])
+        if not matches:
+            record = dict(left_row)
+            for renamed in right_rename.values():
+                record[renamed] = None
+            records.append(record)
+            continue
+        for right_index in matches:
+            right_row = right_rows[right_index]
+            record = dict(left_row)
+            for name, renamed in right_rename.items():
+                record[renamed] = right_row[name]
+            records.append(record)
+    return Table.from_records(records, columns=out_columns)
+
+
+def concat_rows(tables: Sequence[Table]) -> Table:
+    """Stack tables that share the same column set vertically.
+
+    Column order follows the first table; every subsequent table must have the
+    same set of columns (order may differ).
+    """
+    tables = [t for t in tables if t.num_columns > 0]
+    if not tables:
+        return Table()
+    reference = tables[0].column_names
+    for table in tables[1:]:
+        if sorted(table.column_names) != sorted(reference):
+            raise SchemaError(
+                "cannot concatenate tables with different columns: {} vs {}".format(
+                    reference, table.column_names
+                )
+            )
+    data = {name: [] for name in reference}
+    for table in tables:
+        for name in reference:
+            data[name].extend(table.column(name).values)
+    return Table(data)
+
+
+def value_counts(table: Table, name: str, normalize: bool = False) -> "OrderedDict":
+    """Occurrence counts (or frequencies) of column *name*, most frequent first."""
+    counter = Counter(v for v in table.column(name) if v is not None)
+    total = sum(counter.values())
+    ordered = OrderedDict(counter.most_common())
+    if normalize and total > 0:
+        return OrderedDict((k, v / total) for k, v in ordered.items())
+    return ordered
+
+
+def crosstab(table: Table, row_name: str, col_name: str) -> tuple[np.ndarray, list, list]:
+    """Contingency table of two columns.
+
+    Returns ``(matrix, row_categories, col_categories)`` where ``matrix[i, j]``
+    counts rows with ``row_name == row_categories[i]`` and
+    ``col_name == col_categories[j]``.  This feeds Cramer's V and the chi-square
+    test used to determine cross-table independence.
+    """
+    rows = table.column(row_name)
+    cols = table.column(col_name)
+    row_cats = table.unique_values(row_name)
+    col_cats = table.unique_values(col_name)
+    row_index = {value: i for i, value in enumerate(row_cats)}
+    col_index = {value: j for j, value in enumerate(col_cats)}
+    matrix = np.zeros((len(row_cats), len(col_cats)), dtype=float)
+    for r, c in zip(rows, cols):
+        if r is None or c is None:
+            continue
+        matrix[row_index[r], col_index[c]] += 1.0
+    return matrix, row_cats, col_cats

@@ -1,0 +1,11 @@
+"""GReaT baseline: single-table LLM tabular synthesizer.
+
+Implements the pipeline of Borisov et al. (ICLR 2023) on our substrate:
+textual-encode the rows, fine-tune the language-model backbone on the encoded
+corpus, sample sentences, and decode the valid ones back into rows.  GReaTER
+wraps this synthesizer with its enhancement and connecting stages.
+"""
+
+from repro.great.synthesizer import GReaTSynthesizer, GReaTConfig
+
+__all__ = ["GReaTSynthesizer", "GReaTConfig"]

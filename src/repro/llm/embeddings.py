@@ -1,0 +1,95 @@
+"""Co-occurrence token embeddings.
+
+Used only for analysis and the Fig. 2 reproduction: the embedding of a token
+is its (PPMI-weighted) co-occurrence profile over the corpus.  Because the
+tokenizer maps identical surface strings to one id, an ambiguous '1' shared by
+several columns gets a single, blended embedding — whereas after the semantic
+enhancement each renamed category keeps its own profile.  The Fig. 2 benchmark
+measures exactly this collapse.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.llm.tokenizer import WordTokenizer
+
+
+class CooccurrenceEmbedding:
+    """Sparse PPMI co-occurrence vectors over a fixed context window."""
+
+    def __init__(self, tokenizer: WordTokenizer, window: int = 4):
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.tokenizer = tokenizer
+        self.window = window
+        self._cooccurrence: dict[str, Counter] = defaultdict(Counter)
+        self._token_counts: Counter = Counter()
+        self._total_pairs = 0
+
+    def fit(self, corpus: Iterable[str]) -> "CooccurrenceEmbedding":
+        """Accumulate co-occurrence counts from the corpus."""
+        for sentence in corpus:
+            tokens = self.tokenizer.tokenize(sentence)
+            for i, token in enumerate(tokens):
+                self._token_counts[token] += 1
+                lo = max(0, i - self.window)
+                hi = min(len(tokens), i + self.window + 1)
+                for j in range(lo, hi):
+                    if j == i:
+                        continue
+                    self._cooccurrence[token][tokens[j]] += 1
+                    self._total_pairs += 1
+        return self
+
+    def vector(self, token: str, context_tokens: list[str]) -> np.ndarray:
+        """PPMI vector of *token* over an explicit list of context tokens."""
+        if self._total_pairs == 0:
+            raise RuntimeError("fit() must be called before querying embeddings")
+        profile = self._cooccurrence.get(token, Counter())
+        token_total = sum(profile.values())
+        values = []
+        for context in context_tokens:
+            joint = profile.get(context, 0)
+            if joint == 0 or token_total == 0:
+                values.append(0.0)
+                continue
+            context_total = sum(self._cooccurrence.get(context, Counter()).values())
+            pmi = math.log(
+                (joint / self._total_pairs)
+                / ((token_total / self._total_pairs) * (context_total / self._total_pairs))
+            )
+            values.append(max(pmi, 0.0))
+        return np.asarray(values, dtype=float)
+
+    def similarity(self, token_a: str, token_b: str, context_tokens: list[str] | None = None) -> float:
+        """Cosine similarity of two token embeddings (0 when either is empty)."""
+        if context_tokens is None:
+            context_tokens = sorted(self._token_counts)
+        a = self.vector(token_a, context_tokens)
+        b = self.vector(token_b, context_tokens)
+        norm = float(np.linalg.norm(a) * np.linalg.norm(b))
+        if norm == 0.0:
+            return 0.0
+        return float(np.dot(a, b) / norm)
+
+    def context_entropy(self, token: str) -> float:
+        """Shannon entropy of the token's context distribution (in nats).
+
+        Ambiguous tokens shared across unrelated columns have notably higher
+        context entropy than tokens used in a single column — the quantitative
+        form of the Fig. 2 argument.
+        """
+        profile = self._cooccurrence.get(token, Counter())
+        total = sum(profile.values())
+        if total == 0:
+            return 0.0
+        entropy = 0.0
+        for count in profile.values():
+            p = count / total
+            entropy -= p * math.log(p)
+        return entropy

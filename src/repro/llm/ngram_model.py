@@ -1,0 +1,291 @@
+"""Interpolated back-off n-gram language model.
+
+This is the generative backbone standing in for GPT-2.  It is trained on the
+textual-encoded rows produced by :mod:`repro.textenc` and sampled from to
+produce new rows.  Two properties make it a faithful substitute for the
+purposes of the paper's claims:
+
+* Tokens are atoms — two occurrences of the same surface string are the same
+  event, so ambiguous numerical labels genuinely interfere with each other
+  (Challenge I), and renaming them to distinct words genuinely removes the
+  interference.
+* Generation reproduces the conditional co-occurrence statistics of the
+  training corpus, so noise injected by direct flattening (engaged-subject
+  bias, Challenge II) genuinely distorts the synthetic output.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter, defaultdict
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.llm.tokenizer import WordTokenizer
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Configuration of the n-gram backbone.
+
+    Parameters
+    ----------
+    order:
+        Maximum n-gram order (3 = trigram).  Higher orders memorise longer row
+        prefixes; the default keeps sampling fast on CPU.
+    smoothing:
+        Additive (Lidstone) smoothing mass per vocabulary entry.
+    interpolation:
+        Per-order interpolation weights, highest order first.  They are
+        normalised internally; fewer weights than ``order`` are padded evenly.
+    """
+
+    order: int = 3
+    smoothing: float = 0.01
+    interpolation: tuple[float, ...] = (0.7, 0.2, 0.1)
+
+    def __post_init__(self):
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if self.smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        if any(w < 0 for w in self.interpolation):
+            raise ValueError("interpolation weights must be non-negative")
+
+
+class NGramLanguageModel:
+    """Count-based language model with interpolated additive smoothing."""
+
+    def __init__(self, tokenizer: WordTokenizer, config: ModelConfig | None = None):
+        self.tokenizer = tokenizer
+        self.config = config or ModelConfig()
+        # counts[k] maps a length-k context tuple -> Counter of next-token ids
+        self._counts: list[defaultdict] = [
+            defaultdict(Counter) for _ in range(self.config.order)
+        ]
+        self._context_totals: list[defaultdict] = [
+            defaultdict(int) for _ in range(self.config.order)
+        ]
+        self._trained_sentences = 0
+
+    # -- training ---------------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        return self._trained_sentences > 0
+
+    @property
+    def trained_sentences(self) -> int:
+        return self._trained_sentences
+
+    def fit(self, corpus: Iterable[str], epochs: int = 1) -> "NGramLanguageModel":
+        """Accumulate n-gram counts from a corpus of sentences.
+
+        ``epochs`` repeats the corpus, which mirrors the epochs hyper-parameter
+        the paper reports (10 epochs / 5 batches); for a count-based model it
+        scales every count equally, so it mainly interacts with smoothing.
+        """
+        sentences = list(corpus)
+        for _ in range(max(1, epochs)):
+            for sentence in sentences:
+                self._update(self.tokenizer.encode(sentence))
+        self._trained_sentences += len(sentences) * max(1, epochs)
+        return self
+
+    def _update(self, token_ids: Sequence[int]) -> None:
+        order = self.config.order
+        for position in range(1, len(token_ids)):
+            target = token_ids[position]
+            for k in range(order):
+                if position - k - 1 < 0 and k > 0:
+                    break
+                start = max(0, position - k)
+                context = tuple(token_ids[start:position]) if k > 0 else ()
+                if len(context) != k:
+                    continue
+                self._counts[k][context][target] += 1
+                self._context_totals[k][context] += 1
+
+    # -- probabilities -----------------------------------------------------------------
+
+    def _interpolation_weights(self) -> list[float]:
+        order = self.config.order
+        weights = list(self.config.interpolation)[:order]
+        while len(weights) < order:
+            weights.append(weights[-1] if weights else 1.0)
+        total = sum(weights)
+        if total <= 0:
+            return [1.0 / order] * order
+        return [w / total for w in weights]
+
+    def next_token_distribution(self, context_ids: Sequence[int]) -> dict[int, float]:
+        """Smoothed distribution over the next token id given a context."""
+        if not self.is_trained:
+            raise RuntimeError("the model must be fit() before querying probabilities")
+        vocab_size = len(self.tokenizer.vocabulary)
+        weights = self._interpolation_weights()
+        order = self.config.order
+        smoothing = self.config.smoothing
+
+        distribution: dict[int, float] = defaultdict(float)
+        # highest order first: weights[0] is for the longest context
+        for k in range(order - 1, -1, -1):
+            context = tuple(context_ids[-k:]) if k > 0 else ()
+            if k > 0 and len(context) != k:
+                continue
+            weight = weights[order - 1 - k]
+            counts = self._counts[k].get(context)
+            total = self._context_totals[k].get(context, 0)
+            denom = total + smoothing * vocab_size
+            if denom <= 0:
+                continue
+            if counts:
+                for token_id, count in counts.items():
+                    distribution[token_id] += weight * (count + smoothing) / denom
+                remaining = vocab_size - len(counts)
+                if smoothing > 0 and remaining > 0:
+                    baseline = weight * smoothing / denom
+                    distribution["__rest__"] = distribution.get("__rest__", 0.0) + baseline
+            elif smoothing > 0:
+                distribution["__rest__"] = distribution.get("__rest__", 0.0) + weight / vocab_size
+
+        rest = distribution.pop("__rest__", 0.0)
+        if rest > 0:
+            # spread the leftover mass uniformly over tokens not explicitly counted
+            uncounted = vocab_size - len(distribution)
+            if uncounted > 0:
+                share = rest  # represented implicitly; only normalisation matters
+                for token_id in range(vocab_size):
+                    if token_id not in distribution:
+                        distribution[token_id] = share / uncounted
+        total_mass = sum(distribution.values())
+        if total_mass <= 0:
+            return {token_id: 1.0 / vocab_size for token_id in range(vocab_size)}
+        return {token_id: p / total_mass for token_id, p in distribution.items()}
+
+    def token_probability(self, context_ids: Sequence[int], token_id: int) -> float:
+        """Interpolated probability of a single next token given a context.
+
+        Equivalent to ``next_token_distribution(context)[token_id]`` but
+        computed in O(order) without materialising the full distribution —
+        this is the hot path of guided (column-by-column) row sampling.
+        """
+        if not self.is_trained:
+            raise RuntimeError("the model must be fit() before querying probabilities")
+        vocab_size = len(self.tokenizer.vocabulary)
+        weights = self._interpolation_weights()
+        order = self.config.order
+        smoothing = self.config.smoothing
+
+        probability = 0.0
+        for k in range(order - 1, -1, -1):
+            context = tuple(context_ids[-k:]) if k > 0 else ()
+            if k > 0 and len(context) != k:
+                continue
+            weight = weights[order - 1 - k]
+            total = self._context_totals[k].get(context, 0)
+            denom = total + smoothing * vocab_size
+            if denom <= 0:
+                probability += weight / vocab_size
+                continue
+            counts = self._counts[k].get(context)
+            count = counts.get(token_id, 0) if counts else 0
+            if total == 0 and smoothing == 0:
+                probability += weight / vocab_size
+            else:
+                probability += weight * (count + smoothing) / denom
+        return max(probability, 1e-12)
+
+    def score_token_sequence(self, context_ids: Sequence[int], token_ids: Sequence[int]) -> float:
+        """Log probability of *token_ids* continuing *context_ids* (natural log)."""
+        context = list(context_ids)
+        log_prob = 0.0
+        for token_id in token_ids:
+            window = context[-(self.config.order - 1):] if self.config.order > 1 else []
+            log_prob += math.log(self.token_probability(window, token_id))
+            context.append(token_id)
+        return log_prob
+
+    def sequence_log_probability(self, text: str) -> float:
+        """Log probability of a sentence under the model (natural log)."""
+        token_ids = self.tokenizer.encode(text)
+        log_prob = 0.0
+        for position in range(1, len(token_ids)):
+            context = token_ids[max(0, position - self.config.order + 1):position]
+            distribution = self.next_token_distribution(context)
+            p = distribution.get(token_ids[position], 1e-12)
+            log_prob += math.log(max(p, 1e-12))
+        return log_prob
+
+    def perplexity(self, corpus: Iterable[str]) -> float:
+        """Per-token perplexity of a corpus under the model."""
+        total_log_prob = 0.0
+        total_tokens = 0
+        for sentence in corpus:
+            token_ids = self.tokenizer.encode(sentence)
+            total_tokens += max(len(token_ids) - 1, 0)
+            total_log_prob += self.sequence_log_probability(sentence)
+        if total_tokens == 0:
+            raise ValueError("cannot compute perplexity of an empty corpus")
+        return math.exp(-total_log_prob / total_tokens)
+
+    # -- generation ---------------------------------------------------------------------
+
+    def generate_ids(self, rng: random.Random, max_tokens: int = 128,
+                     temperature: float = 1.0, top_k: int | None = None,
+                     prompt_ids: Sequence[int] | None = None) -> list[int]:
+        """Sample a token-id sequence ending at ``<eos>`` or *max_tokens*."""
+        if not self.is_trained:
+            raise RuntimeError("the model must be fit() before generation")
+        vocab = self.tokenizer.vocabulary
+        generated: list[int] = [vocab.bos_id]
+        if prompt_ids:
+            generated.extend(prompt_ids)
+        for _ in range(max_tokens):
+            context = generated[-(self.config.order - 1):] if self.config.order > 1 else []
+            distribution = self.next_token_distribution(context)
+            distribution.pop(vocab.pad_id, None)
+            distribution.pop(vocab.bos_id, None)
+            token_id = _sample_from(distribution, rng, temperature=temperature, top_k=top_k)
+            if token_id == vocab.eos_id:
+                break
+            generated.append(token_id)
+        return generated[1:]
+
+    def generate(self, rng: random.Random, max_tokens: int = 128,
+                 temperature: float = 1.0, top_k: int | None = None,
+                 prompt: str | None = None) -> str:
+        """Sample a sentence (optionally continuing a prompt prefix)."""
+        prompt_ids = None
+        if prompt:
+            prompt_ids = self.tokenizer.encode(prompt, add_bos=False, add_eos=False)
+        token_ids = self.generate_ids(
+            rng, max_tokens=max_tokens, temperature=temperature, top_k=top_k,
+            prompt_ids=prompt_ids,
+        )
+        return self.tokenizer.decode(token_ids)
+
+
+def _sample_from(distribution: dict[int, float], rng: random.Random,
+                 temperature: float = 1.0, top_k: int | None = None) -> int:
+    """Sample a token id from an explicit distribution with temperature / top-k."""
+    if not distribution:
+        raise ValueError("cannot sample from an empty distribution")
+    items = list(distribution.items())
+    if top_k is not None and top_k > 0:
+        items.sort(key=lambda kv: kv[1], reverse=True)
+        items = items[:top_k]
+    if temperature <= 0:
+        return max(items, key=lambda kv: kv[1])[0]
+    weights = [p ** (1.0 / temperature) for _, p in items]
+    total = sum(weights)
+    if total <= 0:
+        return rng.choice([token_id for token_id, _ in items])
+    threshold = rng.random() * total
+    cumulative = 0.0
+    for (token_id, _), weight in zip(items, weights):
+        cumulative += weight
+        if cumulative >= threshold:
+            return token_id
+    return items[-1][0]

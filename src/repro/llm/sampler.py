@@ -1,0 +1,80 @@
+"""Sampling front-end over the language model.
+
+Separating sampling policy (temperature, top-k, retries, per-batch seeds) from
+the model itself mirrors how GReaT exposes a ``sample`` method independent of
+the fine-tuned backbone, and gives the benchmark harness one place to control
+generation hyper-parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.llm.ngram_model import NGramLanguageModel
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Generation hyper-parameters.
+
+    ``max_retries`` bounds how many candidate sentences are drawn per accepted
+    sample when a validity predicate is supplied (GReaT similarly discards
+    rows it cannot parse back into the table schema).
+    """
+
+    temperature: float = 1.0
+    top_k: int | None = 12
+    max_tokens: int = 160
+    max_retries: int = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if self.max_tokens <= 0:
+            raise ValueError("max_tokens must be positive")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+
+
+class TemperatureSampler:
+    """Draw sentences from a trained model, optionally rejecting invalid ones."""
+
+    def __init__(self, model: NGramLanguageModel, config: SamplerConfig | None = None):
+        self.model = model
+        self.config = config or SamplerConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the internal random stream (used per trial by the harness)."""
+        self._rng = random.Random(seed)
+
+    def sample_sentence(self, prompt: str | None = None) -> str:
+        """Draw a single sentence."""
+        return self.model.generate(
+            self._rng,
+            max_tokens=self.config.max_tokens,
+            temperature=self.config.temperature,
+            top_k=self.config.top_k,
+            prompt=prompt,
+        )
+
+    def sample_valid(self, is_valid: Callable[[str], bool], prompt: str | None = None) -> str | None:
+        """Draw sentences until one passes *is_valid* (or retries are exhausted).
+
+        Returns ``None`` when no valid sentence was produced, letting callers
+        decide whether to fall back (the synthesizers fall back to resampling a
+        training row, matching GReaT's behaviour of only emitting parseable
+        rows).
+        """
+        for _ in range(self.config.max_retries):
+            sentence = self.sample_sentence(prompt=prompt)
+            if is_valid(sentence):
+                return sentence
+        return None
+
+    def sample_batch(self, n: int, prompt: str | None = None) -> list[str]:
+        """Draw *n* sentences."""
+        return [self.sample_sentence(prompt=prompt) for _ in range(n)]

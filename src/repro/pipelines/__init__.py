@@ -1,0 +1,28 @@
+"""End-to-end multi-table synthesis pipelines.
+
+All three pipelines share the same skeleton (Fig. 1): extract the contextual
+parent table, prepare a child table, fit the parent/child synthesizer, sample,
+and return a synthetic flat table comparable against the original flat data.
+They differ only in how the two child tables are combined and whether the
+Data Semantic Enhancement System is applied:
+
+* :class:`DirectFlattenPipeline` — naive direct flattening of the two child
+  remainders (the paper's first baseline);
+* :class:`DERECPipeline` — two separate rounds of parent/child synthesis, one
+  per child table, combined independently (the paper's second baseline);
+* :class:`GReaTERPipeline` — the proposed method: Cross-table Connecting plus
+  optional semantic enhancement.
+"""
+
+from repro.pipelines.config import PipelineConfig, SynthesisResult
+from repro.pipelines.flatten_baseline import DirectFlattenPipeline
+from repro.pipelines.derec import DERECPipeline
+from repro.pipelines.greater import GReaTERPipeline
+
+__all__ = [
+    "PipelineConfig",
+    "SynthesisResult",
+    "GReaTERPipeline",
+    "DERECPipeline",
+    "DirectFlattenPipeline",
+]

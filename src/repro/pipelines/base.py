@@ -1,0 +1,120 @@
+"""Shared pipeline skeleton.
+
+Every pipeline starts the same way (Fig. 1, step 1): drop the columns the
+harness excludes (e.g. the trial-splitting ``task_id``), remove the
+pseudo-identifier columns whose association scores are misleading
+(Sec. 4.1.2), detect the contextual variables in both child tables, and
+extract a single merged parent table.  What differs between pipelines is only
+how the two child remainders are turned into the child table the parent/child
+synthesizer is trained on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.connecting.flatten import direct_flatten
+from repro.connecting.preprocessing import DIGIX_NOISY_COLUMNS
+from repro.enhancement.enhancer import DataSemanticEnhancer
+from repro.frame.ops import left_join
+from repro.frame.table import Table
+from repro.pipelines.config import PipelineConfig, SynthesisResult
+from repro.relational.contextual import (
+    ContextualVariableDetector,
+    extract_parent_table,
+    merge_contextual_parents,
+)
+from repro.relational.parent_child import ParentChildSynthesizer
+
+
+@dataclass
+class PreparedTables:
+    """Output of the shared preparation stage."""
+
+    parent: Table
+    first_child: Table
+    second_child: Table
+    original_flat: Table
+    subject_column: str
+
+
+class MultiTablePipeline:
+    """Base class: preparation, enhancement plumbing and evaluation reference."""
+
+    #: subclasses set this to the label used in reports
+    name = "base"
+
+    def __init__(self, config: PipelineConfig | None = None):
+        self.config = config or PipelineConfig()
+
+    # -- preparation ---------------------------------------------------------------------
+
+    def _drop_excluded(self, table: Table) -> Table:
+        subject = self.config.subject_column
+        to_drop = [
+            name for name in table.column_names
+            if name != subject and (
+                name in self.config.drop_columns or name in DIGIX_NOISY_COLUMNS
+            )
+        ]
+        return table.drop(to_drop) if to_drop else table
+
+    def prepare(self, first: Table, second: Table) -> PreparedTables:
+        """Clean both child tables, extract the merged contextual parent, and
+        build the flat original reference used by the fidelity evaluation."""
+        subject = self.config.subject_column
+        first = self._drop_excluded(first)
+        second = self._drop_excluded(second)
+
+        detector = ContextualVariableDetector(self.config.contextual_consistency)
+        first_split = extract_parent_table(first, subject, detector=detector)
+        second_split = extract_parent_table(second, subject, detector=detector)
+        parent = merge_contextual_parents(first_split, second_split)
+
+        flat_children = direct_flatten(first_split.child, second_split.child, subject)
+        original_flat = left_join(flat_children, parent, on=subject)
+        original_flat = original_flat.drop(subject)
+
+        return PreparedTables(
+            parent=parent,
+            first_child=first_split.child,
+            second_child=second_split.child,
+            original_flat=original_flat,
+            subject_column=subject,
+        )
+
+    # -- enhancement plumbing -------------------------------------------------------------
+
+    def _build_enhancer(self) -> DataSemanticEnhancer:
+        return DataSemanticEnhancer(self.config.enhancer)
+
+    def _enhance(self, enhancer: DataSemanticEnhancer, reference: Table,
+                 parent: Table, child: Table) -> tuple[Table, Table]:
+        """Fit the mapping on the flat reference and enhance parent and child."""
+        enhancer.fit_transform(reference)
+        return enhancer.transform(parent), enhancer.transform(child)
+
+    # -- synthesis plumbing -------------------------------------------------------------
+
+    def _fit_and_sample(self, parent: Table, child: Table, subject: str,
+                        n_subjects: int | None) -> tuple[Table, Table, Table]:
+        """Fit the parent/child synthesizer and sample a synthetic flat view."""
+        synthesizer = ParentChildSynthesizer(self.config.parent_child())
+        synthesizer.fit(parent, child, subject)
+        n = n_subjects if n_subjects is not None else parent.num_rows
+        synthetic_parent, synthetic_child = synthesizer.sample(n, seed=self.config.seed)
+        synthetic_flat = synthesizer.sample_flat(n, seed=self.config.seed)
+        return synthetic_parent, synthetic_child, synthetic_flat
+
+    # -- public API -----------------------------------------------------------------------
+
+    def run(self, first: Table, second: Table) -> SynthesisResult:
+        """Prepare, synthesize and return a :class:`SynthesisResult`.
+
+        Subclasses implement :meth:`_run_prepared`.
+        """
+        prepared = self.prepare(first, second)
+        return self._run_prepared(prepared)
+
+    def _run_prepared(self, prepared: PreparedTables) -> SynthesisResult:
+        raise NotImplementedError

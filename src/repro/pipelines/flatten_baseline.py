@@ -1,0 +1,58 @@
+"""Direct-flattening baseline (the paper's first benchmark).
+
+The two child remainders are fused by plain flattening on the subject key —
+no independence handling, no dimension reduction — and the parent/child
+synthesizer is trained on the result.  Engaged subjects dominate the training
+corpus and the flattened sentences are long, which is exactly the noise the
+Cross-table Connecting Method removes.
+"""
+
+from __future__ import annotations
+
+from repro.connecting.flatten import direct_flatten, flattening_report
+from repro.pipelines.base import MultiTablePipeline, PreparedTables
+from repro.pipelines.config import SynthesisResult
+
+
+class DirectFlattenPipeline(MultiTablePipeline):
+    """Parent/child synthesis on the directly flattened child tables."""
+
+    name = "direct_flatten"
+
+    def _run_prepared(self, prepared: PreparedTables) -> SynthesisResult:
+        subject = prepared.subject_column
+
+        flattened_child = direct_flatten(prepared.first_child, prepared.second_child, subject)
+        report = flattening_report(
+            prepared.first_child, prepared.second_child, flattened_child, subject
+        )
+
+        enhancer = self._build_enhancer()
+        enhanced_parent, enhanced_child = self._enhance(
+            enhancer, prepared.original_flat, prepared.parent, flattened_child
+        )
+
+        synthetic_parent, synthetic_child, synthetic_flat = self._fit_and_sample(
+            enhanced_parent, enhanced_child, subject, self.config.n_synthetic_subjects
+        )
+
+        synthetic_flat = enhancer.inverse_transform(synthetic_flat)
+        synthetic_parent = enhancer.inverse_transform(synthetic_parent)
+        synthetic_child = enhancer.inverse_transform(synthetic_child)
+        if subject in synthetic_flat.column_names:
+            synthetic_flat = synthetic_flat.drop(subject)
+
+        details = {
+            "rows_flattened": report.rows_flattened,
+            "max_subject_share": report.max_subject_share,
+            "engagement_ratio": report.engagement_ratio,
+            "semantic_level": self.config.enhancer.semantic_level,
+        }
+        return SynthesisResult(
+            synthetic_flat=synthetic_flat,
+            original_flat=prepared.original_flat,
+            synthetic_parent=synthetic_parent,
+            synthetic_child=synthetic_child,
+            pipeline_name=self.name,
+            details=details,
+        )

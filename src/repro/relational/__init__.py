@@ -1,0 +1,26 @@
+"""Relational (multi-table) substrate.
+
+Implements the parent/child machinery the paper builds on:
+
+* contextual-variable detection and parent-table extraction (Appendix A.1/A.2,
+  DEREC step 1) — columns whose value is constant within each subject are
+  pulled out into a one-row-per-subject parent table;
+* a REaLTabFormer-style parent/child synthesizer — a parent-table synthesizer
+  plus a child-table synthesizer conditioned on the sampled parent
+  observation, both backed by the same LM substrate as GReaT.
+"""
+
+from repro.relational.contextual import (
+    ContextualVariableDetector,
+    ParentChildSplit,
+    extract_parent_table,
+)
+from repro.relational.parent_child import ParentChildConfig, ParentChildSynthesizer
+
+__all__ = [
+    "ContextualVariableDetector",
+    "ParentChildSplit",
+    "extract_parent_table",
+    "ParentChildSynthesizer",
+    "ParentChildConfig",
+]

@@ -1,0 +1,167 @@
+"""Contextual-variable detection and parent-table extraction.
+
+Appendix A.2 of the paper: a column is *contextual* when, for at least a
+fraction ``m`` of the subjects, its value is constant across all of that
+subject's observations (gender and birth date in the visit-logbook example of
+Fig. 11/12).  Contextual columns are extracted into a parent table with one
+row per subject; the remaining columns stay in the child table together with
+the subject key.  This is step (1) of the GReaTER overview (Fig. 1) and the
+first stage of the DEREC pipeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.frame.errors import ColumnNotFoundError
+from repro.frame.table import Table
+
+
+@dataclass(frozen=True)
+class ParentChildSplit:
+    """Result of extracting the contextual parent table from a child table."""
+
+    parent: Table
+    child: Table
+    subject_column: str
+    contextual_columns: tuple[str, ...]
+
+
+@dataclass
+class ContextualVariableDetector:
+    """Find columns whose value is constant within (almost) every subject.
+
+    Parameters
+    ----------
+    consistency_threshold:
+        The fraction ``m`` of subjects that must have a single value in the
+        column for it to count as contextual.  The paper notes ``m < 100%``
+        to allow for "realistic exceptional cases and measurement error".
+    """
+
+    consistency_threshold: float = 0.95
+
+    def __post_init__(self):
+        if not 0.0 < self.consistency_threshold <= 1.0:
+            raise ValueError("consistency_threshold must be in (0, 1]")
+
+    def column_consistency(self, table: Table, subject_column: str, column: str) -> float:
+        """Fraction of subjects for which *column* has a single value."""
+        if subject_column not in table.column_names:
+            raise ColumnNotFoundError(subject_column, table.column_names)
+        if column not in table.column_names:
+            raise ColumnNotFoundError(column, table.column_names)
+        groups = table.group_indices(subject_column)
+        if not groups:
+            return 0.0
+        values = table.column(column)
+        consistent = 0
+        for indices in groups.values():
+            distinct = {values[i] for i in indices}
+            if len(distinct) <= 1:
+                consistent += 1
+        return consistent / len(groups)
+
+    def contextual_columns(self, table: Table, subject_column: str) -> list[str]:
+        """All non-key columns whose per-subject consistency passes the threshold."""
+        names = [name for name in table.column_names if name != subject_column]
+        return [
+            name for name in names
+            if self.column_consistency(table, subject_column, name) >= self.consistency_threshold
+        ]
+
+
+def _modal_value(values: list):
+    """Most frequent non-missing value (ties broken by first occurrence)."""
+    non_missing = [v for v in values if v is not None]
+    if not non_missing:
+        return None
+    counts = Counter(non_missing)
+    best_count = max(counts.values())
+    for value in non_missing:
+        if counts[value] == best_count:
+            return value
+    return non_missing[0]
+
+
+def extract_parent_table(table: Table, subject_column: str,
+                         detector: ContextualVariableDetector | None = None,
+                         contextual_columns: list[str] | None = None) -> ParentChildSplit:
+    """Split a child table into a contextual parent table and the remaining child.
+
+    The parent has one row per subject, holding the subject key and each
+    contextual column's per-subject value (modal value when a subject has the
+    occasional inconsistent observation).  The child keeps the subject key and
+    every non-contextual column.
+    """
+    detector = detector or ContextualVariableDetector()
+    if contextual_columns is None:
+        contextual_columns = detector.contextual_columns(table, subject_column)
+    else:
+        for name in contextual_columns:
+            if name not in table.column_names:
+                raise ColumnNotFoundError(name, table.column_names)
+        contextual_columns = [name for name in contextual_columns if name != subject_column]
+
+    groups = table.group_indices(subject_column)
+    parent_records = []
+    for subject, indices in groups.items():
+        record = {subject_column: subject}
+        for name in contextual_columns:
+            column = table.column(name)
+            record[name] = _modal_value([column[i] for i in indices])
+        parent_records.append(record)
+    parent = Table.from_records(parent_records, columns=[subject_column] + list(contextual_columns))
+
+    child_columns = [subject_column] + [
+        name for name in table.column_names
+        if name != subject_column and name not in set(contextual_columns)
+    ]
+    child = table.select(child_columns)
+    return ParentChildSplit(
+        parent=parent,
+        child=child,
+        subject_column=subject_column,
+        contextual_columns=tuple(contextual_columns),
+    )
+
+
+def merge_contextual_parents(first: ParentChildSplit, second: ParentChildSplit) -> Table:
+    """Union of two parent tables that share the subject column.
+
+    GReaTER extracts a single parent from the contextual variables of *both*
+    child tables (Fig. 1, step 1); when both tables contribute contextual
+    columns for the same subjects this merges them into one parent table.
+    """
+    if first.subject_column != second.subject_column:
+        raise ValueError(
+            "parents use different subject columns: {!r} vs {!r}".format(
+                first.subject_column, second.subject_column
+            )
+        )
+    subject = first.subject_column
+    second_by_subject = {row[subject]: row for row in second.parent.iter_rows()}
+    extra_columns = [name for name in second.parent.column_names
+                     if name != subject and name not in first.parent.column_names]
+    records = []
+    subjects_seen = set()
+    for row in first.parent.iter_rows():
+        record = dict(row)
+        other = second_by_subject.get(row[subject], {})
+        for name in extra_columns:
+            record[name] = other.get(name)
+        records.append(record)
+        subjects_seen.add(row[subject])
+    for row in second.parent.iter_rows():
+        if row[subject] in subjects_seen:
+            continue
+        record = {subject: row[subject]}
+        for name in first.parent.column_names:
+            if name != subject:
+                record[name] = None
+        for name in extra_columns:
+            record[name] = row.get(name)
+        records.append(record)
+    columns = list(first.parent.column_names) + extra_columns
+    return Table.from_records(records, columns=columns)

@@ -1,0 +1,159 @@
+"""REaLTabFormer-style parent/child synthesizer.
+
+Two coupled synthesizers: the parent synthesizer learns the one-row-per-subject
+parent table; the child synthesizer learns the child table *conditioned on* the
+parent observation (the parent columns are prepended to the child row in the
+textual encoding, and at sampling time they form the generation prompt).  The
+paper instantiates two ``realtabformer`` objects with 10 epochs and 5 batches
+(Sec. 4.1.4); this class exposes the same pair with the same hyper-parameters
+on the offline LM substrate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.frame.errors import ColumnNotFoundError
+from repro.frame.ops import value_counts
+from repro.frame.table import Table
+from repro.great.synthesizer import GReaTConfig, GReaTSynthesizer
+
+
+@dataclass(frozen=True)
+class ParentChildConfig:
+    """Hyper-parameters of the parent/child synthesizer pair.
+
+    ``children_per_parent`` controls how many child rows are generated per
+    sampled parent row; ``"match"`` (the default) reproduces the empirical
+    distribution of children-per-subject observed at fit time, an integer uses
+    a fixed count.
+    """
+
+    parent: GReaTConfig = field(default_factory=GReaTConfig)
+    child: GReaTConfig = field(default_factory=GReaTConfig)
+    children_per_parent: int | str = "match"
+    seed: int = 0
+
+    def __post_init__(self):
+        if isinstance(self.children_per_parent, str):
+            if self.children_per_parent != "match":
+                raise ValueError("children_per_parent must be an integer or 'match'")
+        elif self.children_per_parent < 1:
+            raise ValueError("children_per_parent must be at least 1")
+
+
+class ParentChildSynthesizer:
+    """Fit on a (parent, child) pair of tables; sample a synthetic pair."""
+
+    def __init__(self, config: ParentChildConfig | None = None):
+        self.config = config or ParentChildConfig()
+        self._parent_synth = GReaTSynthesizer(self.config.parent)
+        self._child_synth = GReaTSynthesizer(self.config.child)
+        self._subject_column: str | None = None
+        self._parent_columns: list[str] = []
+        self._child_columns: list[str] = []
+        self._children_per_subject: list[int] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._subject_column is not None
+
+    def fit(self, parent: Table, child: Table, subject_column: str) -> "ParentChildSynthesizer":
+        """Fit the parent synthesizer on *parent* and the child synthesizer on
+        the child rows augmented with their parent's columns."""
+        if subject_column not in parent.column_names:
+            raise ColumnNotFoundError(subject_column, parent.column_names)
+        if subject_column not in child.column_names:
+            raise ColumnNotFoundError(subject_column, child.column_names)
+
+        self._subject_column = subject_column
+        self._parent_columns = list(parent.column_names)
+        self._child_columns = [name for name in child.column_names if name != subject_column]
+
+        # record the empirical children-per-subject distribution for sampling
+        counts = value_counts(child, subject_column)
+        self._children_per_subject = list(counts.values()) or [1]
+
+        self._parent_synth.fit(parent)
+
+        # child training rows carry the parent columns as conditioning context
+        parent_by_subject = {row[subject_column]: row for row in parent.iter_rows()}
+        conditioned_records = []
+        for row in child.iter_rows():
+            parent_row = parent_by_subject.get(row[subject_column])
+            if parent_row is None:
+                continue
+            record = dict(parent_row)
+            for name in self._child_columns:
+                record[name] = row[name]
+            conditioned_records.append(record)
+        if not conditioned_records:
+            raise ValueError("no child rows reference a parent subject; cannot fit")
+        conditioned = Table.from_records(
+            conditioned_records, columns=self._parent_columns + self._child_columns
+        )
+        self._child_synth.fit(conditioned)
+        return self
+
+    def _require_fitted(self):
+        if not self.is_fitted:
+            raise RuntimeError("call fit() before sampling")
+
+    def sample(self, n_parents: int, seed: int | None = None) -> tuple[Table, Table]:
+        """Sample *n_parents* parent rows and their conditioned child rows.
+
+        Returns ``(parent_table, child_table)``; the child table repeats each
+        synthetic subject's key on every generated child row, reproducing the
+        one-to-many structure of the training data.
+        """
+        self._require_fitted()
+        if n_parents <= 0:
+            raise ValueError("n_parents must be positive")
+        seed = self.config.seed if seed is None else seed
+        rng = random.Random(seed)
+
+        parent_table = self._parent_synth.sample(n_parents, seed=seed)
+        # synthetic subjects get fresh unique keys so child rows can reference them
+        synthetic_subjects = ["synthetic_subject_{}".format(i) for i in range(n_parents)]
+        parent_table = parent_table.with_column(self._subject_column, synthetic_subjects)
+
+        child_records = []
+        for index, parent_row in enumerate(parent_table.iter_rows()):
+            n_children = self._draw_children_count(rng)
+            prompt = {name: parent_row[name] for name in self._parent_columns
+                      if name != self._subject_column}
+            prompts = [prompt] * n_children
+            generated = self._child_synth.sample_conditional(prompts, seed=seed + index + 1)
+            for row in generated.iter_rows():
+                record = {self._subject_column: parent_row[self._subject_column]}
+                for name in self._child_columns:
+                    record[name] = row[name]
+                child_records.append(record)
+        child_table = Table.from_records(
+            child_records, columns=[self._subject_column] + self._child_columns
+        )
+        return parent_table, child_table
+
+    def sample_flat(self, n_parents: int, seed: int | None = None) -> Table:
+        """Sample and return the child table joined with its parent columns.
+
+        This flat view (every child row carrying its parent's contextual
+        columns) is what the fidelity evaluation compares against the original
+        flat data.
+        """
+        parent_table, child_table = self.sample(n_parents, seed=seed)
+        parent_by_subject = {row[self._subject_column]: row for row in parent_table.iter_rows()}
+        records = []
+        for row in child_table.iter_rows():
+            parent_row = parent_by_subject[row[self._subject_column]]
+            record = dict(parent_row)
+            for name in self._child_columns:
+                record[name] = row[name]
+            records.append(record)
+        return Table.from_records(records, columns=self._parent_columns + self._child_columns)
+
+    def _draw_children_count(self, rng: random.Random) -> int:
+        if isinstance(self.config.children_per_parent, int):
+            return self.config.children_per_parent
+        return rng.choice(self._children_per_subject)

@@ -1,0 +1,63 @@
+"""Statistical toolkit used across the GReaTER pipeline and its evaluation.
+
+Everything the paper's preprocessing and evaluation rely on lives here:
+
+* association measures — Pearson correlation, Cramer's V (Sec. 4.1.2) and the
+  pairwise association matrix used to decide column independence;
+* goodness-of-fit tests — the Kolmogorov-Smirnov test whose p-value is the
+  paper's primary fidelity score, plus the chi-square and Fisher's exact tests
+  named as alternatives in Sec. 3.3.1;
+* distances — the Wasserstein distance (the paper's secondary fidelity score);
+* agglomerative hierarchical clustering — the second independence-detection
+  method of Sec. 3.3.1.
+"""
+
+from repro.stats.correlation import (
+    association_matrix,
+    cramers_v,
+    pairwise_matrix,
+    pearson_correlation,
+)
+from repro.stats.clustering import (
+    AgglomerativeClustering,
+    ClusterNode,
+    fcluster_by_distance,
+    fcluster_by_count,
+)
+from repro.stats.distance import (
+    total_variation_distance,
+    wasserstein_distance,
+    wasserstein_from_samples,
+)
+from repro.stats.histogram import (
+    empirical_cdf,
+    categorical_distribution,
+    normalized_histogram,
+)
+from repro.stats.tests import (
+    TestResult,
+    chi_square_test,
+    fisher_exact_test,
+    ks_two_sample_test,
+)
+
+__all__ = [
+    "pearson_correlation",
+    "cramers_v",
+    "association_matrix",
+    "pairwise_matrix",
+    "AgglomerativeClustering",
+    "ClusterNode",
+    "fcluster_by_distance",
+    "fcluster_by_count",
+    "wasserstein_distance",
+    "wasserstein_from_samples",
+    "total_variation_distance",
+    "empirical_cdf",
+    "categorical_distribution",
+    "normalized_histogram",
+    "TestResult",
+    "ks_two_sample_test",
+    "chi_square_test",
+    "fisher_exact_test",
+]

@@ -1,0 +1,187 @@
+"""Agglomerative hierarchical clustering.
+
+The second independence-detection method of the Cross-table Connecting Method
+(Sec. 3.3.1) separates features "into different subgroups based on their
+average pairwise Euclidean distance" — i.e. average-linkage agglomerative
+clustering on the column dissimilarity matrix.  Implemented from scratch so
+the whole pipeline runs without scipy's cluster module; scipy is used only by
+the test-suite as a cross-check.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+LINKAGES = ("average", "single", "complete")
+
+
+@dataclass
+class ClusterNode:
+    """A node of the dendrogram.
+
+    Leaves have ``left is None and right is None`` and carry a single original
+    item index; merged nodes carry the merge height (cophenetic distance).
+    """
+
+    node_id: int
+    members: tuple[int, ...]
+    height: float = 0.0
+    left: "ClusterNode | None" = None
+    right: "ClusterNode | None" = None
+
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+
+@dataclass
+class AgglomerativeClustering:
+    """Bottom-up hierarchical clustering over a precomputed distance matrix.
+
+    Parameters
+    ----------
+    linkage:
+        How the distance between two clusters is derived from the pairwise
+        item distances: ``"average"`` (the paper's choice), ``"single"`` or
+        ``"complete"``.
+    """
+
+    linkage: str = "average"
+    merges_: list[tuple[int, int, float]] = field(default_factory=list, init=False)
+    root_: ClusterNode | None = field(default=None, init=False)
+    n_items_: int = field(default=0, init=False)
+
+    def __post_init__(self):
+        if self.linkage not in LINKAGES:
+            raise ValueError("linkage must be one of {}, got {!r}".format(LINKAGES, self.linkage))
+
+    # -- fitting -------------------------------------------------------------------
+
+    def fit(self, distance_matrix: np.ndarray) -> "AgglomerativeClustering":
+        """Build the dendrogram from a symmetric pairwise distance matrix."""
+        distances = np.asarray(distance_matrix, dtype=float)
+        if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+            raise ValueError("distance matrix must be square")
+        if not np.allclose(distances, distances.T, atol=1e-9):
+            raise ValueError("distance matrix must be symmetric")
+        n = distances.shape[0]
+        if n == 0:
+            raise ValueError("cannot cluster zero items")
+        self.n_items_ = n
+        self.merges_ = []
+
+        nodes = {i: ClusterNode(node_id=i, members=(i,)) for i in range(n)}
+        active = set(range(n))
+        # cluster-to-cluster distance bookkeeping; start from item distances
+        cluster_distance = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                cluster_distance[(i, j)] = float(distances[i, j])
+
+        next_id = n
+        while len(active) > 1:
+            # find the closest pair of active clusters
+            best_pair = None
+            best_distance = np.inf
+            for i in sorted(active):
+                for j in sorted(active):
+                    if j <= i:
+                        continue
+                    d = cluster_distance[(i, j)]
+                    if d < best_distance:
+                        best_distance = d
+                        best_pair = (i, j)
+            i, j = best_pair
+            merged_members = tuple(sorted(nodes[i].members + nodes[j].members))
+            merged = ClusterNode(
+                node_id=next_id,
+                members=merged_members,
+                height=best_distance,
+                left=nodes[i],
+                right=nodes[j],
+            )
+            self.merges_.append((i, j, best_distance))
+            nodes[next_id] = merged
+            active.discard(i)
+            active.discard(j)
+
+            # update distances from the new cluster to every other active cluster
+            for k in sorted(active):
+                d = self._linkage_distance(distances, merged_members, nodes[k].members)
+                key = (min(k, next_id), max(k, next_id))
+                cluster_distance[key] = d
+            active.add(next_id)
+            next_id += 1
+
+        self.root_ = nodes[next(iter(active))]
+        return self
+
+    def _linkage_distance(self, distances: np.ndarray, members_a: Sequence[int],
+                          members_b: Sequence[int]) -> float:
+        block = distances[np.ix_(list(members_a), list(members_b))]
+        if self.linkage == "average":
+            return float(block.mean())
+        if self.linkage == "single":
+            return float(block.min())
+        return float(block.max())
+
+    # -- flat cluster extraction -----------------------------------------------------
+
+    def _require_fitted(self):
+        if self.root_ is None:
+            raise RuntimeError("call fit() before extracting clusters")
+
+    def clusters_at_distance(self, threshold: float) -> list[list[int]]:
+        """Cut the dendrogram so no merge above *threshold* is applied.
+
+        Returns a partition of the original item indices; items whose nearest
+        neighbours are all farther than the threshold end up as singletons —
+        exactly the "independent column" notion of Sec. 3.3.1.
+        """
+        self._require_fitted()
+        clusters: list[list[int]] = []
+
+        def collect(node: ClusterNode):
+            if node.is_leaf() or node.height <= threshold:
+                clusters.append(sorted(node.members))
+                return
+            collect(node.left)
+            collect(node.right)
+
+        collect(self.root_)
+        return sorted(clusters)
+
+    def clusters_by_count(self, n_clusters: int) -> list[list[int]]:
+        """Cut the dendrogram into exactly *n_clusters* flat clusters."""
+        self._require_fitted()
+        if not 1 <= n_clusters <= self.n_items_:
+            raise ValueError(
+                "n_clusters must be between 1 and {}, got {}".format(self.n_items_, n_clusters)
+            )
+        # undo the last (n_clusters - 1) merges
+        frontier = [self.root_]
+        while len(frontier) < n_clusters:
+            # split the node with the largest merge height
+            splittable = [node for node in frontier if not node.is_leaf()]
+            if not splittable:
+                break
+            node = max(splittable, key=lambda nd: nd.height)
+            frontier.remove(node)
+            frontier.extend([node.left, node.right])
+        return sorted(sorted(node.members) for node in frontier)
+
+
+def fcluster_by_distance(distance_matrix: np.ndarray, threshold: float,
+                         linkage: str = "average") -> list[list[int]]:
+    """One-shot convenience: fit and cut the dendrogram at a distance threshold."""
+    model = AgglomerativeClustering(linkage=linkage).fit(distance_matrix)
+    return model.clusters_at_distance(threshold)
+
+
+def fcluster_by_count(distance_matrix: np.ndarray, n_clusters: int,
+                      linkage: str = "average") -> list[list[int]]:
+    """One-shot convenience: fit and cut the dendrogram into *n_clusters* groups."""
+    model = AgglomerativeClustering(linkage=linkage).fit(distance_matrix)
+    return model.clusters_by_count(n_clusters)

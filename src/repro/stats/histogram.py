@@ -1,0 +1,45 @@
+"""Empirical distributions and histograms.
+
+Small helpers shared by the fidelity metrics and the dataset generator.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def empirical_cdf(sample: Sequence[float]):
+    """Return a callable empirical CDF of a one-dimensional sample."""
+    values = np.sort(np.asarray([float(v) for v in sample], dtype=float))
+    if values.size == 0:
+        raise ValueError("cannot build a CDF from an empty sample")
+
+    def cdf(x: float) -> float:
+        return float(np.searchsorted(values, x, side="right")) / values.size
+
+    return cdf
+
+
+def categorical_distribution(values: Sequence, normalize: bool = True) -> "OrderedDict":
+    """Frequency distribution of a categorical sample, most frequent first."""
+    counter = Counter(v for v in values if v is not None)
+    total = sum(counter.values())
+    ordered = OrderedDict(counter.most_common())
+    if normalize and total > 0:
+        return OrderedDict((k, v / total) for k, v in ordered.items())
+    return ordered
+
+
+def normalized_histogram(sample: Sequence[float], bins: int = 10,
+                         value_range: tuple[float, float] | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Normalised histogram (probabilities summing to 1) and its bin edges."""
+    values = np.asarray([float(v) for v in sample], dtype=float)
+    if values.size == 0:
+        raise ValueError("cannot build a histogram from an empty sample")
+    counts, edges = np.histogram(values, bins=bins, range=value_range)
+    total = counts.sum()
+    probabilities = counts / total if total > 0 else counts.astype(float)
+    return probabilities, edges

@@ -1,0 +1,208 @@
+"""Goodness-of-fit and independence tests.
+
+The paper's primary fidelity score is the p-value of the two-sample
+Kolmogorov-Smirnov test between conditional distributions of original and
+synthetic data (Sec. 4.1.3); the chi-square and Fisher's exact tests are the
+alternative independence tests mentioned in Sec. 3.3.1.  All three are
+implemented here from first principles (scipy is only used by the test-suite
+to cross-check the implementations).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of a statistical test."""
+
+    statistic: float
+    p_value: float
+    test_name: str
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the null hypothesis is rejected at level *alpha*."""
+        return self.p_value < alpha
+
+
+# ---------------------------------------------------------------------------
+# Kolmogorov-Smirnov two-sample test
+# ---------------------------------------------------------------------------
+
+def _ks_statistic(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Maximum absolute difference between the two empirical CDFs."""
+    all_points = np.concatenate([sample_a, sample_b])
+    all_points.sort(kind="mergesort")
+    cdf_a = np.searchsorted(np.sort(sample_a), all_points, side="right") / sample_a.size
+    cdf_b = np.searchsorted(np.sort(sample_b), all_points, side="right") / sample_b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def _ks_p_value(statistic: float, n: int, m: int) -> float:
+    """Asymptotic two-sided p-value of the two-sample KS statistic.
+
+    Uses the Kolmogorov distribution approximation
+    ``Q(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)`` with the
+    standard effective-sample-size correction.
+    """
+    if n <= 0 or m <= 0:
+        raise ValueError("both samples must be non-empty")
+    en = n * m / (n + m)
+    lam = (math.sqrt(en) + 0.12 + 0.11 / math.sqrt(en)) * statistic
+    if lam <= 0:
+        return 1.0
+    total = 0.0
+    for k in range(1, 101):
+        term = 2.0 * (-1.0) ** (k - 1) * math.exp(-2.0 * k * k * lam * lam)
+        total += term
+        if abs(term) < 1e-12:
+            break
+    return float(min(max(total, 0.0), 1.0))
+
+
+def ks_two_sample_test(sample_a: Sequence[float], sample_b: Sequence[float]) -> TestResult:
+    """Two-sample Kolmogorov-Smirnov goodness-of-fit test.
+
+    Both samples are treated as draws from unknown one-dimensional
+    distributions; categorical data should be mapped to a shared numeric
+    codebook first (see :func:`repro.evaluation.fidelity.encode_categories`).
+    """
+    a = np.asarray([float(v) for v in sample_a], dtype=float)
+    b = np.asarray([float(v) for v in sample_b], dtype=float)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("KS test requires two non-empty samples")
+    statistic = _ks_statistic(a, b)
+    p_value = _ks_p_value(statistic, a.size, b.size)
+    return TestResult(statistic=statistic, p_value=p_value, test_name="ks_two_sample")
+
+
+# ---------------------------------------------------------------------------
+# Chi-square test of independence
+# ---------------------------------------------------------------------------
+
+def _regularized_upper_gamma(s: float, x: float) -> float:
+    """Regularized upper incomplete gamma function Q(s, x).
+
+    Series expansion for ``x < s + 1`` and continued fraction otherwise
+    (Numerical Recipes style); accurate enough for p-value computation.
+    """
+    if x < 0 or s <= 0:
+        raise ValueError("invalid arguments to the incomplete gamma function")
+    if x == 0:
+        return 1.0
+    if x < s + 1.0:
+        # lower series, then complement
+        term = 1.0 / s
+        total = term
+        a = s
+        for _ in range(500):
+            a += 1.0
+            term *= x / a
+            total += term
+            if abs(term) < abs(total) * 1e-14:
+                break
+        lower = total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+        return float(min(max(1.0 - lower, 0.0), 1.0))
+    # continued fraction for the upper function
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for i in range(1, 500):
+        an = -i * (i - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-14:
+            break
+    upper = math.exp(-x + s * math.log(x) - math.lgamma(s)) * h
+    return float(min(max(upper, 0.0), 1.0))
+
+
+def chi_square_p_value(statistic: float, dof: int) -> float:
+    """Survival function of the chi-square distribution with *dof* degrees."""
+    if dof <= 0:
+        raise ValueError("degrees of freedom must be positive")
+    if statistic <= 0:
+        return 1.0
+    return _regularized_upper_gamma(dof / 2.0, statistic / 2.0)
+
+
+def chi_square_test(contingency: np.ndarray) -> TestResult:
+    """Pearson chi-square test of independence on a contingency table."""
+    observed = np.asarray(contingency, dtype=float)
+    if observed.ndim != 2 or observed.shape[0] < 2 or observed.shape[1] < 2:
+        raise ValueError("chi-square test requires an r x k contingency table with r, k >= 2")
+    n = observed.sum()
+    if n <= 0:
+        raise ValueError("contingency table must contain at least one observation")
+    row_totals = observed.sum(axis=1, keepdims=True)
+    col_totals = observed.sum(axis=0, keepdims=True)
+    expected = row_totals @ col_totals / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(expected > 0, (observed - expected) ** 2 / expected, 0.0)
+    statistic = float(terms.sum())
+    dof = (observed.shape[0] - 1) * (observed.shape[1] - 1)
+    return TestResult(statistic=statistic, p_value=chi_square_p_value(statistic, dof),
+                      test_name="chi_square")
+
+
+# ---------------------------------------------------------------------------
+# Fisher's exact test (2x2)
+# ---------------------------------------------------------------------------
+
+def _log_binom(n: int, k: int) -> float:
+    return math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+
+
+def fisher_exact_test(contingency: np.ndarray) -> TestResult:
+    """Fisher's exact test (two-sided) on a 2x2 contingency table.
+
+    Enumerates the hypergeometric distribution of the top-left cell given the
+    margins and sums the probabilities of tables at least as extreme as the
+    observed one.  The statistic reported is the odds ratio.
+    """
+    observed = np.asarray(contingency, dtype=float)
+    if observed.shape != (2, 2):
+        raise ValueError("Fisher's exact test requires a 2x2 table")
+    a, b = observed[0]
+    c, d = observed[1]
+    if min(a, b, c, d) < 0:
+        raise ValueError("contingency counts must be non-negative")
+    a, b, c, d = int(round(a)), int(round(b)), int(round(c)), int(round(d))
+    n = a + b + c + d
+    if n == 0:
+        raise ValueError("contingency table must contain at least one observation")
+
+    row1 = a + b
+    col1 = a + c
+
+    def log_prob(x: int) -> float:
+        return (_log_binom(row1, x) + _log_binom(n - row1, col1 - x) - _log_binom(n, col1))
+
+    lo = max(0, col1 - (n - row1))
+    hi = min(row1, col1)
+    observed_lp = log_prob(a)
+    p_value = 0.0
+    for x in range(lo, hi + 1):
+        lp = log_prob(x)
+        if lp <= observed_lp + 1e-12:
+            p_value += math.exp(lp)
+    odds_ratio = math.inf if b * c == 0 and a * d > 0 else (
+        0.0 if a * d == 0 else (a * d) / (b * c)
+    )
+    return TestResult(statistic=float(odds_ratio), p_value=float(min(p_value, 1.0)),
+                      test_name="fisher_exact")

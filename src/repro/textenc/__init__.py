@@ -1,0 +1,21 @@
+"""GReaT-style textual encoding of table rows.
+
+The textual encoder turns a row ``{"Name": "Grace", "Lunch": 1, ...}`` into
+the sentence ``"Name: Grace, Lunch: 1, ..."`` (Fig. 2), optionally permuting
+the feature order per row as the original GReaT does to remove positional
+bias.  The decoder parses generated sentences back into rows against a known
+schema, rejecting sentences that do not cover the schema or contain values of
+the wrong type.
+"""
+
+from repro.textenc.encoder import EncoderConfig, TextualEncoder
+from repro.textenc.decoder import DecodeError, TextualDecoder
+from repro.textenc.corpus import CorpusBuilder
+
+__all__ = [
+    "TextualEncoder",
+    "EncoderConfig",
+    "TextualDecoder",
+    "DecodeError",
+    "CorpusBuilder",
+]

@@ -1,0 +1,49 @@
+"""Corpus construction for fine-tuning.
+
+A thin orchestration layer: given a table, produce the textual-encoded corpus
+(optionally with several permutation passes, which is GReaT's data
+augmentation) and keep the matching decoder so synthetic sentences can be
+parsed back against the same schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frame.table import Table
+from repro.textenc.decoder import TextualDecoder
+from repro.textenc.encoder import EncoderConfig, TextualEncoder
+
+
+@dataclass
+class CorpusBuilder:
+    """Build the fine-tuning corpus and matching decoder for a table."""
+
+    encoder: TextualEncoder = field(default_factory=TextualEncoder)
+    permutation_passes: int = 2
+
+    def __post_init__(self):
+        if self.permutation_passes < 1:
+            raise ValueError("permutation_passes must be at least 1")
+
+    def build(self, table: Table) -> tuple[list[str], TextualDecoder]:
+        """Return ``(corpus, decoder)`` for the table.
+
+        The corpus contains ``permutation_passes`` encodings of every row.
+        The first pass keeps the natural column order so the model always sees
+        at least one canonical ordering; later passes permute (when the
+        encoder's config enables permutation).
+        """
+        if table.num_rows == 0 or table.num_columns == 0:
+            raise ValueError("cannot build a corpus from an empty table")
+        corpus: list[str] = []
+        corpus.extend(self.encoder.encode_table(table, permute=False))
+        for _ in range(self.permutation_passes - 1):
+            corpus.extend(self.encoder.encode_table(table))
+        decoder = TextualDecoder.for_table(
+            table,
+            pair_separator=self.encoder.config.pair_separator,
+            key_value_separator=self.encoder.config.key_value_separator,
+            missing_token=self.encoder.config.missing_token,
+        )
+        return corpus, decoder

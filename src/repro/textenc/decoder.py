@@ -1,0 +1,125 @@
+"""Sentence-to-row textual decoder.
+
+Generated sentences are free text; the decoder parses them back into rows
+against a known schema, coercing values to the column dtypes observed in the
+training table and rejecting sentences that are missing columns or contain
+values that cannot be coerced.  GReaT applies the same filter: only sentences
+that round-trip to valid rows become synthetic observations.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping, Sequence
+
+from repro.frame.table import Table
+
+
+class DecodeError(ValueError):
+    """A generated sentence could not be parsed into a valid row."""
+
+
+class TextualDecoder:
+    """Parse 'Column: value' sentences back into row dicts."""
+
+    def __init__(self, columns: Sequence[str], dtypes: Mapping[str, str] | None = None,
+                 pair_separator: str = ", ", key_value_separator: str = ": ",
+                 missing_token: str = "None"):
+        if not columns:
+            raise ValueError("decoder requires at least one column")
+        self.columns = list(columns)
+        self.dtypes = dict(dtypes or {})
+        self.pair_separator = pair_separator
+        self.key_value_separator = key_value_separator
+        self.missing_token = missing_token
+        # column names may themselves contain the separator characters, so the
+        # parser anchors on known column names rather than splitting blindly.
+        escaped = sorted((re.escape(name) for name in self.columns), key=len, reverse=True)
+        self._pair_pattern = re.compile(
+            r"(?P<column>" + "|".join(escaped) + r")\s*"
+            + re.escape(key_value_separator.strip() or ":")
+            + r"\s*(?P<value>.*?)(?=(?:,\s*(?:" + "|".join(escaped) + r")\s*"
+            + re.escape(key_value_separator.strip() or ":") + r")|$)",
+            re.DOTALL,
+        )
+
+    @classmethod
+    def for_table(cls, table: Table, **kwargs) -> "TextualDecoder":
+        """Build a decoder whose schema and dtypes come from a training table."""
+        return cls(table.column_names, dtypes=table.dtypes(), **kwargs)
+
+    # -- parsing -------------------------------------------------------------------
+
+    def parse_pairs(self, sentence: str) -> dict[str, str]:
+        """Extract raw ``column -> value text`` pairs from a sentence."""
+        pairs: dict[str, str] = {}
+        for match in self._pair_pattern.finditer(sentence):
+            column = match.group("column")
+            value = match.group("value").strip().rstrip(",").strip()
+            if column not in pairs:  # first occurrence wins
+                pairs[column] = value
+        return pairs
+
+    def coerce(self, column: str, text: str):
+        """Coerce a value string to the column's dtype; raise DecodeError on failure."""
+        if text == self.missing_token or text == "":
+            return None
+        dtype = self.dtypes.get(column, "str")
+        if dtype == "int":
+            try:
+                return int(text)
+            except ValueError:
+                try:
+                    as_float = float(text)
+                except ValueError:
+                    raise DecodeError(
+                        "column {!r} expects an integer, got {!r}".format(column, text)
+                    ) from None
+                if as_float.is_integer():
+                    return int(as_float)
+                raise DecodeError("column {!r} expects an integer, got {!r}".format(column, text))
+        if dtype == "float":
+            try:
+                return float(text)
+            except ValueError:
+                raise DecodeError(
+                    "column {!r} expects a number, got {!r}".format(column, text)
+                ) from None
+        return text
+
+    def decode_row(self, sentence: str, require_all: bool = True) -> dict:
+        """Parse a sentence into a full row dict.
+
+        Raises :class:`DecodeError` when columns are missing (and
+        *require_all* is true) or a value cannot be coerced.
+        """
+        pairs = self.parse_pairs(sentence)
+        row: dict = {}
+        for column in self.columns:
+            if column not in pairs:
+                if require_all:
+                    raise DecodeError("sentence is missing column {!r}: {!r}".format(column, sentence))
+                row[column] = None
+                continue
+            row[column] = self.coerce(column, pairs[column])
+        return row
+
+    def is_valid(self, sentence: str) -> bool:
+        """True when the sentence parses into a complete, type-correct row."""
+        try:
+            self.decode_row(sentence, require_all=True)
+        except DecodeError:
+            return False
+        return True
+
+    def decode_table(self, sentences: Sequence[str], skip_invalid: bool = True) -> Table:
+        """Parse many sentences into a table, optionally skipping invalid ones."""
+        records = []
+        for sentence in sentences:
+            try:
+                records.append(self.decode_row(sentence, require_all=True))
+            except DecodeError:
+                if skip_invalid:
+                    continue
+                raise
+        return Table.from_records(records, columns=self.columns)

@@ -1,0 +1,84 @@
+"""Row-to-sentence textual encoder."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.frame.table import Table
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Textual-encoding options.
+
+    Parameters
+    ----------
+    permute_features:
+        When true (GReaT's default), the feature order of each encoded row is
+        randomly permuted so the model does not overfit to column position.
+    pair_separator / key_value_separator:
+        The literal strings between ``column: value`` pairs and between a
+        column name and its value.  The defaults reproduce the paper's
+        ``"Name: Grace, Lunch: 1"`` format.
+    missing_token:
+        Surface form used for missing values.
+    """
+
+    permute_features: bool = True
+    pair_separator: str = ", "
+    key_value_separator: str = ": "
+    missing_token: str = "None"
+    seed: int = 0
+
+
+class TextualEncoder:
+    """Encode table rows as 'Column: value' sentences."""
+
+    def __init__(self, config: EncoderConfig | None = None):
+        self.config = config or EncoderConfig()
+        self._rng = random.Random(self.config.seed)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the permutation stream (one stream per trial in the harness)."""
+        self._rng = random.Random(seed)
+
+    def encode_value(self, value) -> str:
+        """Render a single cell value as text."""
+        if value is None:
+            return self.config.missing_token
+        if isinstance(value, float) and value.is_integer():
+            return str(int(value))
+        return str(value)
+
+    def encode_row(self, row: Mapping, columns: Sequence[str] | None = None,
+                   permute: bool | None = None) -> str:
+        """Encode one row dict as a sentence."""
+        names = list(columns) if columns is not None else list(row.keys())
+        do_permute = self.config.permute_features if permute is None else permute
+        if do_permute:
+            names = list(names)
+            self._rng.shuffle(names)
+        pairs = [
+            "{}{}{}".format(name, self.config.key_value_separator, self.encode_value(row.get(name)))
+            for name in names
+        ]
+        return self.config.pair_separator.join(pairs)
+
+    def encode_table(self, table: Table, permute: bool | None = None) -> list[str]:
+        """Encode every row of a table; one sentence per row."""
+        return [
+            self.encode_row(row, columns=table.column_names, permute=permute)
+            for row in table.iter_rows()
+        ]
+
+    def conditional_prompt(self, partial_row: Mapping, columns: Sequence[str] | None = None) -> str:
+        """Encode a partial row as a generation prompt.
+
+        REaLTabFormer-style child generation conditions on the sampled parent
+        observation; the prompt is the encoded parent columns followed by the
+        pair separator so the model continues with the remaining columns.
+        """
+        sentence = self.encode_row(partial_row, columns=columns, permute=False)
+        return sentence + self.config.pair_separator

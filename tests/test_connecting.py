@@ -1,0 +1,265 @@
+"""Tests for the Cross-table Connecting Method (Sec. 3.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.connecting.connector import ConnectionResult, ConnectorConfig, CrossTableConnector
+from repro.connecting.flatten import direct_flatten, flattening_report
+from repro.connecting.independence import HierarchicalClusteringSeparation, ThresholdSeparation
+from repro.connecting.preprocessing import DIGIX_NOISY_COLUMNS, NoisyColumnFilter, remove_noisy_columns
+from repro.connecting.reduction import reduce_dimension
+from repro.connecting.sampling import BootstrapAppender, SubjectPools
+from repro.frame.table import Table
+
+
+class TestDirectFlatten:
+    def test_fig4_dimensionality_blowup(self, toy_child_tables):
+        meals, viewing, subject = toy_child_tables
+        flattened = direct_flatten(meals, viewing, subject)
+        # Yin: 4 meal rows x 2 viewing rows = 8; Grace: 1x2 = 2; Anson: 1x1 = 1
+        assert flattened.num_rows == 11
+        assert flattened.num_columns == 5
+
+    def test_fig4_engaged_subject_bias(self, toy_child_tables):
+        meals, viewing, subject = toy_child_tables
+        flattened = direct_flatten(meals, viewing, subject)
+        report = flattening_report(meals, viewing, flattened, subject)
+        assert report.max_subject_share == pytest.approx(8 / 11)
+        assert report.engagement_ratio == pytest.approx(8.0)
+        assert report.blowup_factor > 1.0
+
+
+class TestThresholdSeparation:
+    def _table(self):
+        # 'a' and 'b' move together; 'c' is independent noise
+        return Table({
+            "a": [1, 1, 2, 2, 1, 2, 1, 2] * 6,
+            "b": ["x", "x", "y", "y", "x", "y", "x", "y"] * 6,
+            "c": [1, 2, 1, 2, 2, 1, 2, 1] * 6,
+        })
+
+    def test_detects_independent_column(self):
+        result = ThresholdSeparation(threshold=0.5).determine(self._table())
+        assert "c" in result.independent_columns
+        assert set(result.dependent_columns) == {"a", "b"}
+
+    def test_mean_and_median_thresholds_resolve(self):
+        table = self._table()
+        for mode in ("mean", "median"):
+            result = ThresholdSeparation(threshold=mode).determine(table)
+            assert 0.0 <= result.threshold <= 1.0
+
+    def test_up_and_stay_requires_all_pairs_below_threshold(self):
+        result = ThresholdSeparation(threshold=0.5).determine(self._table())
+        # 'a' is highly associated with 'b', so it cannot be independent
+        assert "a" not in result.independent_columns
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdSeparation(threshold=1.5)
+        with pytest.raises(ValueError):
+            ThresholdSeparation(threshold="max")
+
+    def test_result_records_matrix_and_order(self):
+        result = ThresholdSeparation(threshold=0.5).determine(self._table())
+        assert result.matrix.shape == (3, 3)
+        assert result.column_order == ("a", "b", "c")
+
+
+class TestHierarchicalClusteringSeparation:
+    def test_singleton_cluster_is_independent(self):
+        table = Table({
+            "a": [1, 1, 2, 2, 1, 2] * 8,
+            "b": ["x", "x", "y", "y", "x", "y"] * 8,
+            "c": [1, 2, 2, 1, 2, 1] * 8,
+        })
+        result = HierarchicalClusteringSeparation(distance_threshold=0.4).determine(table)
+        assert "c" in result.independent_columns
+        assert "a" in result.dependent_columns
+
+    def test_single_column_table(self):
+        table = Table({"a": [1, 2, 3]})
+        result = HierarchicalClusteringSeparation().determine(table)
+        assert result.independent_columns == ()
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            HierarchicalClusteringSeparation(distance_threshold="min")
+
+
+class TestReduceDimension:
+    def test_duplicate_rows_removed_after_column_drop(self, toy_child_tables):
+        """Fig. 4 step 2: removing 'Genre' exposes duplicate Yin rows."""
+        meals, viewing, subject = toy_child_tables
+        flattened = direct_flatten(meals, viewing, subject)
+        reduced, report = reduce_dimension(flattened, ["Genre"])
+        assert "Genre" not in reduced.column_names
+        assert reduced.num_rows < flattened.num_rows
+        assert report.rows_removed == flattened.num_rows - reduced.num_rows
+        assert 0.0 < report.reduction_ratio < 1.0
+
+    def test_no_independent_columns_is_plain_dedup(self):
+        table = Table({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        reduced, report = reduce_dimension(table, [])
+        assert reduced.num_rows == 2
+        assert report.removed_columns == ()
+
+    def test_missing_columns_ignored(self):
+        table = Table({"a": [1, 2]})
+        reduced, report = reduce_dimension(table, ["ghost"])
+        assert reduced.num_rows == 2
+        assert report.removed_columns == ()
+
+
+class TestBootstrapAppender:
+    def test_per_subject_pools_respect_original_combinations(self, toy_child_tables):
+        """Sec. 3.3.3: Anson's pool only contains 'Anime'."""
+        meals, viewing, subject = toy_child_tables
+        flattened = direct_flatten(meals, viewing, subject)
+        pools = SubjectPools.from_table(flattened, subject, "Genre")
+        assert pools.allowed_values("Anson") == {"Anime"}
+
+    def test_appended_values_always_valid(self, toy_child_tables):
+        meals, viewing, subject = toy_child_tables
+        flattened = direct_flatten(meals, viewing, subject)
+        reduced, _ = reduce_dimension(flattened, ["Genre"])
+        appender = BootstrapAppender(subject_column=subject, per_subject=True, seed=0)
+        appender.fit(flattened, ["Genre"])
+        appended = appender.append(reduced)
+        assert "Genre" in appended.column_names
+        assert appender.validates(appended)
+
+    def test_global_pool_can_fabricate_combinations(self, toy_child_tables):
+        meals, viewing, subject = toy_child_tables
+        flattened = direct_flatten(meals, viewing, subject)
+        reduced, _ = reduce_dimension(flattened, ["Genre"])
+        appender = BootstrapAppender(subject_column=subject, per_subject=False, seed=1)
+        appender.fit(flattened, ["Genre"])
+        appended = appender.append(reduced)
+        checker = BootstrapAppender(subject_column=subject, per_subject=True, seed=1)
+        checker.fit(flattened, ["Genre"])
+        # with the global pool, validity is not guaranteed (it may hold by luck,
+        # so only assert the per-subject appender never violates it)
+        assert checker.validates(
+            checker.append(reduced)
+        )
+        assert appended.num_rows == reduced.num_rows
+
+    def test_unseen_subject_falls_back_to_global_pool(self):
+        original = Table({"id": ["a", "a", "b"], "v": [1, 2, 3]})
+        reduced = Table({"id": ["a", "z"]})
+        appender = BootstrapAppender(subject_column="id", seed=0).fit(original, ["v"])
+        appended = appender.append(reduced)
+        assert appended.column("v")[1] in {1, 2, 3}
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            BootstrapAppender(subject_column="id").append(Table({"id": ["a"]}))
+
+    def test_append_is_reproducible(self, toy_child_tables):
+        meals, viewing, subject = toy_child_tables
+        flattened = direct_flatten(meals, viewing, subject)
+        reduced, _ = reduce_dimension(flattened, ["Genre"])
+        appender = BootstrapAppender(subject_column=subject, seed=5).fit(flattened, ["Genre"])
+        assert appender.append(reduced, seed=9) == appender.append(reduced, seed=9)
+
+
+class TestNoisyColumnFilter:
+    def test_explicit_digix_columns_removed(self):
+        table = Table({
+            "user_id": ["u{}".format(i) for i in range(10)],
+            "e_et": [202201010100 + i for i in range(10)],
+            "gender": [2, 3] * 5,
+        })
+        filtered, removed = NoisyColumnFilter(protect_columns=("user_id",)).apply(table)
+        assert "e_et" in removed
+        assert "gender" in filtered.column_names
+
+    def test_near_unique_columns_detected(self):
+        table = Table({
+            "doc": ["doc{}".format(i) for i in range(20)],
+            "cat": [i % 3 for i in range(20)],
+        })
+        detected = NoisyColumnFilter().detect(table)
+        assert "doc" in detected and "cat" not in detected
+
+    def test_protected_columns_kept(self):
+        table = Table({"key": ["k{}".format(i) for i in range(10)]})
+        filtered, removed = NoisyColumnFilter(protect_columns=("key",)).apply(table)
+        assert removed == []
+
+    def test_remove_noisy_columns_explicit_list(self):
+        table = Table({"a": [1, 2], "idocid": ["x", "y"]})
+        filtered, removed = remove_noisy_columns(table, columns=DIGIX_NOISY_COLUMNS)
+        assert removed == ["idocid"]
+        assert "idocid" not in filtered.column_names
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            NoisyColumnFilter(uniqueness_threshold=0.0)
+
+
+class TestCrossTableConnector:
+    def test_connect_toy_tables_reduces_rows(self, toy_child_tables):
+        meals, viewing, subject = toy_child_tables
+        connector = CrossTableConnector(ConnectorConfig(
+            independence_method="threshold_mean", remove_noisy_columns=False, seed=0))
+        result = connector.connect(meals, viewing, subject)
+        assert isinstance(result, ConnectionResult)
+        assert result.connected.num_rows <= result.flattened.num_rows
+        assert set(result.connected.column_names) == set(result.flattened.column_names)
+
+    def test_none_method_is_direct_flattening(self, toy_child_tables):
+        meals, viewing, subject = toy_child_tables
+        connector = CrossTableConnector(ConnectorConfig(
+            independence_method="none", remove_noisy_columns=False))
+        result = connector.connect(meals, viewing, subject)
+        assert result.connected == result.flattened
+        assert result.independence is None
+
+    def test_hierarchical_method_runs(self, toy_child_tables):
+        meals, viewing, subject = toy_child_tables
+        connector = CrossTableConnector(ConnectorConfig(
+            independence_method="hierarchical", remove_noisy_columns=False))
+        result = connector.connect(meals, viewing, subject)
+        assert result.connected.num_rows >= 1
+
+    def test_disjoint_subjects_rejected(self):
+        first = Table({"id": ["a"], "x": [1]})
+        second = Table({"id": ["b"], "y": [2]})
+        with pytest.raises(ValueError):
+            CrossTableConnector().connect(first, second, "id")
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            ConnectorConfig(independence_method="pca")
+
+    def test_appended_columns_match_independent_columns(self, toy_child_tables):
+        meals, viewing, subject = toy_child_tables
+        connector = CrossTableConnector(ConnectorConfig(
+            independence_method="threshold_mean", remove_noisy_columns=False))
+        result = connector.connect(meals, viewing, subject)
+        if result.independence and result.independence.independent_columns:
+            assert set(result.appended_columns) == set(result.independence.independent_columns)
+        else:
+            assert result.appended_columns == ()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["u1", "u2", "u3"]), st.integers(0, 3)),
+                min_size=2, max_size=20),
+       st.lists(st.tuples(st.sampled_from(["u1", "u2", "u3"]), st.sampled_from("pqr")),
+                min_size=2, max_size=20))
+def test_connector_preserves_subject_set_property(first_rows, second_rows):
+    """Property: the connected table only contains subjects present in both child tables."""
+    first = Table({"id": [r[0] for r in first_rows], "x": [r[1] for r in first_rows]})
+    second = Table({"id": [r[0] for r in second_rows], "y": [r[1] for r in second_rows]})
+    shared = set(first.column("id")) & set(second.column("id"))
+    connector = CrossTableConnector(ConnectorConfig(
+        independence_method="threshold_mean", remove_noisy_columns=False))
+    if not shared:
+        with pytest.raises(ValueError):
+            connector.connect(first, second, "id")
+        return
+    result = connector.connect(first, second, "id")
+    assert set(result.connected.column("id")) <= shared

@@ -1,0 +1,115 @@
+"""Tests for the DIGIX-like generator and the toy tables."""
+
+import pytest
+
+from repro.datasets.digix import (
+    DigixConfig,
+    INTEREST_COLUMNS,
+    PSEUDO_ID_COLUMNS,
+    USER_CONTEXT_COLUMNS,
+    generate_digix_like,
+)
+from repro.datasets.toy import fig2_single_table, fig4_child_tables, fig11_membership_and_visits
+from repro.relational.contextual import ContextualVariableDetector
+from repro.stats.correlation import association_matrix
+
+
+class TestToyTables:
+    def test_fig2_has_repeated_numerical_labels(self):
+        table = fig2_single_table()
+        row = table.row(0)
+        ones = [name for name in ("Lunch", "Access Device", "Genre") if row[name] == 1]
+        assert len(ones) == 3
+
+    def test_fig4_yin_is_the_engaged_subject(self):
+        meals, viewing, subject = fig4_child_tables()
+        assert meals.where(subject, "Yin").num_rows > meals.where(subject, "Grace").num_rows
+        assert viewing.where(subject, "Anson").column("Genre").unique() == ["Anime"]
+
+    def test_fig11_contextual_ground_truth(self):
+        visits, parent, subject = fig11_membership_and_visits()
+        assert parent.num_rows == len(visits.unique_values(subject))
+
+
+class TestDigixGenerator:
+    def test_deterministic_given_seed(self, tiny_digix):
+        regenerated = generate_digix_like(tiny_digix.config)
+        assert regenerated.ads == tiny_digix.ads
+        assert regenerated.feeds == tiny_digix.feeds
+
+    def test_tables_share_user_ids(self, tiny_digix):
+        ads_users = set(tiny_digix.ads.column("user_id"))
+        feeds_users = set(tiny_digix.feeds.column("user_id"))
+        assert ads_users == feeds_users
+
+    def test_task_subgroups(self, tiny_digix):
+        assert len(tiny_digix.task_ids()) == tiny_digix.config.n_tasks
+        for trial in tiny_digix.trials():
+            assert trial.ads.unique_values("task_id") == trial.ads.unique_values("task_id")
+            assert trial.ads.num_rows > 0 and trial.feeds.num_rows > 0
+
+    def test_click_through_rate_is_low_and_imbalanced(self):
+        dataset = generate_digix_like(DigixConfig(
+            n_tasks=2, n_users_per_task=40, ads_rows_per_user=(3, 6),
+            feeds_rows_per_user=(2, 4), seed=3,
+        ))
+        rate = dataset.overall_click_rate()
+        assert 0.0 <= rate < 0.08
+
+    def test_contextual_columns_are_constant_per_user(self, tiny_digix):
+        detector = ContextualVariableDetector(consistency_threshold=1.0)
+        contextual = detector.contextual_columns(tiny_digix.ads, "user_id")
+        for name in USER_CONTEXT_COLUMNS:
+            assert name in contextual
+
+    def test_pseudo_id_columns_are_near_unique(self, tiny_digix):
+        feeds = tiny_digix.feeds
+        for name in ("idocid", "i_entities"):
+            assert feeds.column(name).nunique() >= 0.95 * feeds.num_rows
+        assert set(PSEUDO_ID_COLUMNS) == {"e_et", "idocid", "i_entities"}
+
+    def test_e_et_is_a_twelve_digit_timestamp(self, tiny_digix):
+        for value in tiny_digix.ads.column("e_et").values[:20]:
+            assert len(str(value)) == 12
+            assert str(value).startswith("2022")
+
+    def test_interest_columns_are_caret_lists(self, tiny_digix):
+        for name in INTEREST_COLUMNS:
+            sample = tiny_digix.feeds.column(name)[0]
+            assert "^" in sample
+            assert all(part.isdigit() for part in sample.split("^"))
+
+    def test_feature_associations_are_weak(self):
+        """Sec. 4.1.1: most pairwise associations sit around 0.2 (weakly informative)."""
+        dataset = generate_digix_like(DigixConfig(
+            n_tasks=1, n_users_per_task=60, ads_rows_per_user=(2, 4),
+            feeds_rows_per_user=(2, 4), seed=5,
+        ))
+        ads = dataset.ads
+        columns = ["gender", "age", "device_size", "net_type", "adv_prim_id", "slot_id"]
+        matrix, _ = association_matrix(ads, columns)
+        off_diag = [matrix[i, j] for i in range(len(columns)) for j in range(len(columns)) if i != j]
+        mean_association = sum(off_diag) / len(off_diag)
+        assert 0.02 < mean_association < 0.5
+
+    def test_paper_scale_flag_increases_size(self):
+        small = generate_digix_like(DigixConfig(n_tasks=1, n_users_per_task=5, seed=1))
+        paper = generate_digix_like(DigixConfig(seed=1), paper_scale=True)
+        assert paper.config.n_tasks == 8
+        assert paper.ads.num_rows > small.ads.num_rows
+        per_trial = [t.ads.num_rows + t.feeds.num_rows for t in paper.trials()]
+        assert min(per_trial) > 750
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DigixConfig(n_tasks=0)
+        with pytest.raises(ValueError):
+            DigixConfig(click_through_rate=0.0)
+        with pytest.raises(ValueError):
+            DigixConfig(segment_signal=2.0)
+
+    def test_subgroup_filters_both_tables(self, tiny_digix):
+        task_id = tiny_digix.task_ids()[0]
+        subgroup = tiny_digix.subgroup(task_id)
+        assert set(subgroup.ads.column("task_id")) == {task_id}
+        assert set(subgroup.feeds.column("task_id")) == {task_id}

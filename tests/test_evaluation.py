@@ -1,0 +1,202 @@
+"""Tests for the fidelity metrics (Algorithm 1) and the ablation counting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.ablation import compare_reports, summarize_trials
+from repro.evaluation.fidelity import (
+    ColumnPairFidelity,
+    FidelityEvaluator,
+    FidelityReport,
+    encode_categories,
+)
+from repro.frame.table import Table
+
+
+def _make_table(rng, n, noise=0.0):
+    """Two associated categorical columns plus one independent column."""
+    records = []
+    for _ in range(n):
+        a = rng.choice(["x", "y", "z"])
+        if rng.random() < noise:
+            b = rng.choice(["p", "q", "r"])
+        else:
+            b = {"x": "p", "y": "q", "z": "r"}[a]
+        records.append({"a": a, "b": b, "c": rng.randint(1, 4)})
+    return Table.from_records(records, columns=["a", "b", "c"])
+
+
+class TestEncodeCategories:
+    def test_numeric_passthrough(self):
+        a, b = encode_categories([1, 2, 3], [2, 3])
+        assert a == [1.0, 2.0, 3.0] and b == [2.0, 3.0]
+
+    def test_categorical_shared_codebook(self):
+        a, b = encode_categories(["x", "y"], ["y", "z"])
+        assert len(set(a) | set(b)) == 3
+        # the same category gets the same code on both sides
+        assert a[1] == b[0]
+
+    def test_missing_values_dropped(self):
+        a, b = encode_categories([1, None, 2], [None, 3])
+        assert a == [1.0, 2.0] and b == [3.0]
+
+    def test_mixed_types_stringified(self):
+        a, b = encode_categories([1, "x"], ["x"])
+        assert len(a) == 2 and len(b) == 1
+
+
+class TestPairFidelity:
+    def test_identical_tables_score_high(self):
+        rng = random.Random(0)
+        table = _make_table(rng, 200)
+        evaluator = FidelityEvaluator()
+        pair = evaluator.pair_fidelity(table, table, "a", "b")
+        assert pair.p_value > 0.9
+        assert pair.w_distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_broken_relationship_scores_low(self):
+        """Destroying the a->b dependency must lower the conditional fidelity."""
+        rng = random.Random(1)
+        original = _make_table(rng, 300, noise=0.0)
+        broken = _make_table(rng, 300, noise=1.0)
+        evaluator = FidelityEvaluator()
+        faithful = evaluator.pair_fidelity(original, original, "a", "b")
+        unfaithful = evaluator.pair_fidelity(original, broken, "a", "b")
+        assert unfaithful.p_value < faithful.p_value
+        assert unfaithful.w_distance > faithful.w_distance
+
+    def test_missing_synthetic_conditioning_value_penalised(self):
+        original = Table({"a": ["x"] * 10 + ["y"] * 10, "b": [1] * 10 + [2] * 10})
+        synthetic = Table({"a": ["x"] * 20, "b": [1] * 20})
+        pair = FidelityEvaluator().pair_fidelity(original, synthetic, "a", "b")
+        assert pair.p_value < 0.6
+
+    def test_unscorable_pair_returns_none(self):
+        original = Table({"a": [None, None], "b": [1, 2]})
+        synthetic = Table({"a": [None, None], "b": [1, 2]})
+        assert FidelityEvaluator().pair_fidelity(original, synthetic, "a", "b") is None
+
+
+class TestEvaluate:
+    def test_report_covers_ordered_pairs(self):
+        rng = random.Random(2)
+        table = _make_table(rng, 120)
+        report = FidelityEvaluator().evaluate(table, table, label="self")
+        # 3 columns -> up to 6 ordered pairs
+        assert 1 <= len(report) <= 6
+        assert report.label == "self"
+
+    def test_high_cardinality_conditioning_columns_skipped(self):
+        table = Table({
+            "id": ["row{}".format(i) for i in range(100)],
+            "b": [i % 3 for i in range(100)],
+            "c": [i % 4 for i in range(100)],
+        })
+        report = FidelityEvaluator(max_conditioning_values=10).evaluate(table, table)
+        assert all(pair.conditioning_column != "id" for pair in report.pairs)
+
+    def test_requires_two_shared_columns(self):
+        with pytest.raises(ValueError):
+            FidelityEvaluator().evaluate(Table({"a": [1, 2]}), Table({"b": [1, 2]}))
+
+    def test_summary_and_histogram(self):
+        rng = random.Random(3)
+        table = _make_table(rng, 100)
+        report = FidelityEvaluator().evaluate(table, table)
+        summary = report.summary()
+        assert 0.0 <= summary["mean_p_value"] <= 1.0
+        assert summary["n_pairs"] == len(report)
+        histogram, edges = report.p_value_histogram(bins=5)
+        assert histogram.sum() == pytest.approx(1.0)
+        assert len(edges) == 6
+
+    def test_fraction_above_threshold(self):
+        report = FidelityReport(pairs=[
+            ColumnPairFidelity("a", "b", p_value=0.5, w_distance=0.1, n_conditioning_values=2),
+            ColumnPairFidelity("b", "a", p_value=0.01, w_distance=0.9, n_conditioning_values=2),
+        ])
+        assert report.fraction_above(0.05) == pytest.approx(0.5)
+
+    def test_empty_report_summary_rejected(self):
+        with pytest.raises(ValueError):
+            FidelityReport().summary()
+
+    def test_invalid_evaluator_params(self):
+        with pytest.raises(ValueError):
+            FidelityEvaluator(max_conditioning_values=0)
+        with pytest.raises(ValueError):
+            FidelityEvaluator(min_conditional_samples=0)
+
+
+def _report(label, scores):
+    return FidelityReport(label=label, pairs=[
+        ColumnPairFidelity("a", "col{}".format(i), p_value=p, w_distance=1 - p,
+                           n_conditioning_values=2)
+        for i, p in enumerate(scores)
+    ])
+
+
+class TestAblation:
+    def test_compare_reports_counts(self):
+        baseline = _report("base", [0.2, 0.5, 0.9])
+        candidate = _report("cand", [0.4, 0.5, 0.8])
+        comparison = compare_reports(baseline, candidate)
+        assert comparison.improved == 1
+        assert comparison.worsened == 1
+        assert comparison.unchanged == 1
+        assert comparison.net_improved == 0
+        assert comparison.compared_pairs == 3
+
+    def test_compare_requires_shared_pairs(self):
+        with pytest.raises(ValueError):
+            compare_reports(_report("b", [0.1]), FidelityReport(label="c", pairs=[
+                ColumnPairFidelity("x", "y", 0.5, 0.5, 1)
+            ]))
+
+    def test_summarize_trials_fig10_counts(self):
+        comparisons = [
+            compare_reports(_report("base", [0.2, 0.3, 0.4]), _report("cand", [0.5, 0.2, 0.6])),
+            compare_reports(_report("base", [0.2, 0.3, 0.4]), _report("cand", [0.3, 0.4, 0.5])),
+        ]
+        counts = summarize_trials(comparisons)
+        assert counts.n_trials == 2
+        assert counts.max_improved == 3
+        assert counts.min_improved == 2
+        assert counts.avg_improved == pytest.approx(2.5)
+        assert counts.max_worsened == 1
+        row = counts.as_row()
+        assert row["configuration"] == "cand"
+
+    def test_summarize_requires_consistent_labels(self):
+        first = compare_reports(_report("base", [0.1]), _report("cand", [0.2]))
+        second = compare_reports(_report("base", [0.1]), _report("other", [0.2]))
+        with pytest.raises(ValueError):
+            summarize_trials([first, second])
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trials([])
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=20),
+       st.lists(st.floats(0.0, 1.0), min_size=1, max_size=20))
+def test_compare_reports_partition_property(base_scores, cand_scores):
+    """Property: improved + worsened + unchanged always equals the shared pair count."""
+    n = min(len(base_scores), len(cand_scores))
+    comparison = compare_reports(_report("b", base_scores[:n]), _report("c", cand_scores[:n]))
+    assert comparison.improved + comparison.worsened + comparison.unchanged == n
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10_000))
+def test_self_evaluation_is_near_perfect_property(seed):
+    """Property: evaluating a table against itself yields p-values near 1 and W near 0."""
+    rng = random.Random(seed)
+    table = _make_table(rng, 80)
+    report = FidelityEvaluator().evaluate(table, table)
+    assert min(report.p_values()) > 0.9
+    assert max(report.w_distances()) == pytest.approx(0.0, abs=1e-9)

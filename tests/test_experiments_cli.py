@@ -1,0 +1,132 @@
+"""Tests for the experiment harness, the figure entry points and the CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.evaluation.fidelity import FidelityEvaluator
+from repro.experiments.figures import (
+    aggregate_reports,
+    dataset_statistics,
+    fig2_token_ambiguity,
+    fig4_flattening_bias,
+    fig5_correlation_heatmap,
+    fig10_ablation,
+)
+from repro.experiments.harness import (
+    ExperimentConfig,
+    default_pipeline_config,
+    experiment_scale,
+    run_pipeline_on_trial,
+    run_trials,
+)
+from repro.pipelines.greater import GReaTERPipeline
+from repro.pipelines.flatten_baseline import DirectFlattenPipeline
+
+
+TINY = ExperimentConfig(n_trials=1, n_users_per_task=6,
+                        ads_rows_per_user=(2, 3), feeds_rows_per_user=(2, 3), seed=11)
+
+
+class TestHarness:
+    def test_experiment_scale_reads_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "3")
+        assert experiment_scale() == 3
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "junk")
+        assert experiment_scale() == 1
+
+    def test_from_scale_grows_sizes(self):
+        small = ExperimentConfig.from_scale(1)
+        large = ExperimentConfig.from_scale(3)
+        assert large.n_users_per_task > small.n_users_per_task
+        assert large.n_trials >= small.n_trials
+
+    def test_dataset_respects_trial_count(self):
+        dataset = TINY.dataset()
+        assert len(dataset.task_ids()) == 1
+
+    def test_run_pipeline_on_trial_returns_report(self, tiny_digix):
+        trial = tiny_digix.trials()[0]
+        pipeline = DirectFlattenPipeline(default_pipeline_config(seed=0))
+        report = run_pipeline_on_trial(pipeline, trial, label="flatten")
+        assert report.label == "flatten"
+        assert len(report) > 0
+
+    def test_run_trials_keys_and_max_trials(self, tiny_digix):
+        pipelines = {"flatten": DirectFlattenPipeline(default_pipeline_config(seed=0))}
+        results = run_trials(pipelines, tiny_digix, max_trials=1,
+                             evaluator=FidelityEvaluator())
+        assert len(results) == 1
+        assert set(results[0].reports) == {"flatten"}
+
+    def test_aggregate_reports_shape(self, tiny_digix):
+        pipelines = {
+            "flatten": DirectFlattenPipeline(default_pipeline_config(seed=0)),
+        }
+        results = run_trials(pipelines, tiny_digix, max_trials=1)
+        rows = aggregate_reports(results)
+        assert rows[0]["configuration"] == "flatten"
+        assert 0.0 <= rows[0]["mean_p_value"] <= 1.0
+        assert rows[0]["trials"] == 1
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_reports([])
+
+
+class TestFigureFunctions:
+    def test_fig2_enhancement_removes_shared_tokens(self):
+        outcome = fig2_token_ambiguity()
+        before, after = outcome["rows"]
+        assert before["shared_tokens"] > 0
+        assert after["shared_tokens"] == 0
+
+    def test_fig4_connecting_shrinks_the_table(self):
+        outcome = fig4_flattening_bias()
+        flattened_row, connected_row = outcome["rows"]
+        assert connected_row["rows"] <= flattened_row["rows"]
+        assert flattened_row["max_subject_share"] >= connected_row["max_subject_share"]
+
+    def test_fig5_pseudo_id_columns_inflate_associations(self):
+        outcome = fig5_correlation_heatmap(config=TINY)
+        before, after = outcome["rows"]
+        assert set(outcome["removed"]) == {"e_et", "idocid", "i_entities"}
+        assert before["mean_association_of_pseudo_id_columns"] >= after["mean_offdiag_association"]
+
+    def test_dataset_statistics_rows(self):
+        outcome = dataset_statistics(config=TINY)
+        row = outcome["rows"][0]
+        assert row["n_task_subgroups"] == 1
+        assert 0.0 <= row["click_through_rate"] < 0.1
+
+    @pytest.mark.slow
+    def test_fig10_ablation_produces_counts(self):
+        outcome = fig10_ablation(config=TINY)
+        assert len(outcome["rows"]) == 3
+        for row in outcome["rows"]:
+            assert row["baseline"] == "direct_flatten"
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nonsense"])
+
+    def test_fig2_runs_and_prints_table(self, capsys):
+        assert main(["fig2"]) == 0
+        output = capsys.readouterr().out
+        assert "shared_tokens" in output
+
+    def test_fig4_json_output(self, capsys):
+        assert main(["fig4", "--json"]) == 0
+        output = capsys.readouterr().out
+        assert output.strip().startswith("[")
+
+    def test_dataset_with_size_flags(self, capsys):
+        assert main(["dataset", "--trials", "1", "--users-per-task", "6", "--seed", "3"]) == 0
+        assert "click_through_rate" in capsys.readouterr().out

@@ -1,0 +1,251 @@
+"""Unit tests for the LLM substrate (tokenizer, n-gram model, sampler, fine-tuner)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.llm.embeddings import CooccurrenceEmbedding
+from repro.llm.finetune import FineTuneConfig, FineTuner
+from repro.llm.ngram_model import ModelConfig, NGramLanguageModel
+from repro.llm.sampler import SamplerConfig, TemperatureSampler
+from repro.llm.tokenizer import SPECIAL_TOKENS, Vocabulary, WordTokenizer
+
+CORPUS = [
+    "Name: Grace, Lunch: Rice, Dinner: Steak",
+    "Name: Yin, Lunch: Spaghetti, Dinner: Chicken",
+    "Name: Anson, Lunch: Rice, Dinner: Curry",
+    "Name: Grace, Lunch: Rice, Dinner: Steak",
+    "Name: Yin, Lunch: Spaghetti, Dinner: Steak",
+]
+
+
+@pytest.fixture
+def trained_model():
+    tokenizer = WordTokenizer().fit(CORPUS)
+    model = NGramLanguageModel(tokenizer, ModelConfig(order=3, smoothing=0.01))
+    model.fit(CORPUS)
+    return model
+
+
+class TestVocabulary:
+    def test_special_tokens_present_by_default(self):
+        vocab = Vocabulary()
+        for token in SPECIAL_TOKENS.values():
+            assert token in vocab
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("hello")
+        second = vocab.add("hello")
+        assert first == second
+
+    def test_unknown_token_maps_to_unk(self):
+        vocab = Vocabulary()
+        assert vocab.encode_token("never_seen") == vocab.unk_id
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary().decode_id(10_000)
+
+
+class TestWordTokenizer:
+    def test_tokenize_column_value_sentence(self):
+        tokens = WordTokenizer().tokenize("Name: Grace, Lunch: 1")
+        assert tokens == ["Name", ":", "Grace", ",", "Lunch", ":", "1"]
+
+    def test_underscore_names_are_single_tokens(self):
+        tokens = WordTokenizer().tokenize("gender: James_Smith")
+        assert "James_Smith" in tokens
+
+    def test_numbers_and_decimals(self):
+        assert WordTokenizer().tokenize("x: 3.5 y: 42") == ["x", ":", "3.5", "y", ":", "42"]
+
+    def test_caret_is_a_token(self):
+        tokens = WordTokenizer().tokenize("20^35^42")
+        assert tokens == ["20", "^", "35", "^", "42"]
+
+    def test_detokenize_reattaches_punctuation(self):
+        tokenizer = WordTokenizer()
+        text = "Name: Grace, Lunch: 1"
+        assert tokenizer.detokenize(tokenizer.tokenize(text)) == text
+
+    def test_encode_adds_bos_eos(self):
+        tokenizer = WordTokenizer().fit(["a b"])
+        ids = tokenizer.encode("a b")
+        assert ids[0] == tokenizer.vocabulary.bos_id
+        assert ids[-1] == tokenizer.vocabulary.eos_id
+
+    def test_encode_decode_round_trip(self):
+        tokenizer = WordTokenizer().fit(CORPUS)
+        sentence = CORPUS[0]
+        assert tokenizer.decode(tokenizer.encode(sentence)) == sentence
+
+    def test_token_collisions_finds_shared_labels(self):
+        tokenizer = WordTokenizer()
+        labeled = [("Lunch", 1), ("Dinner", 2), ("Access Device", 1), ("Genre", 1)]
+        collisions = tokenizer.token_collisions(labeled)
+        assert collisions == {"1": ["Access Device", "Genre", "Lunch"]}
+
+    def test_token_collisions_empty_after_disambiguation(self):
+        tokenizer = WordTokenizer()
+        labeled = [("Lunch", "Rice"), ("Dinner", "Steak"), ("Genre", "Action")]
+        assert tokenizer.token_collisions(labeled) == {}
+
+
+class TestNGramModel:
+    def test_requires_training_before_query(self):
+        model = NGramLanguageModel(WordTokenizer())
+        with pytest.raises(RuntimeError):
+            model.next_token_distribution([])
+        with pytest.raises(RuntimeError):
+            model.generate(random.Random(0))
+
+    def test_distribution_sums_to_one(self, trained_model):
+        distribution = trained_model.next_token_distribution([])
+        assert sum(distribution.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_learns_training_transitions(self, trained_model):
+        tokenizer = trained_model.tokenizer
+        context = [tokenizer.vocabulary.encode_token(t) for t in ["Lunch", ":"]]
+        distribution = trained_model.next_token_distribution(context)
+        rice_id = tokenizer.vocabulary.encode_token("Rice")
+        spaghetti_id = tokenizer.vocabulary.encode_token("Spaghetti")
+        steak_id = tokenizer.vocabulary.encode_token("Steak")
+        assert distribution[rice_id] > distribution[steak_id]
+        assert distribution[spaghetti_id] > distribution[steak_id]
+
+    def test_token_probability_positive_and_bounded(self, trained_model):
+        vocab = trained_model.tokenizer.vocabulary
+        context = [vocab.encode_token("Lunch"), vocab.encode_token(":")]
+        for token in ("Rice", "Spaghetti", "Steak"):
+            p = trained_model.token_probability(context, vocab.encode_token(token))
+            assert 0.0 < p <= 1.0
+
+    def test_token_probability_sums_to_one_over_vocab(self, trained_model):
+        vocab = trained_model.tokenizer.vocabulary
+        context = [vocab.encode_token("Lunch"), vocab.encode_token(":")]
+        total = sum(
+            trained_model.token_probability(context, token_id) for token_id in range(len(vocab))
+        )
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_score_token_sequence_matches_manual_sum(self, trained_model):
+        vocab = trained_model.tokenizer.vocabulary
+        context = [vocab.bos_id]
+        tokens = [vocab.encode_token("Name"), vocab.encode_token(":")]
+        manual = 0.0
+        running = list(context)
+        for token in tokens:
+            manual += math.log(trained_model.token_probability(running[-2:], token))
+            running.append(token)
+        assert trained_model.score_token_sequence(context, tokens) == pytest.approx(manual)
+
+    def test_generation_is_reproducible_with_seed(self, trained_model):
+        first = trained_model.generate(random.Random(7), max_tokens=30)
+        second = trained_model.generate(random.Random(7), max_tokens=30)
+        assert first == second
+
+    def test_generation_uses_training_vocabulary(self, trained_model):
+        sentence = trained_model.generate(random.Random(3), max_tokens=40)
+        known = set(trained_model.tokenizer.vocabulary.token_to_id)
+        assert all(token in known for token in trained_model.tokenizer.tokenize(sentence))
+
+    def test_perplexity_lower_on_training_data(self, trained_model):
+        train_ppl = trained_model.perplexity(CORPUS)
+        shuffled = ["Steak Dinner Grace : Name ,", "Chicken : Rice Lunch Yin"]
+        assert train_ppl < trained_model.perplexity(shuffled)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ModelConfig(order=0)
+        with pytest.raises(ValueError):
+            ModelConfig(smoothing=-1)
+
+
+class TestSampler:
+    def test_sample_batch_size(self, trained_model):
+        sampler = TemperatureSampler(trained_model, SamplerConfig(seed=1))
+        assert len(sampler.sample_batch(5)) == 5
+
+    def test_sample_valid_returns_none_when_impossible(self, trained_model):
+        sampler = TemperatureSampler(trained_model, SamplerConfig(seed=1, max_retries=3))
+        assert sampler.sample_valid(lambda s: False) is None
+
+    def test_sample_valid_accepts_valid(self, trained_model):
+        sampler = TemperatureSampler(trained_model, SamplerConfig(seed=1))
+        assert sampler.sample_valid(lambda s: True) is not None
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(temperature=-1)
+        with pytest.raises(ValueError):
+            SamplerConfig(max_tokens=0)
+
+
+class TestFineTuner:
+    def test_fine_tune_returns_trained_model(self):
+        tokenizer = WordTokenizer()
+        result = FineTuner(tokenizer, FineTuneConfig(epochs=2, batches=2)).fine_tune(CORPUS)
+        assert result.model.is_trained
+        assert len(result.perplexity_trace) >= 1
+
+    def test_epoch_count_respected_in_trace(self):
+        tokenizer = WordTokenizer()
+        result = FineTuner(tokenizer, FineTuneConfig(epochs=3, batches=1,
+                                                     validation_fraction=0.2)).fine_tune(CORPUS)
+        assert len(result.perplexity_trace) == 3
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            FineTuner(WordTokenizer()).fine_tune([])
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(epochs=0)
+        with pytest.raises(ValueError):
+            FineTuneConfig(validation_fraction=1.5)
+
+
+class TestCooccurrenceEmbedding:
+    def test_ambiguous_token_has_higher_context_entropy(self):
+        """The Fig. 2 effect: a label reused across columns has a more diffuse context."""
+        ambiguous_corpus = [
+            "Lunch: 1, Dinner: 2, Device: 1, Genre: 1",
+            "Lunch: 2, Dinner: 1, Device: 2, Genre: 2",
+        ] * 3
+        clean_corpus = [
+            "Lunch: Rice, Dinner: Steak, Device: Laptop, Genre: Action",
+            "Lunch: Pasta, Dinner: Chicken, Device: Phone, Genre: Comedy",
+        ] * 3
+        tokenizer = WordTokenizer()
+        ambiguous = CooccurrenceEmbedding(tokenizer, window=3).fit(ambiguous_corpus)
+        clean = CooccurrenceEmbedding(tokenizer, window=3).fit(clean_corpus)
+        assert ambiguous.context_entropy("1") > clean.context_entropy("Rice")
+
+    def test_similarity_is_symmetric_and_bounded(self):
+        embedding = CooccurrenceEmbedding(WordTokenizer(), window=2).fit(CORPUS)
+        forward = embedding.similarity("Rice", "Spaghetti")
+        backward = embedding.similarity("Spaghetti", "Rice")
+        assert forward == pytest.approx(backward)
+        assert -1.0 <= forward <= 1.0
+
+    def test_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            CooccurrenceEmbedding(WordTokenizer()).vector("x", ["y"])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            CooccurrenceEmbedding(WordTokenizer(), window=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta", "1", "2"]),
+                min_size=2, max_size=12))
+def test_tokenizer_round_trip_property(words):
+    """Property: space-joined word sentences survive the encode/decode round trip."""
+    tokenizer = WordTokenizer()
+    sentence = " ".join(words)
+    tokenizer.fit([sentence])
+    assert tokenizer.decode(tokenizer.encode(sentence)) == sentence

@@ -1,0 +1,175 @@
+"""Tests for contextual-variable extraction and the parent/child synthesizer."""
+
+import pytest
+
+from repro.frame.table import Table
+from repro.great.synthesizer import GReaTConfig
+from repro.llm.finetune import FineTuneConfig
+from repro.llm.ngram_model import ModelConfig
+from repro.relational.contextual import (
+    ContextualVariableDetector,
+    extract_parent_table,
+    merge_contextual_parents,
+)
+from repro.relational.parent_child import ParentChildConfig, ParentChildSynthesizer
+
+
+def _fast_pc_config(seed=0):
+    backbone = GReaTConfig(
+        fine_tune=FineTuneConfig(epochs=2, batches=2, model=ModelConfig(order=4)),
+        seed=seed,
+    )
+    return ParentChildConfig(parent=backbone, child=backbone, seed=seed)
+
+
+class TestContextualVariableDetector:
+    def test_consistency_of_constant_column(self, membership_tables):
+        visits, _, subject = membership_tables
+        detector = ContextualVariableDetector()
+        assert detector.column_consistency(visits, subject, "gender") == 1.0
+
+    def test_consistency_of_varying_column(self, membership_tables):
+        visits, _, subject = membership_tables
+        detector = ContextualVariableDetector()
+        assert detector.column_consistency(visits, subject, "visit_date") < 1.0
+
+    def test_contextual_columns_detected(self, membership_tables):
+        visits, _, subject = membership_tables
+        detector = ContextualVariableDetector()
+        assert set(detector.contextual_columns(visits, subject)) >= {"gender", "birth_date"}
+
+    def test_threshold_allows_exceptions(self):
+        """A column consistent for most (not all) subjects still counts (m < 100%)."""
+        table = Table({
+            "id": ["a"] * 3 + ["b"] * 3 + ["c"] * 3 + ["d"] * 3,
+            "ctx": ["x", "x", "x", "y", "y", "y", "z", "z", "z", "w", "w", "v"],
+        })
+        strict = ContextualVariableDetector(consistency_threshold=1.0)
+        lenient = ContextualVariableDetector(consistency_threshold=0.7)
+        assert "ctx" not in strict.contextual_columns(table, "id")
+        assert "ctx" in lenient.contextual_columns(table, "id")
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ContextualVariableDetector(consistency_threshold=0.0)
+
+    def test_missing_columns_rejected(self, membership_tables):
+        visits, _, subject = membership_tables
+        detector = ContextualVariableDetector()
+        with pytest.raises(KeyError):
+            detector.column_consistency(visits, "nope", "gender")
+        with pytest.raises(KeyError):
+            detector.column_consistency(visits, subject, "nope")
+
+
+class TestExtractParentTable:
+    def test_fig11_parent_matches_ground_truth(self, membership_tables):
+        """Fig. 11/12: gender and birth date form the parent table."""
+        visits, expected_parent, subject = membership_tables
+        split = extract_parent_table(visits, subject)
+        assert split.parent.equals_ignoring_order(expected_parent)
+        assert set(split.contextual_columns) == {"gender", "birth_date"}
+
+    def test_child_keeps_varying_columns_and_key(self, membership_tables):
+        visits, _, subject = membership_tables
+        split = extract_parent_table(visits, subject)
+        assert split.child.column_names == [subject, "visit_date", "spend"]
+        assert split.child.num_rows == visits.num_rows
+
+    def test_explicit_contextual_columns(self, membership_tables):
+        visits, _, subject = membership_tables
+        split = extract_parent_table(visits, subject, contextual_columns=["gender"])
+        assert split.contextual_columns == ("gender",)
+        assert "birth_date" in split.child.column_names
+
+    def test_modal_value_used_for_inconsistent_subject(self):
+        table = Table({
+            "id": ["a", "a", "a"],
+            "ctx": ["x", "x", "y"],
+        })
+        split = extract_parent_table(table, "id", contextual_columns=["ctx"])
+        assert split.parent.column("ctx").values == ["x"]
+
+    def test_merge_parents_unions_columns(self, membership_tables):
+        visits, _, subject = membership_tables
+        first = extract_parent_table(visits, subject, contextual_columns=["gender"])
+        second = extract_parent_table(visits, subject, contextual_columns=["birth_date"])
+        merged = merge_contextual_parents(first, second)
+        assert set(merged.column_names) == {subject, "gender", "birth_date"}
+        assert merged.num_rows == first.parent.num_rows
+
+    def test_merge_parents_requires_same_subject(self, membership_tables):
+        visits, _, subject = membership_tables
+        first = extract_parent_table(visits, subject)
+        renamed = visits.rename({subject: "other_id"})
+        second = extract_parent_table(renamed, "other_id")
+        with pytest.raises(ValueError):
+            merge_contextual_parents(first, second)
+
+
+class TestParentChildSynthesizer:
+    @pytest.fixture
+    def parent_child(self, membership_tables):
+        visits, _, subject = membership_tables
+        split = extract_parent_table(visits, subject)
+        return split.parent, split.child, subject
+
+    def test_fit_and_sample_shapes(self, parent_child):
+        parent, child, subject = parent_child
+        synth = ParentChildSynthesizer(_fast_pc_config()).fit(parent, child, subject)
+        synthetic_parent, synthetic_child = synth.sample(4, seed=1)
+        assert synthetic_parent.num_rows == 4
+        assert synthetic_parent.column_names == parent.column_names
+        assert set(synthetic_child.column_names) == set(child.column_names)
+        assert synthetic_child.num_rows >= 4
+
+    def test_every_child_row_references_a_synthetic_parent(self, parent_child):
+        parent, child, subject = parent_child
+        synth = ParentChildSynthesizer(_fast_pc_config()).fit(parent, child, subject)
+        synthetic_parent, synthetic_child = synth.sample(3, seed=2)
+        parents = set(synthetic_parent.column(subject))
+        assert set(synthetic_child.column(subject)) <= parents
+
+    def test_sample_flat_contains_parent_and_child_columns(self, parent_child):
+        parent, child, subject = parent_child
+        synth = ParentChildSynthesizer(_fast_pc_config()).fit(parent, child, subject)
+        flat = synth.sample_flat(3, seed=3)
+        for name in parent.column_names + [c for c in child.column_names if c != subject]:
+            assert name in flat.column_names
+
+    def test_fixed_children_per_parent(self, parent_child):
+        parent, child, subject = parent_child
+        config = ParentChildConfig(parent=_fast_pc_config().parent,
+                                   child=_fast_pc_config().child,
+                                   children_per_parent=2, seed=0)
+        synth = ParentChildSynthesizer(config).fit(parent, child, subject)
+        _, synthetic_child = synth.sample(3, seed=4)
+        assert synthetic_child.num_rows == 6
+
+    def test_sampled_values_come_from_training_support(self, parent_child):
+        parent, child, subject = parent_child
+        synth = ParentChildSynthesizer(_fast_pc_config()).fit(parent, child, subject)
+        _, synthetic_child = synth.sample(3, seed=5)
+        observed_spend = set(child.column("spend").unique())
+        assert set(synthetic_child.column("spend").unique()) <= observed_spend
+
+    def test_requires_fit_before_sample(self):
+        with pytest.raises(RuntimeError):
+            ParentChildSynthesizer(_fast_pc_config()).sample(1)
+
+    def test_missing_subject_column_rejected(self, parent_child):
+        parent, child, subject = parent_child
+        with pytest.raises(KeyError):
+            ParentChildSynthesizer(_fast_pc_config()).fit(parent.drop(subject).with_column("x", [1] * parent.num_rows), child, subject)
+
+    def test_invalid_children_per_parent(self):
+        with pytest.raises(ValueError):
+            ParentChildConfig(children_per_parent=0)
+        with pytest.raises(ValueError):
+            ParentChildConfig(children_per_parent="lots")
+
+    def test_invalid_sample_size(self, parent_child):
+        parent, child, subject = parent_child
+        synth = ParentChildSynthesizer(_fast_pc_config()).fit(parent, child, subject)
+        with pytest.raises(ValueError):
+            synth.sample(0)

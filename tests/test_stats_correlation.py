@@ -1,0 +1,134 @@
+"""Unit tests for repro.stats.correlation."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, strategies as st
+
+from repro.frame.ops import crosstab
+from repro.frame.table import Table
+from repro.stats.correlation import (
+    association_matrix,
+    column_association,
+    cramers_v,
+    pairwise_matrix,
+    pearson_correlation,
+)
+
+
+class TestPearsonCorrelation:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3, 4], [2, 4, 6, 8]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=50)
+        y = 0.5 * x + rng.normal(size=50)
+        expected = np.corrcoef(x, y)[0, 1]
+        assert pearson_correlation(x, y) == pytest.approx(expected, abs=1e-9)
+
+    def test_constant_sequence_returns_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1, 2], [1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([], [])
+
+    def test_nan_values_ignored(self):
+        assert pearson_correlation([1, 2, float("nan"), 4], [2, 4, 5, 8]) == pytest.approx(1.0)
+
+
+class TestCramersV:
+    def test_independent_table_near_zero(self):
+        contingency = np.array([[25, 25], [25, 25]], dtype=float)
+        assert cramers_v(contingency) == pytest.approx(0.0, abs=1e-9)
+
+    def test_perfectly_associated_table(self):
+        contingency = np.array([[50, 0], [0, 50]], dtype=float)
+        assert cramers_v(contingency, bias_correction=False) == pytest.approx(1.0)
+
+    def test_bias_correction_shrinks_small_samples(self):
+        contingency = np.array([[3, 1], [1, 3]], dtype=float)
+        assert cramers_v(contingency, bias_correction=True) <= cramers_v(contingency, bias_correction=False)
+
+    def test_value_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        contingency = rng.integers(0, 30, size=(4, 5)).astype(float)
+        value = cramers_v(contingency)
+        assert 0.0 <= value <= 1.0
+
+    def test_uncorrected_matches_scipy_association(self):
+        rng = np.random.default_rng(2)
+        contingency = rng.integers(1, 30, size=(3, 4))
+        expected = scipy.stats.contingency.association(contingency, method="cramer", correction=False)
+        assert cramers_v(contingency.astype(float), bias_correction=False) == pytest.approx(expected, abs=1e-9)
+
+    def test_degenerate_single_row(self):
+        assert cramers_v(np.array([[5, 5]])) == 0.0
+
+    def test_empty_table(self):
+        assert cramers_v(np.zeros((2, 2))) == 0.0
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            cramers_v(np.zeros(4))
+
+
+class TestColumnAssociation:
+    def test_categorical_pair_uses_cramers_v(self):
+        table = Table({"a": ["x", "x", "y", "y"] * 10, "b": ["p", "p", "q", "q"] * 10})
+        value = column_association(table, "a", "b")
+        contingency, _, _ = crosstab(table, "a", "b")
+        assert value == pytest.approx(cramers_v(contingency))
+
+    def test_numeric_pair_uses_pearson(self):
+        values = list(np.linspace(0, 10, 50))
+        table = Table({"a": values, "b": [v * 2 + 1 for v in values]})
+        assert column_association(table, "a", "b") == pytest.approx(1.0, abs=1e-9)
+
+    def test_symmetric(self):
+        table = Table({"a": [1, 1, 2, 2, 3], "b": ["x", "x", "y", "y", "x"]})
+        assert column_association(table, "a", "b") == pytest.approx(column_association(table, "b", "a"))
+
+
+class TestAssociationMatrix:
+    def test_diagonal_is_one(self, small_table):
+        matrix, names = association_matrix(small_table)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert names == small_table.column_names
+
+    def test_matrix_is_symmetric(self, small_table):
+        matrix, _ = association_matrix(small_table)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_subset_of_columns(self, small_table):
+        matrix, names = association_matrix(small_table, columns=["age", "city"])
+        assert matrix.shape == (2, 2)
+        assert names == ["age", "city"]
+
+    def test_values_in_unit_interval(self, small_table):
+        matrix, _ = association_matrix(small_table)
+        assert np.all(matrix >= 0.0) and np.all(matrix <= 1.0 + 1e-12)
+
+
+class TestPairwiseMatrix:
+    def test_custom_measure(self, small_table):
+        matrix, names = pairwise_matrix(small_table, lambda t, a, b: 0.5, columns=["age", "city"])
+        assert matrix[0, 1] == 0.5 and matrix[1, 0] == 0.5
+        assert matrix[0, 0] == 1.0
+
+
+@given(st.integers(2, 5), st.integers(2, 5), st.integers(0, 1000))
+def test_cramers_v_bounded_property(rows, cols, seed):
+    """Property: Cramer's V always lies in [0, 1] for any contingency table."""
+    rng = np.random.default_rng(seed)
+    contingency = rng.integers(0, 20, size=(rows, cols)).astype(float)
+    value = cramers_v(contingency)
+    assert 0.0 <= value <= 1.0 + 1e-12

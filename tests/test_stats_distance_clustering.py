@@ -1,0 +1,192 @@
+"""Unit tests for repro.stats.distance, histogram and clustering."""
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy
+import scipy.spatial.distance
+import scipy.stats
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.clustering import (
+    AgglomerativeClustering,
+    fcluster_by_count,
+    fcluster_by_distance,
+)
+from repro.stats.distance import (
+    total_variation_distance,
+    wasserstein_distance,
+    wasserstein_from_samples,
+)
+from repro.stats.histogram import categorical_distribution, empirical_cdf, normalized_histogram
+
+
+class TestWasserstein:
+    def test_identical_samples_zero(self):
+        assert wasserstein_from_samples([1, 2, 3], [1, 2, 3]) == pytest.approx(0.0)
+
+    def test_shifted_samples(self):
+        assert wasserstein_from_samples([0, 1, 2], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=70)
+        b = rng.normal(loc=0.4, scale=1.3, size=50)
+        ours = wasserstein_from_samples(a, b)
+        theirs = scipy.stats.wasserstein_distance(a, b)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            wasserstein_from_samples([], [1.0])
+
+    def test_categorical_distribution_form(self):
+        dist_a = {0: 0.5, 1: 0.5}
+        dist_b = {0: 0.5, 1: 0.5}
+        assert wasserstein_distance(dist_a, dist_b) == pytest.approx(0.0)
+
+    def test_categorical_mass_shift(self):
+        dist_a = {0: 1.0, 1: 0.0}
+        dist_b = {0: 0.0, 1: 1.0}
+        assert wasserstein_distance(dist_a, dist_b) == pytest.approx(1.0)
+
+    def test_categorical_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            wasserstein_distance({0: 0.0}, {0: 1.0})
+
+
+class TestTotalVariation:
+    def test_identical(self):
+        assert total_variation_distance({"a": 2, "b": 2}, {"a": 1, "b": 1}) == pytest.approx(0.0)
+
+    def test_disjoint(self):
+        assert total_variation_distance({"a": 1}, {"b": 1}) == pytest.approx(1.0)
+
+    def test_bounded(self):
+        value = total_variation_distance({"a": 3, "b": 1}, {"a": 1, "b": 3})
+        assert 0.0 <= value <= 1.0
+
+
+class TestHistogramHelpers:
+    def test_empirical_cdf_monotone(self):
+        cdf = empirical_cdf([1, 2, 3, 4])
+        assert cdf(0) == 0.0
+        assert cdf(2) == pytest.approx(0.5)
+        assert cdf(10) == 1.0
+
+    def test_empirical_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    def test_categorical_distribution_normalized(self):
+        dist = categorical_distribution(["a", "a", "b", None])
+        assert dist["a"] == pytest.approx(2 / 3)
+
+    def test_normalized_histogram_sums_to_one(self):
+        probabilities, edges = normalized_histogram([1, 2, 2, 3, 5], bins=4)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert len(edges) == 5
+
+    def test_normalized_histogram_empty_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_histogram([])
+
+
+def _distance_matrix(points):
+    points = np.asarray(points, dtype=float)
+    return scipy.spatial.distance.squareform(scipy.spatial.distance.pdist(points))
+
+
+class TestAgglomerativeClustering:
+    def test_two_obvious_clusters(self):
+        points = [[0.0], [0.1], [0.2], [5.0], [5.1]]
+        clusters = fcluster_by_count(_distance_matrix(points), 2)
+        assert sorted(map(len, clusters)) == [2, 3]
+        assert [0, 1, 2] in clusters
+
+    def test_distance_cut_isolates_far_item(self):
+        points = [[0.0], [0.1], [10.0]]
+        clusters = fcluster_by_distance(_distance_matrix(points), threshold=1.0)
+        assert [2] in clusters
+
+    def test_merge_heights_match_scipy_average_linkage(self):
+        rng = np.random.default_rng(3)
+        points = rng.normal(size=(8, 2))
+        distances = _distance_matrix(points)
+        ours = AgglomerativeClustering(linkage="average").fit(distances)
+        linkage = scipy.cluster.hierarchy.linkage(
+            scipy.spatial.distance.squareform(distances, checks=False), method="average"
+        )
+        our_heights = sorted(height for _, _, height in ours.merges_)
+        scipy_heights = sorted(linkage[:, 2])
+        assert np.allclose(our_heights, scipy_heights, atol=1e-9)
+
+    def test_flat_clusters_match_scipy_cut(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(10, 2))
+        distances = _distance_matrix(points)
+        threshold = 1.0
+        ours = fcluster_by_distance(distances, threshold, linkage="average")
+        labels = scipy.cluster.hierarchy.fcluster(
+            scipy.cluster.hierarchy.linkage(
+                scipy.spatial.distance.squareform(distances, checks=False), method="average"
+            ),
+            t=threshold, criterion="distance",
+        )
+        scipy_clusters = {}
+        for index, label in enumerate(labels):
+            scipy_clusters.setdefault(label, []).append(index)
+        assert sorted(sorted(c) for c in scipy_clusters.values()) == ours
+
+    def test_single_item(self):
+        model = AgglomerativeClustering().fit(np.zeros((1, 1)))
+        assert model.clusters_at_distance(0.5) == [[0]]
+
+    def test_invalid_linkage_rejected(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(linkage="ward")
+
+    def test_asymmetric_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering().fit(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_cluster_count_bounds(self):
+        distances = _distance_matrix([[0.0], [1.0], [2.0]])
+        model = AgglomerativeClustering().fit(distances)
+        with pytest.raises(ValueError):
+            model.clusters_by_count(0)
+        with pytest.raises(ValueError):
+            model.clusters_by_count(4)
+
+    def test_requires_fit_before_cut(self):
+        with pytest.raises(RuntimeError):
+            AgglomerativeClustering().clusters_at_distance(1.0)
+
+    def test_complete_and_single_linkage_run(self):
+        distances = _distance_matrix([[0.0], [0.5], [4.0], [4.2]])
+        for linkage in ("single", "complete"):
+            clusters = fcluster_by_count(distances, 2, linkage=linkage)
+            assert sorted(map(len, clusters)) == [2, 2]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.floats(-100, 100), min_size=1, max_size=40),
+       st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+def test_wasserstein_symmetry_and_nonnegativity_property(a, b):
+    """Property: W(a, b) == W(b, a) >= 0, and W(a, a) == 0."""
+    forward = wasserstein_from_samples(a, b)
+    backward = wasserstein_from_samples(b, a)
+    assert forward == pytest.approx(backward, abs=1e-9)
+    assert forward >= 0.0
+    assert wasserstein_from_samples(a, a) == pytest.approx(0.0, abs=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(2, 8), st.integers(0, 1000))
+def test_clustering_partition_property(n_items, seed):
+    """Property: any dendrogram cut yields a partition of all the items."""
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n_items, 2))
+    distances = _distance_matrix(points)
+    clusters = fcluster_by_distance(distances, threshold=float(rng.uniform(0.1, 3.0)))
+    flattened = sorted(index for cluster in clusters for index in cluster)
+    assert flattened == list(range(n_items))

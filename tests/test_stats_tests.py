@@ -1,0 +1,132 @@
+"""Unit tests for repro.stats.tests (KS, chi-square, Fisher's exact)."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.tests import (
+    TestResult as StatTestResult,
+    chi_square_p_value,
+    chi_square_test,
+    fisher_exact_test,
+    ks_two_sample_test,
+)
+
+
+class TestKsTwoSample:
+    def test_identical_samples_high_p_value(self):
+        sample = list(np.linspace(0, 1, 100))
+        result = ks_two_sample_test(sample, sample)
+        assert result.statistic == pytest.approx(0.0)
+        assert result.p_value > 0.99
+
+    def test_disjoint_samples_low_p_value(self):
+        result = ks_two_sample_test(list(range(100)), list(range(1000, 1100)))
+        assert result.statistic == pytest.approx(1.0)
+        assert result.p_value < 1e-6
+
+    def test_statistic_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=80)
+        b = rng.normal(loc=0.5, size=60)
+        ours = ks_two_sample_test(a, b)
+        theirs = scipy.stats.ks_2samp(a, b)
+        assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-12)
+
+    def test_p_value_close_to_scipy_asymptotic(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=200)
+        b = rng.normal(loc=0.3, size=200)
+        ours = ks_two_sample_test(a, b)
+        theirs = scipy.stats.ks_2samp(a, b, method="asymp")
+        assert ours.p_value == pytest.approx(theirs.pvalue, abs=0.02)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            ks_two_sample_test([], [1.0])
+
+    def test_result_significance_helper(self):
+        result = StatTestResult(statistic=1.0, p_value=0.01, test_name="x")
+        assert result.significant(alpha=0.05)
+        assert not result.significant(alpha=0.001)
+
+
+class TestChiSquare:
+    def test_p_value_matches_scipy_sf(self):
+        for stat, dof in [(3.2, 2), (10.5, 4), (0.7, 1), (25.0, 9)]:
+            assert chi_square_p_value(stat, dof) == pytest.approx(
+                scipy.stats.chi2.sf(stat, dof), rel=1e-6, abs=1e-9
+            )
+
+    def test_independence_test_matches_scipy(self):
+        contingency = np.array([[10, 20, 30], [20, 15, 5]], dtype=float)
+        ours = chi_square_test(contingency)
+        chi2, p, _, _ = scipy.stats.chi2_contingency(contingency, correction=False)
+        assert ours.statistic == pytest.approx(chi2)
+        assert ours.p_value == pytest.approx(p, rel=1e-6)
+
+    def test_independent_table_high_p(self):
+        contingency = np.array([[25, 25], [25, 25]], dtype=float)
+        assert chi_square_test(contingency).p_value > 0.99
+
+    def test_zero_statistic_p_is_one(self):
+        assert chi_square_p_value(0.0, 3) == 1.0
+
+    def test_invalid_dof_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_p_value(1.0, 0)
+
+    def test_too_small_table_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_test(np.array([[1, 2]]))
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            chi_square_test(np.zeros((2, 2)))
+
+
+class TestFisherExact:
+    def test_matches_scipy_two_sided(self):
+        for table in ([[8, 2], [1, 5]], [[3, 7], [6, 4]], [[10, 0], [0, 10]]):
+            ours = fisher_exact_test(np.array(table, dtype=float))
+            odds, p = scipy.stats.fisher_exact(table, alternative="two-sided")
+            assert ours.p_value == pytest.approx(p, rel=1e-9, abs=1e-12)
+
+    def test_odds_ratio(self):
+        result = fisher_exact_test(np.array([[8, 2], [1, 5]], dtype=float))
+        assert result.statistic == pytest.approx((8 * 5) / (2 * 1))
+
+    def test_requires_2x2(self):
+        with pytest.raises(ValueError):
+            fisher_exact_test(np.zeros((2, 3)))
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fisher_exact_test(np.array([[1, -1], [2, 3]], dtype=float))
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            fisher_exact_test(np.zeros((2, 2)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(-50, 50), min_size=3, max_size=60),
+    st.lists(st.floats(-50, 50), min_size=3, max_size=60),
+)
+def test_ks_p_value_in_unit_interval_property(a, b):
+    """Property: the KS p-value always lies in [0, 1] and the statistic in [0, 1]."""
+    result = ks_two_sample_test(a, b)
+    assert 0.0 <= result.p_value <= 1.0
+    assert 0.0 <= result.statistic <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+def test_fisher_p_value_in_unit_interval_property(a, b, c, d):
+    """Property: Fisher's exact p-value lies in (0, 1] for any non-empty 2x2 table."""
+    if a + b + c + d == 0:
+        return
+    result = fisher_exact_test(np.array([[a, b], [c, d]], dtype=float))
+    assert 0.0 < result.p_value <= 1.0 + 1e-12
