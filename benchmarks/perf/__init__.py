@@ -1,0 +1,1 @@
+"""Performance harness comparing the object and numpy frame backends."""

@@ -1,0 +1,242 @@
+"""Before/after timings for the vectorized frame substrate.
+
+Runs the stats / connecting / fidelity hot paths twice — once with every
+column forced onto the legacy object-list backend, once with the typed numpy
+backends — asserts that both produce identical numbers (within float
+tolerance), and records the timings to ``BENCH_frame.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_frame --rows 100000
+    PYTHONPATH=src python -m benchmarks.perf.bench_frame --smoke   # CI-sized
+
+The ``speedup`` column is object-backend time divided by numpy-backend time;
+the acceptance bar for the refactor is >=5x on at least two stats/fidelity
+paths at 100k rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.connecting.independence import ThresholdSeparation
+from repro.evaluation.fidelity import FidelityEvaluator
+from repro.frame.backend import using_backend
+from repro.frame.ops import inner_join, value_counts
+from repro.frame.table import Table
+from repro.stats.correlation import association_matrix
+
+#: Benchmarks counted toward the >=5x stats/fidelity acceptance bar.
+STATS_FIDELITY_PATHS = ("association_matrix", "fidelity_evaluate", "independence_threshold")
+
+
+def _make_dataset(rows: int, seed: int) -> dict[str, dict[str, list]]:
+    """Raw column lists for one original and one synthetic-like table."""
+    rng = random.Random(seed)
+    n_subjects = max(rows // 20, 1)
+
+    def table_data(shift: float) -> dict[str, list]:
+        subjects = [f"user{rng.randrange(n_subjects)}" for _ in range(rows)]
+        city = [rng.choice(["austin", "boston", "denver", "seattle"]) for _ in range(rows)]
+        device = [rng.choice(["phone", "tablet", "desktop"]) for _ in range(rows)]
+        genre = [
+            {"austin": "country", "boston": "rock", "denver": "folk", "seattle": "grunge"}[c]
+            if rng.random() > 0.2 + shift else rng.choice(["country", "rock", "folk", "grunge"])
+            for c in city
+        ]
+        clicks = [rng.randrange(50) if rng.random() > 0.01 else None for _ in range(rows)]
+        score = [rng.gauss(shift, 1.0) if rng.random() > 0.01 else None for _ in range(rows)]
+        return {
+            "subject": subjects,
+            "city": city,
+            "device": device,
+            "genre": genre,
+            "clicks": clicks,
+            "score": score,
+        }
+
+    return {"original": table_data(0.0), "synthetic": table_data(0.15)}
+
+
+def _build_tables(raw: dict[str, dict[str, list]]) -> dict[str, Table]:
+    return {name: Table({k: list(v) for k, v in data.items()}) for name, data in raw.items()}
+
+
+# -- benchmark bodies: each returns a comparable result object ----------------
+
+def bench_association_matrix(tables: dict[str, Table]):
+    matrix, names = association_matrix(
+        tables["original"], ["city", "device", "genre", "clicks"]
+    )
+    return matrix.tolist(), names
+
+
+def bench_fidelity_evaluate(tables: dict[str, Table]):
+    report = FidelityEvaluator(max_conditioning_values=60).evaluate(
+        tables["original"], tables["synthetic"],
+        columns=["city", "device", "genre", "clicks", "score"],
+    )
+    return [
+        (p.pair, p.p_value, p.w_distance, p.n_conditioning_values) for p in report.pairs
+    ]
+
+
+def bench_independence_threshold(tables: dict[str, Table]):
+    result = ThresholdSeparation(threshold="mean").determine(
+        tables["original"], ["city", "device", "genre", "clicks"]
+    )
+    return result.independent_columns, result.dependent_columns, result.threshold
+
+
+def bench_inner_join(tables: dict[str, Table]):
+    joined = inner_join(
+        tables["original"][["subject", "city", "clicks"]],
+        tables["synthetic"][["subject", "genre"]],
+        on="subject",
+    )
+    return joined.shape, joined.column("clicks").missing_count()
+
+
+def bench_group_by_subject(tables: dict[str, Table]):
+    groups = tables["original"].group_indices("subject")
+    return len(groups), sum(len(v) for v in groups.values())
+
+
+def bench_drop_duplicates(tables: dict[str, Table]):
+    reduced = tables["original"].drop_duplicates(subset=["city", "device", "genre", "clicks"])
+    return reduced.shape, reduced.column("city").values[:50]
+
+
+def bench_sort_by_score(tables: dict[str, Table]):
+    ordered = tables["original"].sort_by("score")
+    return ordered.column("score").values[:100], ordered.column("score").values[-100:]
+
+
+def bench_value_counts(tables: dict[str, Table]):
+    return dict(value_counts(tables["original"], "genre"))
+
+
+BENCHMARKS = [
+    ("association_matrix", bench_association_matrix),
+    ("fidelity_evaluate", bench_fidelity_evaluate),
+    ("independence_threshold", bench_independence_threshold),
+    ("inner_join", bench_inner_join),
+    ("group_by_subject", bench_group_by_subject),
+    ("drop_duplicates", bench_drop_duplicates),
+    ("sort_by_score", bench_sort_by_score),
+    ("value_counts", bench_value_counts),
+]
+
+
+def _equivalent(a, b, atol=1e-9) -> bool:
+    if isinstance(a, (list, tuple)):
+        return (
+            isinstance(b, (list, tuple))
+            and len(a) == len(b)
+            and all(_equivalent(x, y, atol) for x, y in zip(a, b))
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and sorted(map(str, a)) == sorted(map(str, b))
+            and all(_equivalent(a[k], b[k], atol) for k in a)
+        )
+    if isinstance(a, float) or isinstance(b, float):
+        if a is None or b is None:
+            return a is None and b is None
+        return abs(float(a) - float(b)) <= atol * max(1.0, abs(float(a)), abs(float(b)))
+    return a == b
+
+
+def run(rows: int, seed: int = 7, repeats: int = 1) -> dict:
+    """Run every benchmark on both backends and return the report dict."""
+    raw = _make_dataset(rows, seed)
+    results: dict[str, dict] = {}
+    outputs: dict[str, dict] = {"object": {}, "numpy": {}}
+    timings: dict[str, dict] = {"object": {}, "numpy": {}}
+
+    for backend in ("object", "numpy"):
+        with using_backend(backend):
+            tables = _build_tables(raw)
+            for name, body in BENCHMARKS:
+                best = float("inf")
+                for _ in range(max(repeats, 1)):
+                    start = time.perf_counter()
+                    outputs[backend][name] = body(tables)
+                    best = min(best, time.perf_counter() - start)
+                timings[backend][name] = best
+
+    for name, _ in BENCHMARKS:
+        equivalent = _equivalent(outputs["object"][name], outputs["numpy"][name])
+        object_s = timings["object"][name]
+        numpy_s = timings["numpy"][name]
+        results[name] = {
+            "object_s": round(object_s, 6),
+            "numpy_s": round(numpy_s, 6),
+            "speedup": round(object_s / numpy_s, 2) if numpy_s > 0 else float("inf"),
+            "equivalent": equivalent,
+            "stats_fidelity_path": name in STATS_FIDELITY_PATHS,
+        }
+
+    fast_paths = [
+        name for name in STATS_FIDELITY_PATHS if results[name]["speedup"] >= 5.0
+    ]
+    return {
+        "rows": rows,
+        "seed": seed,
+        "numpy_version": np.__version__,
+        "benchmarks": results,
+        "all_equivalent": all(entry["equivalent"] for entry in results.values()),
+        "stats_fidelity_paths_at_5x": fast_paths,
+        "meets_5x_target": len(fast_paths) >= 2,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the object vs numpy frame backends."
+    )
+    parser.add_argument("--rows", type=int, default=100_000,
+                        help="rows per generated table (default 100000)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (2000 rows, no speedup requirement)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repetitions per benchmark (best-of)")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_frame.json"),
+                        help="output JSON path (default ./BENCH_frame.json)")
+    args = parser.parse_args(argv)
+
+    rows = 2_000 if args.smoke else args.rows
+    report = run(rows, seed=args.seed, repeats=args.repeats)
+    report["mode"] = "smoke" if args.smoke else "full"
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(name) for name, _ in BENCHMARKS)
+    print(f"rows={rows}  (object vs numpy backend)")
+    for name, _ in BENCHMARKS:
+        entry = report["benchmarks"][name]
+        flag = "*" if entry["stats_fidelity_path"] else " "
+        print("{}{:<{width}}  object {:>9.4f}s  numpy {:>9.4f}s  speedup {:>7.2f}x  equivalent={}".format(
+            flag, name, entry["object_s"], entry["numpy_s"], entry["speedup"],
+            entry["equivalent"], width=width,
+        ))
+    print("wrote {}".format(args.out))
+
+    if not report["all_equivalent"]:
+        print("ERROR: backends disagree on at least one benchmark result")
+        return 1
+    if not args.smoke and not report["meets_5x_target"]:
+        print("ERROR: fewer than two stats/fidelity paths reached the 5x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,7 +45,13 @@ def _print_rows(rows: list[dict]) -> None:
     if not rows:
         print("(no rows)")
         return
-    keys = list(rows[0].keys())
+    keys: list = []
+    seen = set()
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                keys.append(key)
     widths = {key: max(len(str(key)), max(len(str(row.get(key, ""))) for row in rows)) for key in keys}
     header = "  ".join(str(key).ljust(widths[key]) for key in keys)
     print(header)

@@ -14,6 +14,8 @@ import random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.frame.errors import ColumnNotFoundError
 from repro.frame.table import Table
 
@@ -35,6 +37,23 @@ class SubjectPools:
             raise ColumnNotFoundError(column, table.column_names)
         subjects = table.column(subject_column)
         values = table.column(column)
+        if subjects.is_vectorized and len(subjects):
+            # group row indices by subject in one argsort instead of a
+            # per-row dict update; pool contents keep ascending row order so
+            # bootstrap draws are identical to the legacy loop
+            value_list = values.values
+            valid_rows = np.flatnonzero(values.validity_mask())
+            codes, keys = subjects._codes_with_missing()
+            group_codes = codes[valid_rows]
+            order = np.argsort(group_codes, kind="stable")
+            counts = np.bincount(group_codes, minlength=len(keys))
+            splits = np.split(valid_rows[order], np.cumsum(counts)[:-1])
+            pools = {
+                keys[g]: [value_list[i] for i in split.tolist()]
+                for g, split in enumerate(splits) if split.size
+            }
+            global_pool = [value_list[i] for i in valid_rows.tolist()]
+            return cls(column=column, pools=pools, global_pool=global_pool)
         pools: dict = {}
         global_pool: list = []
         for subject, value in zip(subjects, values):

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.frame.table import Table
 from repro.stats.distance import wasserstein_from_samples
-from repro.stats.tests import ks_two_sample_test
+from repro.stats.tests import _ks_p_value, ks_two_sample_test
 
 
 def encode_categories(original_values, synthetic_values) -> tuple[list[float], list[float]]:
@@ -48,6 +48,44 @@ def encode_categories(original_values, synthetic_values) -> tuple[list[float], l
         [codebook[str(v)] for v in original_values],
         [codebook[str(v)] for v in synthetic_values],
     )
+
+
+def _translate_codes(codes: np.ndarray, mapping: list[int]) -> np.ndarray:
+    """Remap dictionary codes through ``mapping`` (missing ``-1`` stays put)."""
+    if not mapping:
+        return np.full(codes.shape, -1, dtype=np.int64)
+    table = np.asarray(mapping, dtype=np.int64)
+    return np.where(codes >= 0, table[np.maximum(codes, 0)], -1)
+
+
+def _ks_p_and_wasserstein(sample_a: np.ndarray, sample_b: np.ndarray) -> tuple[float, float]:
+    """KS p-value and Wasserstein distance from one shared sorted support.
+
+    Computes exactly what :func:`ks_two_sample_test` plus
+    :func:`wasserstein_from_samples` compute, but sorts each sample once and
+    evaluates both empirical CDFs on a single pooled support — the per-group
+    kernel of the vectorized Algorithm 1 loop.
+    """
+    a = np.sort(np.asarray(sample_a, dtype=np.float64))
+    b = np.sort(np.asarray(sample_b, dtype=np.float64))
+    support = np.concatenate([a, b])
+    support.sort(kind="mergesort")
+    cdf_a = np.searchsorted(a, support, side="right") / a.size
+    cdf_b = np.searchsorted(b, support, side="right") / b.size
+    gaps = np.abs(cdf_a - cdf_b)
+    statistic = float(np.max(gaps))
+    p_value = _ks_p_value(statistic, a.size, b.size)
+    deltas = np.diff(support)
+    w_distance = float(np.sum(gaps[:-1] * deltas)) if deltas.size else 0.0
+    return p_value, w_distance
+
+
+def _split_by_code(rows: np.ndarray, codes: np.ndarray, n_groups: int) -> list[np.ndarray]:
+    """Partition the row indices by their (non-missing) code, in code order."""
+    group_codes = codes[rows]
+    order = np.argsort(group_codes, kind="stable")
+    counts = np.bincount(group_codes, minlength=n_groups)
+    return np.split(rows[order], np.cumsum(counts)[:-1])
 
 
 @dataclass(frozen=True)
@@ -154,13 +192,118 @@ class FidelityEvaluator:
         """Algorithm 1 for a single ordered column pair.
 
         Returns ``None`` when the pair cannot be scored (no usable
-        conditioning value), so callers can skip it.
+        conditioning value), so callers can skip it.  Columns on typed storage
+        backends run a vectorized implementation of the conditional grouping
+        and encoding; mixed columns use the original per-value code.
         """
         orig_cond = original.column(conditioning_column)
         orig_target = original.column(target_column)
         syn_cond = synthetic.column(conditioning_column)
         syn_target = synthetic.column(target_column)
+        if all(col.is_vectorized for col in (orig_cond, orig_target, syn_cond, syn_target)):
+            return self._pair_fidelity_vectorized(
+                orig_cond, orig_target, syn_cond, syn_target,
+                conditioning_column, target_column,
+            )
+        return self._pair_fidelity_generic(
+            orig_cond, orig_target, syn_cond, syn_target,
+            conditioning_column, target_column,
+        )
 
+    def _pair_fidelity_vectorized(self, orig_cond, orig_target, syn_cond, syn_target,
+                                  conditioning_column: str, target_column: str
+                                  ) -> ColumnPairFidelity | None:
+        """Array implementation of the conditional-distribution loop.
+
+        Mirrors :meth:`_pair_fidelity_generic` exactly: same grouping, same
+        shared codebooks (numeric values as-is, everything else encoded by
+        sorted string order of the per-group union), same weights.
+        """
+        numeric_kinds = ("int", "float", "empty")
+        numeric_mode = (orig_target.dtype in numeric_kinds
+                        and syn_target.dtype in numeric_kinds)
+        if numeric_mode:
+            o_values = orig_target._backend.as_float_array()
+            s_values = syn_target._backend.as_float_array()
+            o_target_valid = orig_target.validity_mask()
+            s_target_valid = syn_target.validity_mask()
+        else:
+            # global dictionary codes ranked by the string form of each
+            # category; restricting the ranking to a group's union reproduces
+            # the per-group sorted-string codebook of encode_categories()
+            o_raw, o_cats = orig_target.factorize()
+            s_raw, s_cats = syn_target.factorize()
+            strings = sorted({str(c) for c in o_cats} | {str(c) for c in s_cats})
+            rank = {s: i for i, s in enumerate(strings)}
+            o_values = _translate_codes(o_raw, [rank[str(c)] for c in o_cats])
+            s_values = _translate_codes(s_raw, [rank[str(c)] for c in s_cats])
+            o_target_valid = o_raw >= 0
+            s_target_valid = s_raw >= 0
+
+        c_codes, c_cats = orig_cond.factorize()
+        s_c_raw, s_c_cats = syn_cond.factorize()
+        cond_code = {cat: code for code, cat in enumerate(c_cats)}
+        s_c_codes = _translate_codes(s_c_raw, [cond_code.get(cat, -1) for cat in s_c_cats])
+
+        o_valid = (c_codes >= 0) & o_target_valid
+        s_valid = (s_c_codes >= 0) & s_target_valid
+        total = int(np.count_nonzero(o_valid))
+        if total == 0:
+            return None
+
+        n_groups = len(c_cats)
+        o_groups = _split_by_code(np.flatnonzero(o_valid), c_codes, n_groups)
+        s_groups = _split_by_code(np.flatnonzero(s_valid), s_c_codes, n_groups)
+
+        weighted_p = 0.0
+        weighted_w = 0.0
+        weight_total = 0.0
+        used_values = 0
+        for group in range(n_groups):
+            orig_rows = o_groups[group]
+            if orig_rows.size < self.min_conditional_samples:
+                continue
+            weight = orig_rows.size / total
+            orig_samples = o_values[orig_rows]
+            syn_rows = s_groups[group]
+            if syn_rows.size == 0:
+                # the synthetic data never produced this conditioning value:
+                # maximal dissimilarity for this slice
+                if numeric_mode:
+                    spread = float(orig_samples.max() - orig_samples.min())
+                else:
+                    spread = float(np.unique(orig_samples).size - 1)
+                weighted_w += weight * max(spread, 1.0)
+                weight_total += weight
+                used_values += 1
+                continue
+            syn_samples = s_values[syn_rows]
+            if numeric_mode:
+                encoded_orig, encoded_syn = orig_samples, syn_samples
+            else:
+                union = np.union1d(orig_samples, syn_samples)
+                encoded_orig = np.searchsorted(union, orig_samples).astype(float)
+                encoded_syn = np.searchsorted(union, syn_samples).astype(float)
+            p_value, w_dist = _ks_p_and_wasserstein(encoded_orig, encoded_syn)
+            weighted_p += weight * p_value
+            weighted_w += weight * w_dist
+            weight_total += weight
+            used_values += 1
+
+        if weight_total == 0.0 or used_values == 0:
+            return None
+        return ColumnPairFidelity(
+            conditioning_column=conditioning_column,
+            target_column=target_column,
+            p_value=weighted_p / weight_total,
+            w_distance=weighted_w / weight_total,
+            n_conditioning_values=used_values,
+        )
+
+    def _pair_fidelity_generic(self, orig_cond, orig_target, syn_cond, syn_target,
+                               conditioning_column: str, target_column: str
+                               ) -> ColumnPairFidelity | None:
+        """The original per-value implementation, kept for mixed columns."""
         # group targets by conditioning value on both sides
         orig_groups: dict = {}
         for value, target in zip(orig_cond, orig_target):

@@ -8,6 +8,12 @@ containers those operations run on, playing the role pandas plays in the
 original code base but with no external dependency beyond NumPy.
 """
 
+from repro.frame.backend import (
+    get_default_backend,
+    is_missing,
+    set_default_backend,
+    using_backend,
+)
 from repro.frame.column import Column, infer_dtype
 from repro.frame.errors import (
     ColumnNotFoundError,
@@ -24,6 +30,10 @@ __all__ = [
     "Table",
     "Column",
     "infer_dtype",
+    "is_missing",
+    "get_default_backend",
+    "set_default_backend",
+    "using_backend",
     "read_csv",
     "write_csv",
     "inner_join",

@@ -5,6 +5,12 @@ stage of the GReaTER pipeline (semantic enhancement, cross-table connecting,
 textual encoding, fidelity evaluation) consumes and produces tables.  It is a
 deliberately small, explicit subset of a DataFrame API — only the operations
 the pipeline actually needs.
+
+Row-level operations (filtering, sorting, grouping, de-duplication) take a
+vectorized fast path when the involved columns live on a typed storage
+backend (see :mod:`repro.frame.backend`) and fall back to the original
+per-value Python code otherwise, so ``mixed`` columns and the forced
+``"object"`` backend keep their exact legacy behaviour.
 """
 
 from __future__ import annotations
@@ -13,7 +19,9 @@ import random
 from collections import OrderedDict
 from collections.abc import Iterable, Mapping, Sequence
 
-from repro.frame.column import Column, coerce_value
+import numpy as np
+
+from repro.frame.column import Column, coerce_value, is_missing
 from repro.frame.errors import (
     ColumnNotFoundError,
     DuplicateColumnError,
@@ -86,8 +94,11 @@ class Table:
         return cls(columns)
 
     def copy(self) -> "Table":
-        """Return a deep-enough copy (new column objects, new value lists)."""
-        return Table({name: col.values for name, col in self._columns.items()})
+        """Return a deep-enough copy (new column objects, new storage)."""
+        return Table([
+            Column._from_backend(name, col._backend.copy(), col.dtype)
+            for name, col in self._columns.items()
+        ])
 
     # -- introspection ------------------------------------------------------------
 
@@ -166,8 +177,10 @@ class Table:
 
     def iter_rows(self):
         """Yield each row as a dict, in order."""
-        for index in range(self.num_rows):
-            yield self.row(index)
+        names = self.column_names
+        value_lists = [col.values for col in self._columns.values()]
+        for row in zip(*value_lists):
+            yield dict(zip(names, row))
 
     def to_records(self) -> list[dict]:
         """All rows as a list of dicts."""
@@ -185,7 +198,7 @@ class Table:
 
     def select(self, names: Sequence[str]) -> "Table":
         """Return a new table containing only *names*, in the given order."""
-        return Table({name: self.column(name).values for name in names})
+        return Table([self.column(name) for name in names])
 
     def drop(self, names: Sequence[str] | str) -> "Table":
         """Return a new table without the given column(s)."""
@@ -207,18 +220,20 @@ class Table:
             raise DuplicateColumnError(
                 next(n for n in new_names if new_names.count(n) > 1)
             )
-        return Table(
-            {new: self._columns[old].values for old, new in zip(self.column_names, new_names)}
-        )
+        return Table([
+            self._columns[old].rename(new) for old, new in zip(self.column_names, new_names)
+        ])
 
     def with_column(self, name: str, values: Iterable) -> "Table":
         """Return a new table with column *name* added or replaced."""
-        values = [coerce_value(v) for v in values]
-        if self._columns and len(values) != self.num_rows:
-            raise LengthMismatchError(self.num_rows, len(values), name=name)
-        data = self.to_dict()
-        data[name] = values
-        return Table(data)
+        column = values if isinstance(values, Column) and values.name == name else Column(name, values)
+        if self._columns and len(column) != self.num_rows:
+            raise LengthMismatchError(self.num_rows, len(column), name=name)
+        columns = [column if existing == name else self._columns[existing]
+                   for existing in self.column_names]
+        if name not in self._columns:
+            columns.append(column)
+        return Table(columns)
 
     def map_column(self, name: str, func) -> "Table":
         """Return a new table with *func* applied to every value of column *name*."""
@@ -237,7 +252,9 @@ class Table:
 
     def take(self, indices: Sequence[int]) -> "Table":
         """Return a new table with the rows at *indices* (in the given order)."""
-        return Table({name: col.take(indices) for name, col in self._columns.items()})
+        if not isinstance(indices, np.ndarray):
+            indices = np.asarray(list(indices), dtype=np.intp)
+        return Table([col.take(indices) for col in self._columns.values()])
 
     def filter(self, predicate) -> "Table":
         """Return the rows for which ``predicate(row_dict)`` is truthy."""
@@ -245,22 +262,39 @@ class Table:
         return self.take(indices)
 
     def where(self, name: str, value) -> "Table":
-        """Return the rows whose column *name* equals *value*."""
+        """Return the rows whose column *name* equals *value*.
+
+        Missing values (``None``/NaN) match each other, in line with the
+        substrate's single missing-value definition.
+        """
         column = self.column(name)
-        indices = [i for i, v in enumerate(column) if v == value]
+        if is_missing(value):
+            value = None
+        indices = column._indices_equal(value)
+        if indices is None:
+            indices = [i for i, v in enumerate(column) if v == value]
         return self.take(indices)
 
     def where_in(self, name: str, values: Iterable) -> "Table":
         """Return the rows whose column *name* is a member of *values*."""
-        allowed = set(values)
+        allowed = {None if is_missing(v) else v for v in values}
         column = self.column(name)
-        indices = [i for i, v in enumerate(column) if v in allowed]
+        indices = column._indices_isin(allowed)
+        if indices is None:
+            indices = [i for i, v in enumerate(column) if v in allowed]
         return self.take(indices)
 
     def sort_by(self, name: str, reverse: bool = False) -> "Table":
-        """Return a new table sorted by column *name* (stable sort)."""
+        """Return a new table sorted by column *name* (stable sort, missing last —
+        or first when *reverse* is true, matching the previous tuple-key sort)."""
         column = self.column(name)
-        indices = sorted(range(self.num_rows), key=lambda i: (column[i] is None, column[i]), reverse=reverse)
+        indices = column._argsort_indices(reverse)
+        if indices is None:
+            indices = sorted(
+                range(self.num_rows),
+                key=lambda i: (column[i] is None, column[i]),
+                reverse=reverse,
+            )
         return self.take(indices)
 
     def drop_duplicates(self, subset: Sequence[str] | None = None) -> "Table":
@@ -274,9 +308,13 @@ class Table:
         for name in names:
             if name not in self._columns:
                 raise ColumnNotFoundError(name, self.column_names)
+        cols = [self.column(name) for name in names]
+        if cols and self.num_rows and all(col.is_vectorized for col in cols):
+            indices = _first_occurrence_indices(cols)
+            if indices is not None:
+                return self.take(indices)
         seen = set()
         indices = []
-        cols = [self.column(name) for name in names]
         for i in range(self.num_rows):
             key = tuple(col[i] for col in cols)
             if key not in seen:
@@ -315,16 +353,27 @@ class Table:
         keys in first-seen order.  This is the primitive behind contextual
         variable detection and per-subject bootstrap pools.
         """
-        column = self.column(name)
-        groups: "OrderedDict[object, list[int]]" = OrderedDict()
-        for i, value in enumerate(column):
-            groups.setdefault(value, []).append(i)
-        return OrderedDict((key, self.take(indices)) for key, indices in groups.items())
+        return OrderedDict(
+            (key, self.take(indices)) for key, indices in self.group_indices(name).items()
+        )
 
     def group_indices(self, name: str) -> "OrderedDict":
-        """Like :meth:`group_by` but returning row indices instead of sub-tables."""
+        """Like :meth:`group_by` but returning row indices instead of sub-tables.
+
+        Index lists are ascending; keys (including ``None`` for missing
+        values) appear in first-seen order, like a dict keyed on raw values.
+        """
         column = self.column(name)
         groups: "OrderedDict[object, list[int]]" = OrderedDict()
+        if column.is_vectorized and self.num_rows:
+            codes, keys = column._codes_with_missing()
+            order = np.argsort(codes, kind="stable").tolist()
+            bounds = np.bincount(codes, minlength=len(keys)).cumsum().tolist()
+            start = 0
+            for key, stop in zip(keys, bounds):
+                groups[key] = order[start:stop]
+                start = stop
+            return groups
         for i, value in enumerate(column):
             groups.setdefault(value, []).append(i)
         return groups
@@ -345,3 +394,25 @@ class Table:
         mine = sorted(tuple(row[n] for n in names) for row in self.iter_rows())
         theirs = sorted(tuple(row[n] for n in names) for row in other.iter_rows())
         return mine == theirs
+
+
+def _first_occurrence_indices(cols: Sequence[Column]) -> np.ndarray | None:
+    """Ascending indices of the first occurrence of each distinct row.
+
+    Dictionary-encodes every column (missing values get their own key, like a
+    Python dict keyed on raw values) and combines the per-column codes into a
+    single mixed-radix row key.  Returns ``None`` when the key space is too
+    large for an int64 radix encoding.
+    """
+    combined = None
+    radix = 1
+    for col in cols:
+        codes, keys = col._codes_with_missing()
+        cardinality = max(len(keys), 1)
+        if radix * cardinality >= 2 ** 62:
+            return None
+        radix *= cardinality
+        combined = codes if combined is None else combined * cardinality + codes
+    first = np.unique(combined, return_index=True)[1]
+    first.sort()
+    return first

@@ -1,0 +1,24 @@
+"""Shared sample-to-array conversion for the statistics kernels.
+
+Every statistical function historically converted its input with a per-value
+``[float(v) for v in sample]`` list comprehension.  The vectorized frame
+backends hand the same functions typed ndarrays (and
+:class:`~repro.frame.column.Column` objects expose them zero-copy), so the
+conversion below short-circuits for arrays and keeps the element-wise
+behaviour — including its error messages on non-numeric values — for plain
+Python sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_float_array(sample) -> np.ndarray:
+    """Convert a sample to a float64 ndarray without copying typed arrays."""
+    if isinstance(sample, np.ndarray):
+        return sample.astype(np.float64, copy=False)
+    column_array = getattr(sample, "as_array", None)
+    if column_array is not None:
+        return np.asarray(column_array(), dtype=np.float64)
+    return np.asarray([float(v) for v in sample], dtype=np.float64)

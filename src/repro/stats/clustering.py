@@ -74,26 +74,21 @@ class AgglomerativeClustering:
 
         nodes = {i: ClusterNode(node_id=i, members=(i,)) for i in range(n)}
         active = set(range(n))
-        # cluster-to-cluster distance bookkeeping; start from item distances
-        cluster_distance = {}
-        for i in range(n):
-            for j in range(i + 1, n):
-                cluster_distance[(i, j)] = float(distances[i, j])
+        # cluster-to-cluster distances in a dense upper-triangular matrix
+        # indexed by node id (rows/cols of inactive clusters stay at +inf), so
+        # the closest active pair is one vectorized argmin away
+        total_nodes = 2 * n - 1
+        pair_distance = np.full((total_nodes, total_nodes), np.inf)
+        upper = np.triu_indices(n, k=1)
+        pair_distance[upper] = distances[upper]
 
         next_id = n
         while len(active) > 1:
-            # find the closest pair of active clusters
-            best_pair = None
-            best_distance = np.inf
-            for i in sorted(active):
-                for j in sorted(active):
-                    if j <= i:
-                        continue
-                    d = cluster_distance[(i, j)]
-                    if d < best_distance:
-                        best_distance = d
-                        best_pair = (i, j)
-            i, j = best_pair
+            # closest pair of active clusters; ties resolve to the smallest
+            # (i, j) in lexicographic order, like the original scan
+            flat = int(np.argmin(pair_distance))
+            i, j = divmod(flat, total_nodes)
+            best_distance = float(pair_distance[i, j])
             merged_members = tuple(sorted(nodes[i].members + nodes[j].members))
             merged = ClusterNode(
                 node_id=next_id,
@@ -106,12 +101,15 @@ class AgglomerativeClustering:
             nodes[next_id] = merged
             active.discard(i)
             active.discard(j)
+            pair_distance[i, :] = np.inf
+            pair_distance[:, i] = np.inf
+            pair_distance[j, :] = np.inf
+            pair_distance[:, j] = np.inf
 
             # update distances from the new cluster to every other active cluster
             for k in sorted(active):
                 d = self._linkage_distance(distances, merged_members, nodes[k].members)
-                key = (min(k, next_id), max(k, next_id))
-                cluster_distance[key] = d
+                pair_distance[min(k, next_id), max(k, next_id)] = d
             active.add(next_id)
             next_id += 1
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.frame.ops import crosstab
 from repro.frame.table import Table
+from repro.stats._arrays import as_float_array
 
 
 def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
@@ -23,8 +24,8 @@ def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
     Returns 0.0 when either sequence is constant (no linear association can be
     measured) and raises ``ValueError`` on length mismatch or empty input.
     """
-    x = np.asarray(list(x), dtype=float)
-    y = np.asarray(list(y), dtype=float)
+    x = as_float_array(x)
+    y = as_float_array(y)
     if x.shape != y.shape:
         raise ValueError("sequences must have the same length, got {} and {}".format(len(x), len(y)))
     if x.size == 0:
@@ -88,7 +89,7 @@ def column_association(table: Table, first: str, second: str,
     col_a = table.column(first)
     col_b = table.column(second)
     if col_a.is_numeric() and col_b.is_numeric() and col_a.nunique() > 20 and col_b.nunique() > 20:
-        return abs(pearson_correlation(col_a.to_numpy(), col_b.to_numpy()))
+        return abs(pearson_correlation(col_a.as_array(), col_b.as_array()))
     contingency, _, _ = crosstab(table, first, second)
     return cramers_v(contingency, bias_correction=bias_correction)
 

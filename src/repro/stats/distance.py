@@ -11,6 +11,8 @@ from collections.abc import Mapping, Sequence
 
 import numpy as np
 
+from repro.stats._arrays import as_float_array
+
 
 def wasserstein_from_samples(sample_a: Sequence[float], sample_b: Sequence[float]) -> float:
     """1-Wasserstein distance between two empirical one-dimensional samples.
@@ -18,8 +20,8 @@ def wasserstein_from_samples(sample_a: Sequence[float], sample_b: Sequence[float
     Equals the integral of the absolute difference between the two empirical
     CDFs, computed exactly from the pooled sorted support.
     """
-    a = np.sort(np.asarray([float(v) for v in sample_a], dtype=float))
-    b = np.sort(np.asarray([float(v) for v in sample_b], dtype=float))
+    a = np.sort(as_float_array(sample_a))
+    b = np.sort(as_float_array(sample_b))
     if a.size == 0 or b.size == 0:
         raise ValueError("Wasserstein distance requires two non-empty samples")
     support = np.concatenate([a, b])

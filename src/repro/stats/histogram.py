@@ -5,15 +5,18 @@ Small helpers shared by the fidelity metrics and the dataset generator.
 
 from __future__ import annotations
 
-from collections import Counter, OrderedDict
+from collections import OrderedDict
 from collections.abc import Sequence
 
 import numpy as np
 
+from repro.frame.ops import ranked_value_counts
+from repro.stats._arrays import as_float_array
+
 
 def empirical_cdf(sample: Sequence[float]):
     """Return a callable empirical CDF of a one-dimensional sample."""
-    values = np.sort(np.asarray([float(v) for v in sample], dtype=float))
+    values = np.sort(as_float_array(sample))
     if values.size == 0:
         raise ValueError("cannot build a CDF from an empty sample")
 
@@ -25,18 +28,13 @@ def empirical_cdf(sample: Sequence[float]):
 
 def categorical_distribution(values: Sequence, normalize: bool = True) -> "OrderedDict":
     """Frequency distribution of a categorical sample, most frequent first."""
-    counter = Counter(v for v in values if v is not None)
-    total = sum(counter.values())
-    ordered = OrderedDict(counter.most_common())
-    if normalize and total > 0:
-        return OrderedDict((k, v / total) for k, v in ordered.items())
-    return ordered
+    return ranked_value_counts(values, normalize=normalize)
 
 
 def normalized_histogram(sample: Sequence[float], bins: int = 10,
                          value_range: tuple[float, float] | None = None) -> tuple[np.ndarray, np.ndarray]:
     """Normalised histogram (probabilities summing to 1) and its bin edges."""
-    values = np.asarray([float(v) for v in sample], dtype=float)
+    values = as_float_array(sample)
     if values.size == 0:
         raise ValueError("cannot build a histogram from an empty sample")
     counts, edges = np.histogram(values, bins=bins, range=value_range)

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.stats._arrays import as_float_array
+
 
 @dataclass(frozen=True)
 class TestResult:
@@ -72,8 +74,8 @@ def ks_two_sample_test(sample_a: Sequence[float], sample_b: Sequence[float]) -> 
     distributions; categorical data should be mapped to a shared numeric
     codebook first (see :func:`repro.evaluation.fidelity.encode_categories`).
     """
-    a = np.asarray([float(v) for v in sample_a], dtype=float)
-    b = np.asarray([float(v) for v in sample_b], dtype=float)
+    a = as_float_array(sample_a)
+    b = as_float_array(sample_b)
     if a.size == 0 or b.size == 0:
         raise ValueError("KS test requires two non-empty samples")
     statistic = _ks_statistic(a, b)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXPERIMENTS, _print_rows, build_parser, main
 from repro.evaluation.fidelity import FidelityEvaluator
 from repro.experiments.figures import (
     aggregate_reports,
@@ -130,3 +130,27 @@ class TestCli:
     def test_dataset_with_size_flags(self, capsys):
         assert main(["dataset", "--trials", "1", "--users-per-task", "6", "--seed", "3"]) == 0
         assert "click_through_rate" in capsys.readouterr().out
+
+
+class TestPrintRows:
+    def test_heterogeneous_rows_keep_all_columns(self, capsys):
+        """Columns appearing only in later rows must still be printed."""
+        _print_rows([
+            {"a": 1, "b": 2},
+            {"b": 3, "c": 4},
+            {"d": 5},
+        ])
+        output = capsys.readouterr().out
+        header = output.splitlines()[0]
+        assert header.split() == ["a", "b", "c", "d"]
+        # the late-appearing column's value is rendered, not dropped
+        assert "5" in output
+
+    def test_union_keys_keep_first_seen_order(self, capsys):
+        _print_rows([{"z": 1}, {"a": 2, "z": 3}])
+        header = capsys.readouterr().out.splitlines()[0]
+        assert header.split() == ["z", "a"]
+
+    def test_empty_rows(self, capsys):
+        _print_rows([])
+        assert "(no rows)" in capsys.readouterr().out

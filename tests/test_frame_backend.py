@@ -1,0 +1,261 @@
+"""Tests for the pluggable column storage backends (repro.frame.backend)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frame.backend import (
+    BACKEND_KINDS,
+    MISSING_VALUES,
+    get_default_backend,
+    is_missing,
+    set_default_backend,
+    using_backend,
+)
+from repro.frame.column import Column, coerce_value, infer_dtype
+from repro.frame.table import Table
+
+
+class TestMissingUnification:
+    """MISSING_VALUES and is_missing agree on one definition of missing."""
+
+    def test_every_declared_missing_value_is_missing(self):
+        for value in MISSING_VALUES:
+            assert is_missing(value)
+
+    def test_nan_is_declared(self):
+        assert any(isinstance(v, float) and math.isnan(v) for v in MISSING_VALUES)
+        assert None in MISSING_VALUES
+
+    def test_predicate_covers_numpy_nan(self):
+        assert is_missing(np.float64("nan"))
+        assert not is_missing(0.0)
+        assert not is_missing("")
+        assert not is_missing(False)
+
+    def test_missing_surfaces_as_none_on_both_backends(self):
+        for kind in ("object", "numpy"):
+            with using_backend(kind):
+                col = Column("a", [1.5, None, float("nan")])
+            assert col.values == [1.5, None, None], kind
+            assert col.missing_count() == 2
+
+    def test_validity_mask_uses_the_same_definition(self):
+        for kind in ("object", "numpy"):
+            with using_backend(kind):
+                col = Column("a", [1.0, None, float("nan"), 4.0])
+            mask = col.validity_mask()
+            assert mask.tolist() == [not is_missing(v) for v in [1.0, None, float("nan"), 4.0]]
+
+
+class TestInferDtypeEdgeCases:
+    def test_bool_vs_int_precedence_is_mixed(self):
+        assert infer_dtype([True, 1]) == "mixed"
+        assert infer_dtype([True, False]) == "bool"
+        assert infer_dtype([1, 0]) == "int"
+
+    def test_numpy_scalar_types(self):
+        assert infer_dtype([np.int32(1), np.int64(2)]) == "int"
+        assert infer_dtype([np.float32(1.5)]) == "float"
+        assert infer_dtype([np.bool_(True)]) == "bool"
+        assert infer_dtype([np.str_("x")]) == "str"
+
+    def test_all_missing_is_empty(self):
+        assert infer_dtype([None, float("nan"), None]) == "empty"
+
+    def test_numpy_nan_is_ignored(self):
+        assert infer_dtype([np.float64("nan"), 3]) == "int"
+
+
+class TestCoerceValueEdgeCases:
+    def test_numpy_str_becomes_python_str(self):
+        value = coerce_value(np.str_("abc"))
+        assert value == "abc" and type(value) is str
+
+    def test_bool_is_not_coerced_to_int(self):
+        assert coerce_value(np.bool_(False)) is False
+
+    def test_nested_values_pass_through(self):
+        payload = {"k": 1}
+        assert coerce_value(payload) is payload
+
+
+class TestBackendSelection:
+    def test_auto_uses_numpy_for_typed_columns(self):
+        with using_backend("auto"):
+            assert Column("a", [1, 2]).backend_kind == "numpy"
+            assert Column("a", [1.5]).backend_kind == "numpy"
+            assert Column("a", [True]).backend_kind == "numpy"
+            assert Column("a", ["x"]).backend_kind == "numpy"
+
+    def test_auto_keeps_object_for_mixed_columns(self):
+        with using_backend("auto"):
+            assert Column("a", [1, "x"]).backend_kind == "object"
+            assert Column("a", [None, None]).backend_kind == "object"
+
+    def test_object_policy_forces_object_everywhere(self):
+        with using_backend("object"):
+            assert Column("a", [1, 2]).backend_kind == "object"
+            assert not Column("a", [1, 2]).is_vectorized
+
+    def test_using_backend_restores_previous(self):
+        before = get_default_backend()
+        with using_backend("object"):
+            assert get_default_backend() == "object"
+        assert get_default_backend() == before
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_backend("arrow")
+        assert get_default_backend() in BACKEND_KINDS
+
+    def test_unhashable_str_dtype_values_fall_back(self):
+        with using_backend("numpy"):
+            col = Column("a", [["x"], ["y"]], dtype="str")
+        assert col.backend_kind == "object"
+        assert col.values == [["x"], ["y"]]
+
+
+class TestTypedColumnApi:
+    def test_as_array_is_zero_copy_for_floats(self):
+        with using_backend("numpy"):
+            col = Column("a", [1.5, 2.5])
+        first = col.as_array()
+        second = col.as_array()
+        assert first is second
+        assert first.dtype == np.float64
+
+    def test_as_array_int_without_missing_keeps_int_dtype(self):
+        with using_backend("numpy"):
+            col = Column("a", [1, 2, 3])
+        assert col.as_array().dtype == np.int64
+        assert col.as_array().tolist() == [1, 2, 3]
+
+    def test_as_array_promotes_to_float_with_missing(self):
+        with using_backend("numpy"):
+            col = Column("a", [1, None, 3])
+        arr = col.as_array()
+        assert arr.dtype == np.float64
+        assert math.isnan(arr[1])
+
+    def test_as_array_rejects_strings(self):
+        with using_backend("numpy"):
+            col = Column("a", ["x", "y"])
+        with pytest.raises(TypeError):
+            col.as_array()
+
+    def test_codes_and_categories_round_trip(self):
+        with using_backend("numpy"):
+            col = Column("a", ["b", "a", None, "b"])
+        codes = col.codes()
+        categories = col.categories()
+        assert categories == ["b", "a"]
+        assert codes.tolist() == [0, 1, -1, 0]
+        assert [None if c < 0 else categories[c] for c in codes] == col.values
+
+    def test_factorize_works_on_every_backend(self):
+        for kind in ("object", "numpy"):
+            with using_backend(kind):
+                col = Column("a", [3, 1, 3, None, 2])
+            codes, categories = col.factorize()
+            assert categories == [3, 1, 2]
+            assert codes.tolist() == [0, 1, 0, -1, 2]
+
+    def test_take_or_missing_inserts_none(self):
+        for kind in ("object", "numpy"):
+            with using_backend(kind):
+                col = Column("a", [10, 20, 30])
+            taken = col.take_or_missing(np.asarray([2, -1, 0]))
+            assert taken.values == [30, None, 10]
+
+    def test_values_are_plain_python_scalars(self):
+        with using_backend("numpy"):
+            col = Column("a", [1, 2])
+        assert all(type(v) is int for v in col.values)
+        assert type(col[0]) is int
+
+    def test_ndarray_construction_fast_path(self):
+        with using_backend("numpy"):
+            col = Column("a", np.arange(5))
+        assert col.dtype == "int"
+        assert col.backend_kind == "numpy"
+        assert col.values == [0, 1, 2, 3, 4]
+
+    def test_ndarray_construction_respects_object_policy(self):
+        with using_backend("object"):
+            col = Column("a", np.asarray([1.0, 2.0]))
+        assert col.backend_kind == "object"
+        assert col.values == [1.0, 2.0]
+
+    def test_take_or_missing_from_empty_column(self):
+        for kind in ("object", "numpy"):
+            with using_backend(kind):
+                empty_int = Column("a", [1, 2])[:0]
+                empty_str = Column("s", ["x"])[:0]
+            assert empty_int.take_or_missing(np.asarray([-1, -1])).values == [None, None]
+            assert empty_str.take_or_missing(np.asarray([-1])).values == [None]
+
+    def test_left_join_against_empty_right_table(self):
+        from repro.frame.ops import left_join
+
+        for kind in ("object", "numpy"):
+            with using_backend(kind):
+                left = Table({"k": [1, 2], "a": ["x", "y"]})
+                right = Table({"k": [1, 2], "b": [0.5, 1.5]}).where("k", 99)
+            joined = left_join(left, right, on="k")
+            assert joined.num_rows == 2
+            assert joined.column("b").values == [None, None], kind
+
+    def test_large_ints_fall_back_to_object(self):
+        with using_backend("numpy"):
+            col = Column("a", [2 ** 70, 1])
+        assert col.backend_kind == "object"
+        assert col.values == [2 ** 70, 1]
+
+
+class TestCrossBackendEquality:
+    def test_tables_compare_equal_across_backends(self):
+        data = {"i": [1, None, 3], "s": ["x", "y", None], "f": [0.5, 1.5, None]}
+        with using_backend("object"):
+            obj = Table({k: list(v) for k, v in data.items()})
+        with using_backend("numpy"):
+            vec = Table({k: list(v) for k, v in data.items()})
+        assert obj == vec
+        assert vec == obj
+        assert obj.dtypes() == vec.dtypes()
+
+
+_value = st.one_of(
+    st.none(),
+    st.integers(-10_000, 10_000),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=6),
+    st.booleans(),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.fixed_dictionaries({"a": _value, "b": _value, "c": _value}), max_size=25))
+def test_from_records_to_records_round_trip_property(records):
+    """Property: from_records -> to_records is the identity on both backends."""
+    for kind in ("object", "numpy"):
+        with using_backend(kind):
+            table = Table.from_records(records, columns=["a", "b", "c"])
+        assert table.to_records() == records, kind
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.one_of(st.none(), st.integers(-50, 50), st.floats(-5, 5)), max_size=30))
+def test_column_round_trip_matches_across_backends_property(values):
+    """Property: both backends surface identical values, dtype and uniques."""
+    with using_backend("object"):
+        obj = Column("a", list(values))
+    with using_backend("numpy"):
+        vec = Column("a", list(values))
+    assert obj.values == vec.values
+    assert obj.dtype == vec.dtype
+    assert obj.unique() == vec.unique()
+    assert obj.value_counts() == vec.value_counts()
+    assert obj == vec
