@@ -6,7 +6,10 @@ import math
 import random
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.frame.table import Table
+from repro.llm.engine import SEED_MASK, BatchGenerationEngine
 from repro.llm.finetune import FineTuneConfig, FineTuner
 from repro.llm.ngram_model import NGramLanguageModel
 from repro.llm.sampler import SamplerConfig, TemperatureSampler
@@ -30,6 +33,12 @@ from repro.textenc.encoder import EncoderConfig, TextualEncoder
 #: round-trip into valid rows (falling back to bootstrap rows when the retry
 #: budget is exhausted).
 SAMPLING_STRATEGIES = ("guided", "free")
+
+#: Sub-stream namespace for guided batch sampling: the caller-facing seed is
+#: combined with this constant so guided draws form their own named stream,
+#: separate from the other consumers (encoder permutations, fallback rows)
+#: that derive state from the same pipeline seed.
+_GUIDED_STREAM = 2
 
 
 @dataclass(frozen=True)
@@ -71,6 +80,7 @@ class GReaTSynthesizer:
         self._decoder: TextualDecoder | None = None
         self._model: NGramLanguageModel | None = None
         self._sampler: TemperatureSampler | None = None
+        self._engine: BatchGenerationEngine | None = None
         self._training_table: Table | None = None
         self._perplexity_trace: list[float] = []
         # guided-sampling state: per column, the observed values and their token ids
@@ -78,6 +88,7 @@ class GReaTSynthesizer:
         self._candidate_token_ids: dict[str, list[list[int]]] = {}
         self._structure_token_ids: dict[str, list[int]] = {}
         self._separator_ids: list[int] = []
+        self._value_token_cache: dict = {}
 
     # -- fitting -------------------------------------------------------------------
 
@@ -102,6 +113,12 @@ class GReaTSynthesizer:
         return self._model
 
     @property
+    def engine(self) -> BatchGenerationEngine:
+        """The batch-generation engine built at fit time."""
+        self._require_fitted()
+        return self._engine
+
+    @property
     def training_columns(self) -> list[str]:
         self._require_fitted()
         return self._training_table.column_names
@@ -123,6 +140,8 @@ class GReaTSynthesizer:
         self._model = result.model
         self._sampler = TemperatureSampler(result.model, self.config.sampler)
         self._sampler.reseed(self.config.seed)
+        # share one engine (and one compiled CSR freeze) with the sampler
+        self._engine = self._sampler.engine
         self._prepare_guided_state(tokenizer)
         return self
 
@@ -131,6 +150,7 @@ class GReaTSynthesizer:
         self._column_candidates = {}
         self._candidate_token_ids = {}
         self._structure_token_ids = {}
+        self._value_token_cache = {}  # vocabulary changes with every fit
         encode = lambda text: [  # noqa: E731 - tiny local helper
             tokenizer.vocabulary.encode_token(tok) for tok in tokenizer.tokenize(text)
         ]
@@ -211,10 +231,104 @@ class GReaTSynthesizer:
             fallback.update(prompt_row)
         return fallback
 
+    # -- batched sampling ---------------------------------------------------------------
+
+    def _encode_value_tokens(self, value) -> list[int]:
+        cached = self._value_token_cache.get(value)
+        if cached is not None:
+            return cached
+        vocab = self._model.tokenizer.vocabulary
+        tokens = [vocab.encode_token(tok)
+                  for tok in self._model.tokenizer.tokenize(self._encoder.encode_value(value))]
+        tokens = tokens or [vocab.unk_id]
+        self._value_token_cache[value] = tokens
+        return tokens
+
+    def _sample_rows_guided_batch(self, prompts: list[dict | None], seed: int) -> list[dict]:
+        """Guided strategy over a whole batch: one engine session per chunk,
+        one vectorized candidate draw per column."""
+        engine = self._engine
+        rng = np.random.default_rng([_GUIDED_STREAM, seed & SEED_MASK])
+        temperature = self.config.sampler.temperature
+        batch = max(1, self.config.sampler.batch_lanes)
+        rows: list[dict] = []
+        for start in range(0, len(prompts), batch):
+            chunk = prompts[start:start + batch]
+            n_lanes = len(chunk)
+            session = engine.guided_session(n_lanes, rng=rng)
+            chunk_rows: list[dict] = [{} for _ in range(n_lanes)]
+            for name in self._training_table.column_names:
+                session.extend_shared(self._structure_token_ids[name])
+                candidates = self._column_candidates[name]
+                token_lists = self._candidate_token_ids[name]
+                fixed = [prompt is not None and name in prompt for prompt in chunk]
+                if all(fixed):
+                    lane_tokens = []
+                    for lane, prompt in enumerate(chunk):
+                        value = prompt[name]
+                        chunk_rows[lane][name] = value
+                        lane_tokens.append(self._encode_value_tokens(value))
+                else:
+                    indices = session.choose(token_lists, temperature=temperature)
+                    lane_tokens = []
+                    for lane, prompt in enumerate(chunk):
+                        if fixed[lane]:
+                            value = prompt[name]
+                            tokens = self._encode_value_tokens(value)
+                        else:
+                            value = candidates[int(indices[lane])]
+                            tokens = token_lists[int(indices[lane])]
+                        chunk_rows[lane][name] = value
+                        lane_tokens.append(tokens)
+                session.extend_rows(lane_tokens)
+                session.extend_shared(self._separator_ids)
+            rows.extend(chunk_rows)
+        return rows
+
+    def _sample_rows_free_batch(self, prompts: list[dict | None], seed: int) -> list[dict]:
+        """Free strategy over a whole batch: generate every lane through the
+        engine's validity-retry loop, then decode and backfill fallbacks."""
+        tokenizer = self._model.tokenizer
+        prompt_ids = None
+        if any(prompt for prompt in prompts):
+            prompt_texts = self._encoder.conditional_prompts(
+                [prompt or {} for prompt in prompts])
+            prompt_ids = [
+                tokenizer.encode(text, add_bos=False, add_eos=False) if prompt else []
+                for prompt, text in zip(prompts, prompt_texts)
+            ]
+        sentences = self._engine.generate_valid(
+            len(prompts), self._decoder.is_valid, prompts=prompt_ids, seed=seed
+        )
+        rng = random.Random(seed)
+        rows: list[dict] = []
+        for prompt, sentence in zip(prompts, sentences):
+            if sentence is not None:
+                rows.append(self._decoder.decode_row(sentence))
+                continue
+            if not self.config.fallback_to_training_rows:
+                raise RuntimeError(
+                    "generation failed to produce a valid row within the retry budget")
+            fallback = self._training_table.row(rng.randrange(self._training_table.num_rows))
+            if prompt:
+                fallback = dict(fallback)
+                fallback.update(prompt)
+            rows.append(fallback)
+        return rows
+
+    def _sample_rows_batch(self, prompts: list[dict | None], seed: int) -> list[dict]:
+        if self.config.sampling_strategy == "guided":
+            return self._sample_rows_guided_batch(prompts, seed)
+        return self._sample_rows_free_batch(prompts, seed)
+
     # -- public sampling API ----------------------------------------------------------------
 
     def sample_row(self, prompt_row: dict | None = None, rng: random.Random | None = None) -> dict:
-        """Sample one schema-valid row, optionally conditioned on a partial row."""
+        """Sample one schema-valid row, optionally conditioned on a partial row.
+
+        The legacy per-row path, kept for incremental use; bulk sampling goes
+        through the batched engine in :meth:`sample` / :meth:`sample_conditional`.
+        """
         self._require_fitted()
         rng = rng or random.Random(self.config.seed)
         if self.config.sampling_strategy == "guided":
@@ -227,16 +341,14 @@ class GReaTSynthesizer:
         if n <= 0:
             raise ValueError("n must be positive")
         seed = self.config.seed if seed is None else seed
-        self._sampler.reseed(seed)
-        rng = random.Random(seed)
-        records = [self.sample_row(rng=rng) for _ in range(n)]
+        records = self._sample_rows_batch([None] * n, seed)
         return Table.from_records(records, columns=self._training_table.column_names)
 
     def sample_conditional(self, prompts: list[dict], seed: int | None = None) -> Table:
         """Sample one row per prompt dict, conditioned on the prompt columns."""
         self._require_fitted()
         seed = self.config.seed if seed is None else seed
-        self._sampler.reseed(seed)
-        rng = random.Random(seed)
-        records = [self.sample_row(prompt_row=prompt, rng=rng) for prompt in prompts]
+        if not prompts:
+            return Table.from_records([], columns=self._training_table.column_names)
+        records = self._sample_rows_batch(list(prompts), seed)
         return Table.from_records(records, columns=self._training_table.column_names)

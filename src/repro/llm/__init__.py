@@ -17,6 +17,8 @@ weights.
 from repro.llm.tokenizer import WordTokenizer, Vocabulary, SPECIAL_TOKENS
 from repro.llm.ngram_model import NGramLanguageModel, ModelConfig
 from repro.llm.sampler import SamplerConfig, TemperatureSampler
+from repro.llm.compiled import CompiledNGramModel
+from repro.llm.engine import BatchGenerationEngine, GENERATION_ENGINES, resolve_engine_kind
 from repro.llm.finetune import FineTuneConfig, FineTuner
 from repro.llm.embeddings import CooccurrenceEmbedding
 
@@ -28,6 +30,10 @@ __all__ = [
     "ModelConfig",
     "TemperatureSampler",
     "SamplerConfig",
+    "CompiledNGramModel",
+    "BatchGenerationEngine",
+    "GENERATION_ENGINES",
+    "resolve_engine_kind",
     "FineTuner",
     "FineTuneConfig",
     "CooccurrenceEmbedding",

@@ -1,0 +1,259 @@
+"""Compiled (frozen) view of the n-gram backbone.
+
+After :meth:`~repro.llm.ngram_model.NGramLanguageModel.fit` the nested
+``dict[context] -> Counter`` tables are append-only no more: sampling only
+reads them.  :class:`CompiledNGramModel` freezes them into CSR-style NumPy
+arrays — one sorted context-key table per order, a flat token-id/count array
+sliced by a row-pointer array, and precomputed smoothing constants — so the
+per-token inner loop of generation becomes array lookups instead of nested
+dict walks, and whole batches of in-flight sequences can be advanced with a
+handful of vectorized operations.
+
+The mass semantics are exactly those of
+:meth:`~repro.llm.ngram_model.NGramLanguageModel.distribution_components`:
+for every non-skipped order the context contributes a per-token baseline
+(``smoothing * weight / denom``, or ``weight / vocab`` for an unseeable
+order) folded into a shared *rest* term, plus ``count * scale`` bonuses for
+the explicitly counted continuations.  The batch engine relies on the two
+implementations producing bit-identical masses, so every arithmetic step
+here mirrors the object path operation for operation (same expression
+shapes, same highest-order-first accumulation order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.llm.ngram_model import NGramLanguageModel
+
+#: Keep packed context keys comfortably inside int64.
+_MAX_PACKED_KEY = 2 ** 62
+
+
+class CompiledNGramModel:
+    """CSR-style frozen counts of a trained :class:`NGramLanguageModel`.
+
+    Contexts of length ``k`` are packed into a single int64 key
+    (most-significant token first, base ``vocab_size``) and looked up with a
+    binary search over the sorted key table; each hit yields a slice of the
+    flat ``(token_id, count)`` arrays via the row-pointer array.  When the
+    vocabulary is too large for packed keys the lookup falls back to a plain
+    tuple-keyed dict (correctness over speed; in practice the textual-encoded
+    corpora stay far below the packing limit).
+    """
+
+    def __init__(self, model: NGramLanguageModel):
+        if not model.is_trained:
+            raise ValueError("can only compile a trained model")
+        self.model = model
+        config = model.config
+        vocabulary = model.tokenizer.vocabulary
+        self.order = config.order
+        self.vocab_size = len(vocabulary)
+        self.smoothing = config.smoothing
+        self.smoothing_mass = self.smoothing * self.vocab_size
+        self.weights = model._interpolation_weights()
+        self.pad_id = vocabulary.pad_id
+        self.bos_id = vocabulary.bos_id
+        self.eos_id = vocabulary.eos_id
+
+        self.packed = self.vocab_size ** max(self.order - 1, 1) < _MAX_PACKED_KEY
+        # per order k >= 1: sorted context keys, CSR row pointers, flat
+        # token/count arrays, per-context totals and row-relative search keys
+        self._keys: dict[int, np.ndarray] = {}
+        self._row_ptr: dict[int, np.ndarray] = {}
+        self._tokens: dict[int, np.ndarray] = {}
+        self._counts: dict[int, np.ndarray] = {}
+        self._totals: dict[int, np.ndarray] = {}
+        self._entry_keys: dict[int, np.ndarray] = {}
+        self._powers: dict[int, np.ndarray] = {}
+        self._tuple_index: dict[int, dict] = {}
+        for k in range(1, self.order):
+            self._freeze_order(k)
+        self._freeze_unigrams()
+
+    # -- freezing ---------------------------------------------------------------------
+
+    def _freeze_order(self, k: int) -> None:
+        contexts = self.model._counts[k]
+        totals = self.model._context_totals[k]
+        items = sorted(contexts.items())  # lexicographic == packed-key order
+        n_contexts = len(items)
+        keys = np.empty(n_contexts, dtype=np.int64)
+        row_ptr = np.zeros(n_contexts + 1, dtype=np.int64)
+        token_chunks: list[np.ndarray] = []
+        count_chunks: list[np.ndarray] = []
+        context_totals = np.empty(n_contexts, dtype=np.float64)
+        tuple_index: dict = {}
+        for row, (context, counter) in enumerate(items):
+            if self.packed:
+                key = 0
+                for token in context:
+                    key = key * self.vocab_size + int(token)
+                keys[row] = key
+            tuple_index[context] = row
+            ordered = sorted(counter.items())
+            token_chunks.append(np.fromiter((t for t, _ in ordered), dtype=np.int64,
+                                            count=len(ordered)))
+            count_chunks.append(np.fromiter((c for _, c in ordered), dtype=np.float64,
+                                            count=len(ordered)))
+            row_ptr[row + 1] = row_ptr[row] + len(ordered)
+            context_totals[row] = float(totals.get(context, 0))
+        tokens = np.concatenate(token_chunks) if token_chunks else np.empty(0, np.int64)
+        counts = np.concatenate(count_chunks) if count_chunks else np.empty(0, np.float64)
+        row_of_entry = np.repeat(np.arange(n_contexts, dtype=np.int64),
+                                 np.diff(row_ptr)) if n_contexts else np.empty(0, np.int64)
+        self._keys[k] = keys
+        self._row_ptr[k] = row_ptr
+        self._tokens[k] = tokens
+        self._counts[k] = counts
+        self._totals[k] = context_totals
+        # (row, token) pairs as a single sorted key: rows ascend and tokens
+        # ascend within a row, so the concatenation is already sorted.
+        self._entry_keys[k] = row_of_entry * self.vocab_size + tokens
+        self._powers[k] = (self.vocab_size ** np.arange(k - 1, -1, -1)).astype(np.int64) \
+            if self.packed else np.empty(0, np.int64)
+        if not self.packed:
+            self._tuple_index[k] = tuple_index
+
+    def _freeze_unigrams(self) -> None:
+        counter = self.model._counts[0].get((), {})
+        ordered = sorted(counter.items())
+        self._tokens0 = np.fromiter((t for t, _ in ordered), dtype=np.int64,
+                                    count=len(ordered))
+        self._counts0 = np.fromiter((c for _, c in ordered), dtype=np.float64,
+                                    count=len(ordered))
+        self._total0 = float(self.model._context_totals[0].get((), 0))
+        weight = self.weights[self.order - 1]
+        denom = self._total0 + self.smoothing_mass
+        if denom <= 0:
+            self._base0 = weight / self.vocab_size
+            self._scale0 = 0.0
+        else:
+            self._scale0 = weight / denom
+            self._base0 = self.smoothing * self._scale0
+        # dense unigram bonus/count rows, shared by every lane at every step
+        self._bonus0 = np.zeros(self.vocab_size, dtype=np.float64)
+        self._counts0_dense = np.zeros(self.vocab_size, dtype=np.float64)
+        if self._tokens0.size:
+            self._bonus0[self._tokens0] = self._counts0 * self._scale0
+            self._counts0_dense[self._tokens0] = self._counts0
+
+    # -- lookups ----------------------------------------------------------------------
+
+    def _context_rows(self, k: int, contexts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Row index (and hit mask) of each length-*k* context in *contexts*."""
+        if self.packed:
+            queries = contexts @ self._powers[k]
+            table = self._keys[k]
+            if table.size == 0:
+                return np.zeros(len(queries), np.int64), np.zeros(len(queries), bool)
+            positions = np.searchsorted(table, queries)
+            clipped = np.minimum(positions, table.size - 1)
+            return clipped, table[clipped] == queries
+        index = self._tuple_index.get(k, {})
+        rows = np.empty(len(contexts), dtype=np.int64)
+        found = np.empty(len(contexts), dtype=bool)
+        for i, row_context in enumerate(contexts):
+            row = index.get(tuple(int(t) for t in row_context))
+            found[i] = row is not None
+            rows[i] = row if row is not None else 0
+        return rows, found
+
+    def _layer_plan(self, contexts: np.ndarray, lengths: np.ndarray):
+        """Shared rest accumulation + per-order lookup plan.
+
+        Returns ``(rest, plans)`` where *rest* is the per-lane baseline mass
+        (accumulated highest order first, unigrams last — the same order the
+        object path uses) and *plans* lists ``(k, lanes, rows, scales)`` for
+        every order with at least one context hit.
+        """
+        n_lanes = contexts.shape[0]
+        width = contexts.shape[1]
+        rest = np.zeros(n_lanes, dtype=np.float64)
+        all_lanes: np.ndarray | None = None
+        plans = []
+        for k in range(self.order - 1, 0, -1):
+            available = lengths >= k
+            if not available.any():
+                continue
+            if available.all():
+                # common case once every lane has a full window: no subsetting
+                if all_lanes is None:
+                    all_lanes = np.arange(n_lanes)
+                lanes = all_lanes
+                window = contexts[:, width - k:]
+            else:
+                lanes = np.flatnonzero(available)
+                window = contexts[lanes][:, width - k:]
+            rows, found = self._context_rows(k, window)
+            totals = np.where(found, self._totals[k][rows], 0.0)
+            weight = self.weights[self.order - 1 - k]
+            denom = totals + self.smoothing_mass
+            positive = denom > 0
+            scales = weight / np.where(positive, denom, 1.0)
+            contribution = np.where(positive, self.smoothing * scales,
+                                    weight / self.vocab_size)
+            if lanes is all_lanes:
+                rest += contribution
+            else:
+                rest[lanes] += contribution
+            hit = found & positive
+            if hit.any():
+                plans.append((k, lanes[hit], rows[hit], scales[hit]))
+        rest += self._base0
+        return rest, plans
+
+    # -- batched mass computation -------------------------------------------------------
+
+    def dense_masses(self, contexts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+        """Unnormalised next-token masses, shape ``(n_lanes, vocab_size)``.
+
+        ``contexts`` holds the last ``order - 1`` token ids per lane (right
+        aligned); ``lengths`` how many of them are valid.
+        """
+        n_lanes = contexts.shape[0]
+        rest, plans = self._layer_plan(contexts, lengths)
+        dense = np.empty((n_lanes, self.vocab_size), dtype=np.float64)
+        dense[:] = rest[:, None]
+        for k, lanes, rows, scales in plans:
+            starts = self._row_ptr[k][rows]
+            row_lengths = self._row_ptr[k][rows + 1] - starts
+            total = int(row_lengths.sum())
+            if total == 0:
+                continue
+            entry_of = np.repeat(np.arange(len(rows)), row_lengths)
+            offsets = np.arange(total, dtype=np.int64) \
+                - np.repeat(np.cumsum(row_lengths) - row_lengths, row_lengths) \
+                + np.repeat(starts, row_lengths)
+            tokens = self._tokens[k][offsets]
+            dense[lanes[entry_of], tokens] += self._counts[k][offsets] * scales[entry_of]
+        dense += self._bonus0[None, :]
+        return dense
+
+    def token_masses(self, contexts: np.ndarray, lengths: np.ndarray,
+                     tokens: int | np.ndarray) -> np.ndarray:
+        """Unnormalised mass of one next token per lane, shape ``(n_lanes,)``.
+
+        ``tokens`` is either a single token id shared by every lane or an
+        array with one target token per lane.
+        """
+        per_lane = not np.isscalar(tokens)
+        rest, plans = self._layer_plan(contexts, lengths)
+        masses = rest.copy()
+        for k, lanes, rows, scales in plans:
+            targets = np.asarray(tokens)[lanes] if per_lane else tokens
+            queries = rows * self.vocab_size + targets
+            table = self._entry_keys[k]
+            if table.size == 0:
+                continue
+            positions = np.searchsorted(table, queries)
+            clipped = np.minimum(positions, table.size - 1)
+            hit = table[clipped] == queries
+            if hit.any():
+                masses[lanes[hit]] += self._counts[k][clipped[hit]] * scales[hit]
+        # the unigram context is shared, so its (possibly zero) count adds
+        # exactly 0.0 for uncounted tokens — bitwise-neutral, no mask needed
+        counts0 = self._counts0_dense[tokens]
+        masses += counts0 * self._scale0
+        return masses

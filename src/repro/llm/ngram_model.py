@@ -22,6 +22,8 @@ from collections import Counter, defaultdict
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.llm.tokenizer import WordTokenizer
 
 
@@ -119,57 +121,22 @@ class NGramLanguageModel:
             return [1.0 / order] * order
         return [w / total for w in weights]
 
-    def next_token_distribution(self, context_ids: Sequence[int]) -> dict[int, float]:
-        """Smoothed distribution over the next token id given a context."""
-        if not self.is_trained:
-            raise RuntimeError("the model must be fit() before querying probabilities")
-        vocab_size = len(self.tokenizer.vocabulary)
-        weights = self._interpolation_weights()
-        order = self.config.order
-        smoothing = self.config.smoothing
+    def distribution_components(self, context_ids: Sequence[int]) -> tuple[float, list]:
+        """Canonical decomposition of the (unnormalised) next-token masses.
 
-        distribution: dict[int, float] = defaultdict(float)
-        # highest order first: weights[0] is for the longest context
-        for k in range(order - 1, -1, -1):
-            context = tuple(context_ids[-k:]) if k > 0 else ()
-            if k > 0 and len(context) != k:
-                continue
-            weight = weights[order - 1 - k]
-            counts = self._counts[k].get(context)
-            total = self._context_totals[k].get(context, 0)
-            denom = total + smoothing * vocab_size
-            if denom <= 0:
-                continue
-            if counts:
-                for token_id, count in counts.items():
-                    distribution[token_id] += weight * (count + smoothing) / denom
-                remaining = vocab_size - len(counts)
-                if smoothing > 0 and remaining > 0:
-                    baseline = weight * smoothing / denom
-                    distribution["__rest__"] = distribution.get("__rest__", 0.0) + baseline
-            elif smoothing > 0:
-                distribution["__rest__"] = distribution.get("__rest__", 0.0) + weight / vocab_size
+        Returns ``(rest, layers)``: *rest* is the baseline mass every
+        vocabulary entry receives (all smoothing and unseen-context mass,
+        folded analytically instead of being expanded over the vocabulary),
+        and *layers* lists, highest order first, ``(counts, scale)`` pairs —
+        the live ``Counter`` of next-token counts after that order's context
+        and the factor its counts are scaled by.  The mass of token ``t`` is
+        ``rest + sum(counts[t] * scale for each layer)`` and the exact
+        normaliser is the summed interpolation weight of the non-skipped
+        orders.  Callers must not mutate the returned counters.
 
-        rest = distribution.pop("__rest__", 0.0)
-        if rest > 0:
-            # spread the leftover mass uniformly over tokens not explicitly counted
-            uncounted = vocab_size - len(distribution)
-            if uncounted > 0:
-                share = rest  # represented implicitly; only normalisation matters
-                for token_id in range(vocab_size):
-                    if token_id not in distribution:
-                        distribution[token_id] = share / uncounted
-        total_mass = sum(distribution.values())
-        if total_mass <= 0:
-            return {token_id: 1.0 / vocab_size for token_id in range(vocab_size)}
-        return {token_id: p / total_mass for token_id, p in distribution.items()}
-
-    def token_probability(self, context_ids: Sequence[int], token_id: int) -> float:
-        """Interpolated probability of a single next token given a context.
-
-        Equivalent to ``next_token_distribution(context)[token_id]`` but
-        computed in O(order) without materialising the full distribution —
-        this is the hot path of guided (column-by-column) row sampling.
+        This is the hot-path API: generation and batch engines consume the
+        components directly, so no full-vocabulary dict is ever materialised
+        per sampling step.
         """
         if not self.is_trained:
             raise RuntimeError("the model must be fit() before querying probabilities")
@@ -177,24 +144,63 @@ class NGramLanguageModel:
         weights = self._interpolation_weights()
         order = self.config.order
         smoothing = self.config.smoothing
+        smoothing_mass = smoothing * vocab_size
 
-        probability = 0.0
+        rest = 0.0
+        layers: list[tuple[Counter, float]] = []
+        # highest order first: weights[0] is for the longest context
         for k in range(order - 1, -1, -1):
             context = tuple(context_ids[-k:]) if k > 0 else ()
             if k > 0 and len(context) != k:
                 continue
             weight = weights[order - 1 - k]
             total = self._context_totals[k].get(context, 0)
-            denom = total + smoothing * vocab_size
+            denom = total + smoothing_mass
             if denom <= 0:
-                probability += weight / vocab_size
+                rest += weight / vocab_size
                 continue
+            scale = weight / denom
+            rest += smoothing * scale
             counts = self._counts[k].get(context)
-            count = counts.get(token_id, 0) if counts else 0
-            if total == 0 and smoothing == 0:
-                probability += weight / vocab_size
-            else:
-                probability += weight * (count + smoothing) / denom
+            if counts:
+                layers.append((counts, scale))
+        return rest, layers
+
+    def next_token_distribution(self, context_ids: Sequence[int]) -> dict[int, float]:
+        """Smoothed, normalised distribution over the next token id.
+
+        Materialises the full vocabulary, so it is meant for inspection and
+        scoring, not for the sampling hot path — generation goes through
+        :meth:`distribution_components`, which keeps the shared rest mass
+        analytic.
+        """
+        rest, layers = self.distribution_components(context_ids)
+        vocab_size = len(self.tokenizer.vocabulary)
+        bonus: dict[int, float] = defaultdict(float)
+        for counts, scale in layers:
+            for token_id, count in counts.items():
+                bonus[token_id] += count * scale
+        total_mass = rest * vocab_size + sum(bonus.values())
+        if total_mass <= 0:
+            return {token_id: 1.0 / vocab_size for token_id in range(vocab_size)}
+        return {
+            token_id: (rest + bonus.get(token_id, 0.0)) / total_mass
+            for token_id in range(vocab_size)
+        }
+
+    def token_probability(self, context_ids: Sequence[int], token_id: int) -> float:
+        """Interpolated probability of a single next token given a context.
+
+        Computed in O(order) from :meth:`distribution_components` without
+        materialising the distribution — the hot path of guided
+        (column-by-column) row sampling.
+        """
+        rest, layers = self.distribution_components(context_ids)
+        probability = rest
+        for counts, scale in layers:
+            count = counts.get(token_id)
+            if count:
+                probability += count * scale
         return max(probability, 1e-12)
 
     def score_token_sequence(self, context_ids: Sequence[int], token_ids: Sequence[int]) -> float:
@@ -210,11 +216,19 @@ class NGramLanguageModel:
     def sequence_log_probability(self, text: str) -> float:
         """Log probability of a sentence under the model (natural log)."""
         token_ids = self.tokenizer.encode(text)
+        vocab_size = len(self.tokenizer.vocabulary)
         log_prob = 0.0
         for position in range(1, len(token_ids)):
             context = token_ids[max(0, position - self.config.order + 1):position]
-            distribution = self.next_token_distribution(context)
-            p = distribution.get(token_ids[position], 1e-12)
+            rest, layers = self.distribution_components(context)
+            mass = rest
+            total_mass = rest * vocab_size
+            for counts, scale in layers:
+                count = counts.get(token_ids[position])
+                if count:
+                    mass += count * scale
+                total_mass += sum(counts.values()) * scale
+            p = mass / total_mass if total_mass > 0 else 1.0 / vocab_size
             log_prob += math.log(max(p, 1e-12))
         return log_prob
 
@@ -239,15 +253,21 @@ class NGramLanguageModel:
         if not self.is_trained:
             raise RuntimeError("the model must be fit() before generation")
         vocab = self.tokenizer.vocabulary
+        vocab_size = len(vocab)
         generated: list[int] = [vocab.bos_id]
         if prompt_ids:
             generated.extend(prompt_ids)
         for _ in range(max_tokens):
             context = generated[-(self.config.order - 1):] if self.config.order > 1 else []
-            distribution = self.next_token_distribution(context)
-            distribution.pop(vocab.pad_id, None)
-            distribution.pop(vocab.bos_id, None)
-            token_id = _sample_from(distribution, rng, temperature=temperature, top_k=top_k)
+            rest, layers = self.distribution_components(context)
+            masses = np.full(vocab_size, rest)
+            for counts, scale in layers:
+                ids = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+                values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
+                masses[ids] += values * scale
+            masses[vocab.pad_id] = 0.0
+            masses[vocab.bos_id] = 0.0
+            token_id = _sample_masses(masses, rng, temperature=temperature, top_k=top_k)
             if token_id == vocab.eos_id:
                 break
             generated.append(token_id)
@@ -267,25 +287,31 @@ class NGramLanguageModel:
         return self.tokenizer.decode(token_ids)
 
 
-def _sample_from(distribution: dict[int, float], rng: random.Random,
-                 temperature: float = 1.0, top_k: int | None = None) -> int:
-    """Sample a token id from an explicit distribution with temperature / top-k."""
-    if not distribution:
+def _sample_masses(masses: "np.ndarray", rng: random.Random,
+                   temperature: float = 1.0, top_k: int | None = None) -> int:
+    """Sample a token id from an unnormalised mass vector with temperature / top-k.
+
+    Ties at the top-k boundary are broken deterministically by descending
+    mass then ascending token id (stable sort on the negated masses).
+    """
+    if masses.size == 0:
         raise ValueError("cannot sample from an empty distribution")
-    items = list(distribution.items())
-    if top_k is not None and top_k > 0:
-        items.sort(key=lambda kv: kv[1], reverse=True)
-        items = items[:top_k]
+    if top_k is not None and 0 < top_k < masses.size:
+        candidate_ids = np.argsort(-masses, kind="stable")[:top_k]
+        candidate_masses = masses[candidate_ids]
+    else:
+        candidate_ids = None
+        candidate_masses = masses
     if temperature <= 0:
-        return max(items, key=lambda kv: kv[1])[0]
-    weights = [p ** (1.0 / temperature) for _, p in items]
-    total = sum(weights)
+        best = int(np.argmax(candidate_masses))
+        return int(candidate_ids[best]) if candidate_ids is not None else best
+    weights = candidate_masses ** (1.0 / temperature)
+    total = float(weights.sum())
     if total <= 0:
-        return rng.choice([token_id for token_id, _ in items])
+        chosen = rng.randrange(candidate_masses.size)
+        return int(candidate_ids[chosen]) if candidate_ids is not None else chosen
     threshold = rng.random() * total
-    cumulative = 0.0
-    for (token_id, _), weight in zip(items, weights):
-        cumulative += weight
-        if cumulative >= threshold:
-            return token_id
-    return items[-1][0]
+    cumulative = np.cumsum(weights)
+    chosen = int(np.searchsorted(cumulative, threshold, side="left"))
+    chosen = min(chosen, candidate_masses.size - 1)
+    return int(candidate_ids[chosen]) if candidate_ids is not None else chosen

@@ -4,6 +4,12 @@ Separating sampling policy (temperature, top-k, retries, per-batch seeds) from
 the model itself mirrors how GReaT exposes a ``sample`` method independent of
 the fine-tuned backbone, and gives the benchmark harness one place to control
 generation hyper-parameters.
+
+Batch APIs (:meth:`TemperatureSampler.sample_batch`,
+:meth:`TemperatureSampler.sample_valid`) delegate to the
+:class:`~repro.llm.engine.BatchGenerationEngine`, whose backbone is selected
+by :attr:`SamplerConfig.engine` (``"auto"`` resolves through the
+``REPRO_GENERATION_ENGINE`` environment variable to ``"compiled"``).
 """
 
 from __future__ import annotations
@@ -14,6 +20,10 @@ from dataclasses import dataclass
 
 from repro.llm.ngram_model import NGramLanguageModel
 
+#: Accepted values of :attr:`SamplerConfig.engine`; the concrete engines are
+#: defined in :mod:`repro.llm.engine`.
+ENGINE_CHOICES = ("auto", "object", "compiled")
+
 
 @dataclass(frozen=True)
 class SamplerConfig:
@@ -21,7 +31,10 @@ class SamplerConfig:
 
     ``max_retries`` bounds how many candidate sentences are drawn per accepted
     sample when a validity predicate is supplied (GReaT similarly discards
-    rows it cannot parse back into the table schema).
+    rows it cannot parse back into the table schema).  ``engine`` picks the
+    batch-generation backbone (``"object"`` keeps the legacy dict walks,
+    ``"compiled"`` uses the frozen CSR arrays); ``batch_lanes`` caps how many
+    sequences are advanced in flight per vectorized step.
     """
 
     temperature: float = 1.0
@@ -29,6 +42,8 @@ class SamplerConfig:
     max_tokens: int = 160
     max_retries: int = 8
     seed: int = 0
+    engine: str = "auto"
+    batch_lanes: int = 512
 
     def __post_init__(self):
         if self.temperature < 0:
@@ -37,6 +52,12 @@ class SamplerConfig:
             raise ValueError("max_tokens must be positive")
         if self.max_retries < 1:
             raise ValueError("max_retries must be at least 1")
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                "engine must be one of {}, got {!r}".format(ENGINE_CHOICES, self.engine)
+            )
+        if self.batch_lanes < 1:
+            raise ValueError("batch_lanes must be at least 1")
 
 
 class TemperatureSampler:
@@ -46,13 +67,32 @@ class TemperatureSampler:
         self.model = model
         self.config = config or SamplerConfig()
         self._rng = random.Random(self.config.seed)
+        self._engine = None
+
+    @property
+    def engine(self):
+        """The batch-generation engine (built lazily on first use)."""
+        if self._engine is None:
+            from repro.llm.engine import BatchGenerationEngine
+
+            self._engine = BatchGenerationEngine(self.model, self.config)
+        return self._engine
 
     def reseed(self, seed: int) -> None:
         """Reset the internal random stream (used per trial by the harness)."""
         self._rng = random.Random(seed)
 
+    def _derive_seed(self) -> int:
+        """Engine seed drawn from the sampler's stateful stream."""
+        return self._rng.randrange(2 ** 32)
+
+    def _prompt_ids(self, prompt: str | None) -> list[int] | None:
+        if not prompt:
+            return None
+        return self.model.tokenizer.encode(prompt, add_bos=False, add_eos=False)
+
     def sample_sentence(self, prompt: str | None = None) -> str:
-        """Draw a single sentence."""
+        """Draw a single sentence (legacy per-sequence path)."""
         return self.model.generate(
             self._rng,
             max_tokens=self.config.max_tokens,
@@ -69,12 +109,14 @@ class TemperatureSampler:
         training row, matching GReaT's behaviour of only emitting parseable
         rows).
         """
-        for _ in range(self.config.max_retries):
-            sentence = self.sample_sentence(prompt=prompt)
-            if is_valid(sentence):
-                return sentence
-        return None
+        prompt_ids = self._prompt_ids(prompt)
+        prompts = [prompt_ids] if prompt_ids is not None else None
+        return self.engine.generate_valid(
+            1, is_valid, prompts=prompts, seed=self._derive_seed()
+        )[0]
 
     def sample_batch(self, n: int, prompt: str | None = None) -> list[str]:
-        """Draw *n* sentences."""
-        return [self.sample_sentence(prompt=prompt) for _ in range(n)]
+        """Draw *n* sentences in one batched engine pass."""
+        prompt_ids = self._prompt_ids(prompt)
+        prompts = [prompt_ids] * n if prompt_ids is not None else None
+        return self.engine.generate_sentences(n, prompts=prompts, seed=self._derive_seed())

@@ -98,13 +98,16 @@ class MultiTablePipeline:
 
     def _fit_and_sample(self, parent: Table, child: Table, subject: str,
                         n_subjects: int | None) -> tuple[Table, Table, Table]:
-        """Fit the parent/child synthesizer and sample a synthetic flat view."""
+        """Fit the parent/child synthesizer and sample a synthetic flat view.
+
+        One generation pass: ``sample_all`` derives the flat view by joining
+        the sampled pair, so pair and flat view are guaranteed consistent and
+        the parent/child generation runs once instead of twice.
+        """
         synthesizer = ParentChildSynthesizer(self.config.parent_child())
         synthesizer.fit(parent, child, subject)
         n = n_subjects if n_subjects is not None else parent.num_rows
-        synthetic_parent, synthetic_child = synthesizer.sample(n, seed=self.config.seed)
-        synthetic_flat = synthesizer.sample_flat(n, seed=self.config.seed)
-        return synthetic_parent, synthetic_child, synthetic_flat
+        return synthesizer.sample_all(n, seed=self.config.seed)
 
     # -- public API -----------------------------------------------------------------------
 

@@ -14,19 +14,21 @@ from repro.llm.sampler import SamplerConfig
 from repro.relational.parent_child import ParentChildConfig
 
 
-def default_backbone_config(seed: int = 0) -> GReaTConfig:
+def default_backbone_config(seed: int = 0, engine: str = "auto") -> GReaTConfig:
     """The LM-backbone configuration the pipelines use by default.
 
     Order-6 n-grams keep the previous column's value inside the context window
     of the next column's value, so cross-column dependencies (and the damage
     ambiguous labels do to them) are actually expressed; 10 epochs / 5 batches
     mirror the paper's REaLTabFormer hyper-parameters (Sec. 4.1.4).
+    ``engine`` selects the batch-generation backbone (see
+    :mod:`repro.llm.engine`).
     """
     model = ModelConfig(order=6, smoothing=0.005,
                         interpolation=(0.42, 0.24, 0.14, 0.1, 0.06, 0.04))
     fine_tune = FineTuneConfig(epochs=10, batches=5, validation_fraction=0.1, seed=seed,
                                model=model)
-    sampler = SamplerConfig(temperature=0.85, top_k=12, seed=seed)
+    sampler = SamplerConfig(temperature=0.85, top_k=12, seed=seed, engine=engine)
     return GReaTConfig(fine_tune=fine_tune, sampler=sampler, seed=seed)
 
 
@@ -52,6 +54,11 @@ class PipelineConfig:
         trial-splitting ``task_id`` is dropped by the harness this way).
     contextual_consistency:
         Threshold ``m`` for contextual-variable detection (Appendix A.2).
+    generation_engine:
+        Batch-generation backbone used by every synthesizer the pipeline
+        fits: ``"compiled"`` (frozen CSR arrays), ``"object"`` (legacy dict
+        walks) or ``"auto"`` (the ``REPRO_GENERATION_ENGINE`` environment
+        variable, defaulting to ``"compiled"``).
     """
 
     subject_column: str = "user_id"
@@ -60,11 +67,12 @@ class PipelineConfig:
     connector: ConnectorConfig = field(default_factory=ConnectorConfig)
     drop_columns: tuple[str, ...] = ()
     contextual_consistency: float = 0.95
+    generation_engine: str = "auto"
     seed: int = 0
 
     def backbone(self) -> GReaTConfig:
         """LM backbone configuration derived from the pipeline seed."""
-        return default_backbone_config(self.seed)
+        return default_backbone_config(self.seed, engine=self.generation_engine)
 
     def parent_child(self) -> ParentChildConfig:
         """Parent/child synthesizer configuration derived from the backbone."""

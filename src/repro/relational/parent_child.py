@@ -71,9 +71,14 @@ class ParentChildSynthesizer:
         self._parent_columns = list(parent.column_names)
         self._child_columns = [name for name in child.column_names if name != subject_column]
 
-        # record the empirical children-per-subject distribution for sampling
+        # record the empirical children-per-subject distribution for sampling.
+        # ``value_counts`` orders ties differently across storage backends, so
+        # the list is pinned by subject key to keep ``rng.choice`` draws
+        # reproducible regardless of backend or Python version.
         counts = value_counts(child, subject_column)
-        self._children_per_subject = list(counts.values()) or [1]
+        self._children_per_subject = [
+            count for _, count in sorted(counts.items(), key=lambda item: str(item[0]))
+        ] or [1]
 
         self._parent_synth.fit(parent)
 
@@ -118,15 +123,23 @@ class ParentChildSynthesizer:
         synthetic_subjects = ["synthetic_subject_{}".format(i) for i in range(n_parents)]
         parent_table = parent_table.with_column(self._subject_column, synthetic_subjects)
 
-        child_records = []
-        for index, parent_row in enumerate(parent_table.iter_rows()):
-            n_children = self._draw_children_count(rng)
+        # every parent's children ride in one conditioned mega-batch: the
+        # per-parent prompt groups are flattened, generated in a single
+        # engine pass, and re-split by parent afterwards.
+        children_counts = [self._draw_children_count(rng) for _ in range(n_parents)]
+        prompts: list[dict] = []
+        for parent_row, n_children in zip(parent_table.iter_rows(), children_counts):
             prompt = {name: parent_row[name] for name in self._parent_columns
                       if name != self._subject_column}
-            prompts = [prompt] * n_children
-            generated = self._child_synth.sample_conditional(prompts, seed=seed + index + 1)
-            for row in generated.iter_rows():
-                record = {self._subject_column: parent_row[self._subject_column]}
+            prompts.extend([prompt] * n_children)
+        generated = self._child_synth.sample_conditional(prompts, seed=seed + 1)
+
+        child_records = []
+        generated_rows = generated.iter_rows()
+        for subject, n_children in zip(synthetic_subjects, children_counts):
+            for _ in range(n_children):
+                row = next(generated_rows)
+                record = {self._subject_column: subject}
                 for name in self._child_columns:
                     record[name] = row[name]
                 child_records.append(record)
@@ -135,14 +148,19 @@ class ParentChildSynthesizer:
         )
         return parent_table, child_table
 
-    def sample_flat(self, n_parents: int, seed: int | None = None) -> Table:
-        """Sample and return the child table joined with its parent columns.
+    def sample_all(self, n_parents: int, seed: int | None = None) -> tuple[Table, Table, Table]:
+        """Sample once and return ``(parent, child, flat)``.
 
-        This flat view (every child row carrying its parent's contextual
-        columns) is what the fidelity evaluation compares against the original
-        flat data.
+        The flat view is *derived* from the sampled pair by joining each child
+        row with its parent's columns, so pair and flat view are guaranteed
+        consistent and generation runs exactly once.
         """
         parent_table, child_table = self.sample(n_parents, seed=seed)
+        return parent_table, child_table, self.flatten_pair(parent_table, child_table)
+
+    def flatten_pair(self, parent_table: Table, child_table: Table) -> Table:
+        """Join a sampled (parent, child) pair into the flat evaluation view."""
+        self._require_fitted()
         parent_by_subject = {row[self._subject_column]: row for row in parent_table.iter_rows()}
         records = []
         for row in child_table.iter_rows():
@@ -152,6 +170,15 @@ class ParentChildSynthesizer:
                 record[name] = row[name]
             records.append(record)
         return Table.from_records(records, columns=self._parent_columns + self._child_columns)
+
+    def sample_flat(self, n_parents: int, seed: int | None = None) -> Table:
+        """Sample and return the child table joined with its parent columns.
+
+        This flat view (every child row carrying its parent's contextual
+        columns) is what the fidelity evaluation compares against the original
+        flat data.
+        """
+        return self.sample_all(n_parents, seed=seed)[2]
 
     def _draw_children_count(self, rng: random.Random) -> int:
         if isinstance(self.config.children_per_parent, int):

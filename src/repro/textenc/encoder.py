@@ -82,3 +82,13 @@ class TextualEncoder:
         """
         sentence = self.encode_row(partial_row, columns=columns, permute=False)
         return sentence + self.config.pair_separator
+
+    def conditional_prompts(self, partial_rows: Sequence[Mapping],
+                            columns: Sequence[str] | None = None) -> list[str]:
+        """Encode a batch of partial rows as generation prompts.
+
+        The batched synthesis path conditions whole prompt groups at once
+        (e.g. every child of every sampled parent); this is the one-call
+        counterpart of :meth:`conditional_prompt`.
+        """
+        return [self.conditional_prompt(row, columns=columns) for row in partial_rows]

@@ -1,0 +1,241 @@
+"""Equivalence and behaviour tests for the batched generation engine.
+
+The object and compiled backbones must produce *identical* outputs for
+identical seeds — bit-identical mass matrices in, one shared RNG protocol
+out.  These tests pin that contract across temperatures, top-k values,
+prompts, the validity-retry path, and the guided synthesizer stack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frame.table import Table
+from repro.great.synthesizer import GReaTConfig, GReaTSynthesizer
+from repro.llm.compiled import CompiledNGramModel
+from repro.llm.engine import BatchGenerationEngine, ObjectBackbone, resolve_engine_kind
+from repro.llm.finetune import FineTuneConfig
+from repro.llm.ngram_model import ModelConfig, NGramLanguageModel
+from repro.llm.sampler import SamplerConfig, TemperatureSampler
+from repro.llm.tokenizer import WordTokenizer
+
+CORPUS = [
+    "Name: Grace, Lunch: Rice, Dinner: Steak",
+    "Name: Yin, Lunch: Spaghetti, Dinner: Chicken",
+    "Name: Anson, Lunch: Fried Rice, Dinner: Curry",
+    "Name: Grace, Lunch: Rice, Dinner: Steak",
+    "Name: Yin, Lunch: Spaghetti, Dinner: Steak",
+    "Name: Maya, Lunch: Noodles, Dinner: Curry",
+]
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    tokenizer = WordTokenizer().fit(CORPUS)
+    model = NGramLanguageModel(tokenizer, ModelConfig(order=4, smoothing=0.01))
+    model.fit(CORPUS)
+    return model
+
+
+def _engines(model, **config_kwargs):
+    object_engine = BatchGenerationEngine(
+        model, SamplerConfig(engine="object", **config_kwargs))
+    compiled_engine = BatchGenerationEngine(
+        model, SamplerConfig(engine="compiled", **config_kwargs))
+    return object_engine, compiled_engine
+
+
+class TestBackboneMasses:
+    def test_dense_masses_bitwise_identical(self, trained_model):
+        compiled = CompiledNGramModel(trained_model)
+        legacy = ObjectBackbone(trained_model)
+        rng = np.random.default_rng(0)
+        width = trained_model.config.order - 1
+        vocab_size = len(trained_model.tokenizer.vocabulary)
+        contexts = rng.integers(0, vocab_size, size=(40, width)).astype(np.int64)
+        lengths = rng.integers(0, width + 1, size=40).astype(np.int64)
+        assert np.array_equal(legacy.dense_masses(contexts, lengths),
+                              compiled.dense_masses(contexts, lengths))
+
+    def test_token_masses_bitwise_identical(self, trained_model):
+        compiled = CompiledNGramModel(trained_model)
+        legacy = ObjectBackbone(trained_model)
+        rng = np.random.default_rng(1)
+        width = trained_model.config.order - 1
+        vocab_size = len(trained_model.tokenizer.vocabulary)
+        contexts = rng.integers(0, vocab_size, size=(25, width)).astype(np.int64)
+        lengths = rng.integers(0, width + 1, size=25).astype(np.int64)
+        for token_id in range(vocab_size):
+            assert np.array_equal(legacy.token_masses(contexts, lengths, token_id),
+                                  compiled.token_masses(contexts, lengths, token_id))
+
+    def test_dense_masses_match_model_distribution(self, trained_model):
+        """Masses renormalise to the model's public next-token distribution."""
+        compiled = CompiledNGramModel(trained_model)
+        vocabulary = trained_model.tokenizer.vocabulary
+        context = [vocabulary.encode_token("Lunch"), vocabulary.encode_token(":")]
+        width = trained_model.config.order - 1
+        contexts = np.zeros((1, width), dtype=np.int64)
+        contexts[0, width - len(context):] = context
+        lengths = np.array([len(context)], dtype=np.int64)
+        masses = compiled.dense_masses(contexts, lengths)[0]
+        expected = trained_model.next_token_distribution(context)
+        normalised = masses / masses.sum()
+        for token_id, probability in expected.items():
+            assert normalised[token_id] == pytest.approx(probability, rel=1e-9)
+
+
+class TestFreeGenerationEquivalence:
+    @pytest.mark.parametrize("temperature", [0.0, 0.4, 1.0, 1.7])
+    @pytest.mark.parametrize("top_k", [None, 3, 12])
+    def test_identical_sentences(self, trained_model, temperature, top_k):
+        object_engine, compiled_engine = _engines(
+            trained_model, temperature=temperature, top_k=top_k, max_tokens=48)
+        assert object_engine.generate_sentences(16, seed=5) == \
+            compiled_engine.generate_sentences(16, seed=5)
+
+    def test_identical_with_prompts(self, trained_model):
+        tokenizer = trained_model.tokenizer
+        prompt = tokenizer.encode("Name :", add_bos=False, add_eos=False)
+        prompts = [prompt] * 10
+        object_engine, compiled_engine = _engines(trained_model, max_tokens=40)
+        object_out = object_engine.generate_sentences(10, prompts=prompts, seed=9)
+        compiled_out = compiled_engine.generate_sentences(10, prompts=prompts, seed=9)
+        assert object_out == compiled_out
+        assert all(sentence.startswith("Name") for sentence in object_out)
+
+    def test_identical_validity_retry(self, trained_model):
+        object_engine, compiled_engine = _engines(trained_model, max_retries=3)
+        predicate = lambda sentence: "Lunch" in sentence  # noqa: E731
+        object_out = object_engine.generate_valid(12, predicate, seed=3)
+        compiled_out = compiled_engine.generate_valid(12, predicate, seed=3)
+        assert object_out == compiled_out
+        assert all(v is None or "Lunch" in v for v in object_out)
+
+    def test_chunked_batches_match_single_batch(self, trained_model):
+        """Lane chunking must not change the draw sequence."""
+        wide = BatchGenerationEngine(
+            trained_model, SamplerConfig(engine="compiled", batch_lanes=512))
+        narrow = BatchGenerationEngine(
+            trained_model, SamplerConfig(engine="object", batch_lanes=512))
+        assert wide.generate_sentences(30, seed=2) == narrow.generate_sentences(30, seed=2)
+
+    def test_max_tokens_bounds_sequences(self, trained_model):
+        engine = BatchGenerationEngine(
+            trained_model, SamplerConfig(engine="compiled", max_tokens=5, top_k=None))
+        for ids in engine.generate_ids_batch(8, seed=0):
+            assert len(ids) <= 5
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000), temperature=st.floats(0.05, 2.5),
+           top_k=st.one_of(st.none(), st.integers(1, 20)))
+    def test_equivalence_property(self, trained_model, seed, temperature, top_k):
+        object_engine, compiled_engine = _engines(
+            trained_model, temperature=temperature, top_k=top_k, max_tokens=32)
+        assert object_engine.generate_sentences(6, seed=seed) == \
+            compiled_engine.generate_sentences(6, seed=seed)
+
+
+def _great_config(engine, strategy="guided", temperature=0.85, seed=0):
+    return GReaTConfig(
+        fine_tune=FineTuneConfig(epochs=2, batches=2, model=ModelConfig(order=4)),
+        sampler=SamplerConfig(temperature=temperature, top_k=12, seed=seed, engine=engine),
+        sampling_strategy=strategy,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def meals_table():
+    return Table({
+        "Name": ["Grace", "Yin", "Anson", "Maya", "Leo", "Iris"],
+        "Lunch": ["Rice", "Spaghetti", "Fried Rice", "Noodles", "Spaghetti", "Rice"],
+        "Dinner": ["Steak", "Chicken", "Curry", "Steak", "Chicken", "Curry"],
+        "Rating": [5, 4, 3, 5, 4, 3],
+    })
+
+
+class TestSynthesizerEquivalence:
+    @pytest.mark.parametrize("strategy", ["guided", "free"])
+    @pytest.mark.parametrize("temperature", [0.3, 0.85, 1.5])
+    def test_identical_tables(self, meals_table, strategy, temperature):
+        object_synth = GReaTSynthesizer(
+            _great_config("object", strategy, temperature)).fit(meals_table)
+        compiled_synth = GReaTSynthesizer(
+            _great_config("compiled", strategy, temperature)).fit(meals_table)
+        assert object_synth.sample(25, seed=4) == compiled_synth.sample(25, seed=4)
+
+    def test_identical_conditional_tables(self, meals_table):
+        prompts = [{"Name": "Grace"}, {"Name": "Yin"}, {"Name": "Maya"}] * 4
+        object_synth = GReaTSynthesizer(_great_config("object")).fit(meals_table)
+        compiled_synth = GReaTSynthesizer(_great_config("compiled")).fit(meals_table)
+        object_out = object_synth.sample_conditional(prompts, seed=6)
+        compiled_out = compiled_synth.sample_conditional(prompts, seed=6)
+        assert object_out == compiled_out
+        assert object_out.column("Name").values[:3] == ["Grace", "Yin", "Maya"]
+
+    def test_negative_seeds_accepted(self, meals_table):
+        """random.Random accepted any int seed; the numpy streams must too."""
+        for strategy in ("guided", "free"):
+            synth = GReaTSynthesizer(_great_config("compiled", strategy)).fit(meals_table)
+            assert synth.sample(4, seed=-3) == synth.sample(4, seed=-3)
+
+    def test_engine_shared_with_sampler(self, meals_table):
+        """fit() must not freeze the compiled model twice."""
+        synth = GReaTSynthesizer(_great_config("compiled")).fit(meals_table)
+        assert synth.engine is synth._sampler.engine
+
+    def test_batch_sampling_stays_on_training_support(self, meals_table):
+        synth = GReaTSynthesizer(_great_config("compiled")).fit(meals_table)
+        sample = synth.sample(40, seed=1)
+        for name in meals_table.column_names:
+            assert set(sample.column(name).unique()) <= set(meals_table.column(name).unique())
+
+
+class TestEngineSelection:
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_engine_kind("gpu")
+
+    def test_config_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(engine="gpu")
+
+    def test_env_var_controls_auto(self, trained_model, monkeypatch):
+        monkeypatch.setenv("REPRO_GENERATION_ENGINE", "object")
+        assert resolve_engine_kind("auto") == "object"
+        engine = BatchGenerationEngine(trained_model, SamplerConfig(engine="auto"))
+        assert engine.kind == "object"
+        monkeypatch.delenv("REPRO_GENERATION_ENGINE")
+        assert resolve_engine_kind(None) == "compiled"
+
+    def test_explicit_kind_overrides_config(self, trained_model):
+        engine = BatchGenerationEngine(
+            trained_model, SamplerConfig(engine="object"), kind="compiled")
+        assert engine.kind == "compiled"
+
+    def test_untrained_model_rejected(self):
+        model = NGramLanguageModel(WordTokenizer())
+        with pytest.raises(ValueError):
+            BatchGenerationEngine(model, SamplerConfig())
+        with pytest.raises(ValueError):
+            CompiledNGramModel(model)
+
+
+class TestSamplerDelegation:
+    def test_sample_batch_uses_engine(self, trained_model):
+        sampler = TemperatureSampler(trained_model, SamplerConfig(seed=1, engine="compiled"))
+        sentences = sampler.sample_batch(7)
+        assert len(sentences) == 7
+        assert sampler.engine.kind == "compiled"
+
+    def test_sample_batch_reproducible_after_reseed(self, trained_model):
+        sampler = TemperatureSampler(trained_model, SamplerConfig(seed=1))
+        sampler.reseed(11)
+        first = sampler.sample_batch(5)
+        sampler.reseed(11)
+        assert sampler.sample_batch(5) == first
+
+    def test_sample_valid_none_when_impossible(self, trained_model):
+        sampler = TemperatureSampler(trained_model, SamplerConfig(seed=1, max_retries=2))
+        assert sampler.sample_valid(lambda s: False) is None

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.frame.backend import using_backend
 from repro.frame.table import Table
 from repro.great.synthesizer import GReaTConfig
 from repro.llm.finetune import FineTuneConfig
@@ -173,3 +174,36 @@ class TestParentChildSynthesizer:
         synth = ParentChildSynthesizer(_fast_pc_config()).fit(parent, child, subject)
         with pytest.raises(ValueError):
             synth.sample(0)
+
+    def test_children_per_subject_deterministic_across_backends(self, parent_child):
+        """Regression: the children-per-subject list is pinned by subject key,
+        so ``rng.choice`` draws reproduce across storage backends (whose
+        ``value_counts`` tie ordering differs)."""
+        parent, child, subject = parent_child
+        distributions = {}
+        for backend in ("object", "numpy"):
+            with using_backend(backend):
+                rebuilt_parent = Table.from_records(parent.to_records())
+                rebuilt_child = Table.from_records(child.to_records())
+                synth = ParentChildSynthesizer(_fast_pc_config())
+                synth.fit(rebuilt_parent, rebuilt_child, subject)
+                distributions[backend] = list(synth._children_per_subject)
+        assert distributions["object"] == distributions["numpy"]
+
+    def test_sample_all_flat_consistent_with_pair(self, parent_child):
+        """The flat view is derived from the sampled pair, never regenerated."""
+        parent, child, subject = parent_child
+        synth = ParentChildSynthesizer(_fast_pc_config()).fit(parent, child, subject)
+        parent_table, child_table, flat = synth.sample_all(3, seed=6)
+        assert flat.num_rows == child_table.num_rows
+        assert flat == synth.flatten_pair(parent_table, child_table)
+        # every flat row restates its child row's values
+        child_columns = [name for name in child.column_names if name != subject]
+        for flat_row, child_row in zip(flat.iter_rows(), child_table.iter_rows()):
+            for name in child_columns:
+                assert flat_row[name] == child_row[name]
+
+    def test_sample_flat_matches_sample_all(self, parent_child):
+        parent, child, subject = parent_child
+        synth = ParentChildSynthesizer(_fast_pc_config()).fit(parent, child, subject)
+        assert synth.sample_flat(3, seed=8) == synth.sample_all(3, seed=8)[2]
