@@ -83,6 +83,7 @@ class GReaTSynthesizer:
         self._engine: BatchGenerationEngine | None = None
         self._training_table: Table | None = None
         self._perplexity_trace: list[float] = []
+        self._training_engine: str | None = None
         # guided-sampling state: per column, the observed values and their token ids
         self._column_candidates: dict[str, list] = {}
         self._candidate_token_ids: dict[str, list[list[int]]] = {}
@@ -100,6 +101,16 @@ class GReaTSynthesizer:
     def perplexity_trace(self) -> list[float]:
         """Held-out perplexity after each fine-tuning epoch."""
         return list(self._perplexity_trace)
+
+    @property
+    def training_engine(self) -> str | None:
+        """Which training engine ran at fit time (``None`` before fit).
+
+        Selected by ``config.fine_tune.engine`` / ``REPRO_TRAINING_ENGINE``;
+        both engines produce bit-identical models, so this is diagnostic
+        only.
+        """
+        return self._training_engine
 
     @property
     def decoder(self) -> TextualDecoder:
@@ -136,11 +147,13 @@ class GReaTSynthesizer:
         tuner = FineTuner(tokenizer, self.config.fine_tune)
         result = tuner.fine_tune(corpus)
         self._perplexity_trace = result.perplexity_trace
+        self._training_engine = result.engine
         self._decoder = decoder
         self._model = result.model
         self._sampler = TemperatureSampler(result.model, self.config.sampler)
         self._sampler.reseed(self.config.seed)
-        # share one engine (and one compiled CSR freeze) with the sampler
+        # share one engine with the sampler; compiled-trained models hand the
+        # engine their cached CSR freeze, so the counts are never re-frozen
         self._engine = self._sampler.engine
         self._prepare_guided_state(tokenizer)
         return self

@@ -14,11 +14,18 @@ decode, inverse-map — executes end to end on a CPU with no external model
 weights.
 """
 
-from repro.llm.tokenizer import WordTokenizer, Vocabulary, SPECIAL_TOKENS
+from repro.llm.tokenizer import WordTokenizer, Vocabulary, SPECIAL_TOKENS, EncodedCorpus
 from repro.llm.ngram_model import NGramLanguageModel, ModelConfig
 from repro.llm.sampler import SamplerConfig, TemperatureSampler
 from repro.llm.compiled import CompiledNGramModel
 from repro.llm.engine import BatchGenerationEngine, GENERATION_ENGINES, resolve_engine_kind
+from repro.llm.training import (
+    ArrayTrainedNGramModel,
+    CorpusCounts,
+    TRAINING_ENGINES,
+    accumulate_counts,
+    resolve_training_engine,
+)
 from repro.llm.finetune import FineTuneConfig, FineTuner
 from repro.llm.embeddings import CooccurrenceEmbedding
 
@@ -26,6 +33,7 @@ __all__ = [
     "WordTokenizer",
     "Vocabulary",
     "SPECIAL_TOKENS",
+    "EncodedCorpus",
     "NGramLanguageModel",
     "ModelConfig",
     "TemperatureSampler",
@@ -34,6 +42,11 @@ __all__ = [
     "BatchGenerationEngine",
     "GENERATION_ENGINES",
     "resolve_engine_kind",
+    "ArrayTrainedNGramModel",
+    "CorpusCounts",
+    "TRAINING_ENGINES",
+    "accumulate_counts",
+    "resolve_training_engine",
     "FineTuner",
     "FineTuneConfig",
     "CooccurrenceEmbedding",

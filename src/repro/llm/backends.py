@@ -1,0 +1,29 @@
+"""Shared backend-switch resolution for the pluggable LLM engines.
+
+The generation engine (``REPRO_GENERATION_ENGINE``) and the training engine
+(``REPRO_TRAINING_ENGINE``) follow the frame substrate's storage-backend
+convention: an explicit concrete kind wins, ``"auto"``/``None`` falls back to
+the environment variable, and an unset or invalid environment value resolves
+to the compiled default.  One resolver implements that contract so the
+switches cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def resolve_backend_kind(kind: str | None, env_var: str,
+                         choices: tuple[str, ...], default: str,
+                         label: str) -> str:
+    """Resolve ``None``/``"auto"`` through *env_var* to a concrete *choices* entry."""
+    kind = kind or "auto"
+    if kind == "auto":
+        kind = os.environ.get(env_var, default)
+        if kind not in choices:
+            kind = default
+    if kind not in choices:
+        raise ValueError(
+            "{} must be one of {} or 'auto', got {!r}".format(label, choices, kind)
+        )
+    return kind

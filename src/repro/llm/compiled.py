@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.llm.ngram_model import NGramLanguageModel
+from repro.llm.ngram_model import NGramLanguageModel, interpolation_weights
 
 #: Keep packed context keys comfortably inside int64.
 _MAX_PACKED_KEY = 2 ** 62
@@ -45,14 +45,21 @@ class CompiledNGramModel:
     def __init__(self, model: NGramLanguageModel):
         if not model.is_trained:
             raise ValueError("can only compile a trained model")
+        model._ensure_dict_tables()  # array-trained models materialise lazily
+        self._init_header(model.tokenizer, model.config, model)
+        for k in range(1, self.order):
+            self._freeze_order(k)
+        self._freeze_unigrams()
+
+    def _init_header(self, tokenizer, config, model: NGramLanguageModel | None) -> None:
+        """Configuration-derived constants shared by both constructors."""
         self.model = model
-        config = model.config
-        vocabulary = model.tokenizer.vocabulary
+        vocabulary = tokenizer.vocabulary
         self.order = config.order
         self.vocab_size = len(vocabulary)
         self.smoothing = config.smoothing
         self.smoothing_mass = self.smoothing * self.vocab_size
-        self.weights = model._interpolation_weights()
+        self.weights = interpolation_weights(config)
         self.pad_id = vocabulary.pad_id
         self.bos_id = vocabulary.bos_id
         self.eos_id = vocabulary.eos_id
@@ -68,9 +75,64 @@ class CompiledNGramModel:
         self._entry_keys: dict[int, np.ndarray] = {}
         self._powers: dict[int, np.ndarray] = {}
         self._tuple_index: dict[int, dict] = {}
+
+    @classmethod
+    def from_counts(cls, counts: "CorpusCounts", tokenizer, config,
+                    model: NGramLanguageModel | None = None) -> "CompiledNGramModel":
+        """Build the CSR view directly from array-accumulated counts.
+
+        ``counts`` is a :class:`repro.llm.training.CorpusCounts` — per order,
+        sorted packed context keys with CSR row pointers over sorted
+        ``(token, count)`` entries, exactly the layout ``_freeze_order``
+        produces from the dict tables (lexicographic context order equals
+        packed-key order; tokens ascend within a context).  This skips the
+        intermediate dict sort of the legacy path entirely.
+        """
+        self = cls.__new__(cls)
+        self._init_header(tokenizer, config, model)
+        if counts.order != self.order or counts.vocab_size != self.vocab_size:
+            raise ValueError("count arrays do not match the model configuration")
+        if not self.packed:
+            raise ValueError("vocabulary too large for packed count arrays")
         for k in range(1, self.order):
-            self._freeze_order(k)
-        self._freeze_unigrams()
+            keys = counts.keys[k]
+            row_ptr = counts.row_ptr[k]
+            tokens = counts.tokens[k]
+            self._keys[k] = keys
+            self._row_ptr[k] = row_ptr
+            self._tokens[k] = tokens
+            self._counts[k] = counts.counts[k].astype(np.float64)
+            self._totals[k] = counts.totals[k].astype(np.float64)
+            row_of_entry = np.repeat(np.arange(keys.size, dtype=np.int64),
+                                     np.diff(row_ptr)) if keys.size else np.empty(0, np.int64)
+            self._entry_keys[k] = row_of_entry * self.vocab_size + tokens
+            self._powers[k] = (self.vocab_size ** np.arange(k - 1, -1, -1)).astype(np.int64)
+        self._tokens0 = counts.tokens0
+        self._counts0 = counts.counts0.astype(np.float64)
+        self._total0 = float(counts.total0)
+        self._finalize_unigrams()
+        return self
+
+    def with_count_multiplier(self, multiplier: int) -> "CompiledNGramModel":
+        """A view with every stored count scaled by *multiplier*.
+
+        The structure arrays (context keys, row pointers, tokens, entry
+        keys) are shared with ``self`` — only the count/total arrays are
+        scaled and the unigram smoothing constants recomputed.  Scaling the
+        float counts is exact for integer counts below 2**53, so the view is
+        bit-identical to compiling *multiplier* repeated corpus passes; the
+        fine-tuner uses this for the per-epoch perplexity trace.
+        """
+        if multiplier == 1:
+            return self
+        view = object.__new__(type(self))
+        view.__dict__.update(self.__dict__)
+        view._counts = {k: counts * multiplier for k, counts in self._counts.items()}
+        view._totals = {k: totals * multiplier for k, totals in self._totals.items()}
+        view._counts0 = self._counts0 * multiplier
+        view._total0 = self._total0 * multiplier
+        view._finalize_unigrams()
+        return view
 
     # -- freezing ---------------------------------------------------------------------
 
@@ -124,6 +186,10 @@ class CompiledNGramModel:
         self._counts0 = np.fromiter((c for _, c in ordered), dtype=np.float64,
                                     count=len(ordered))
         self._total0 = float(self.model._context_totals[0].get((), 0))
+        self._finalize_unigrams()
+
+    def _finalize_unigrams(self) -> None:
+        """Smoothing constants + dense unigram rows from the unigram arrays."""
         weight = self.weights[self.order - 1]
         denom = self._total0 + self.smoothing_mass
         if denom <= 0:
@@ -231,29 +297,94 @@ class CompiledNGramModel:
         dense += self._bonus0[None, :]
         return dense
 
+    def _target_counts(self, k: int, rows: np.ndarray,
+                       targets: int | np.ndarray) -> np.ndarray:
+        """Stored count of each ``(context row, target token)`` pair (0 when
+        the continuation was never observed), via one binary search over the
+        sorted row-relative entry keys."""
+        out = np.zeros(rows.size, dtype=np.float64)
+        table = self._entry_keys[k]
+        if table.size == 0:
+            return out
+        queries = rows * self.vocab_size + targets
+        positions = np.searchsorted(table, queries)
+        clipped = np.minimum(positions, table.size - 1)
+        hit = table[clipped] == queries
+        if hit.any():
+            out[hit] = self._counts[k][clipped[hit]]
+        return out
+
     def token_masses(self, contexts: np.ndarray, lengths: np.ndarray,
                      tokens: int | np.ndarray) -> np.ndarray:
         """Unnormalised mass of one next token per lane, shape ``(n_lanes,)``.
 
         ``tokens`` is either a single token id shared by every lane or an
-        array with one target token per lane.
+        array with one target token per lane.  Unobserved continuations add
+        exactly 0.0 per layer, which is bitwise-neutral, so no masking is
+        needed anywhere.
         """
         per_lane = not np.isscalar(tokens)
         rest, plans = self._layer_plan(contexts, lengths)
         masses = rest.copy()
         for k, lanes, rows, scales in plans:
             targets = np.asarray(tokens)[lanes] if per_lane else tokens
-            queries = rows * self.vocab_size + targets
-            table = self._entry_keys[k]
-            if table.size == 0:
-                continue
-            positions = np.searchsorted(table, queries)
-            clipped = np.minimum(positions, table.size - 1)
-            hit = table[clipped] == queries
-            if hit.any():
-                masses[lanes[hit]] += self._counts[k][clipped[hit]] * scales[hit]
-        # the unigram context is shared, so its (possibly zero) count adds
-        # exactly 0.0 for uncounted tokens — bitwise-neutral, no mask needed
+            masses[lanes] += self._target_counts(k, rows, targets) * scales
         counts0 = self._counts0_dense[tokens]
         masses += counts0 * self._scale0
         return masses
+
+    # -- batched corpus scoring ---------------------------------------------------------
+
+    def _position_probabilities(self, contexts: np.ndarray, lengths: np.ndarray,
+                                targets: np.ndarray) -> np.ndarray:
+        """Probability of one target token per lane, with exact normalisers.
+
+        Mirrors :meth:`NGramLanguageModel._position_probability` operation
+        for operation: the same rest accumulation, the same highest-order
+        -first bonus/total additions, the same ``total * scale`` normaliser
+        terms — so the two training engines score identically, bit for bit.
+        """
+        rest, plans = self._layer_plan(contexts, lengths)
+        masses = rest.copy()
+        norms = rest * self.vocab_size
+        for k, lanes, rows, scales in plans:
+            masses[lanes] += self._target_counts(k, rows, targets[lanes]) * scales
+            norms[lanes] += self._totals[k][rows] * scales
+        masses += self._counts0_dense[targets] * self._scale0
+        norms += self._total0 * self._scale0
+        positive = norms > 0
+        return np.where(positive, masses / np.where(positive, norms, 1.0),
+                        1.0 / self.vocab_size)
+
+    def score_corpus(self, ids: np.ndarray, offsets: np.ndarray,
+                     chunk_size: int = 1 << 15) -> np.ndarray:
+        """Next-token probability of every scored position of an encoded corpus.
+
+        ``ids``/``offsets`` use the :class:`~repro.llm.tokenizer.EncodedCorpus`
+        layout.  Scored positions are ``1 .. len - 1`` of each sentence in
+        corpus order — exactly the positions the object path's perplexity
+        walks — and the contexts are materialised as right-aligned windows
+        over the flat array (stride tricks plus a left pad), masked by the
+        per-position context length so windows never cross a sentence start.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        width = self.order - 1
+        starts = np.repeat(offsets[:-1], np.diff(offsets))
+        positions_in_sentence = np.arange(ids.size, dtype=np.int64) - starts
+        scored = np.flatnonzero(positions_in_sentence >= 1)
+        probabilities = np.empty(scored.size, dtype=np.float64)
+        if width:
+            lengths_all = np.minimum(positions_in_sentence[scored], width)
+            padded = np.concatenate([np.zeros(width, dtype=np.int64), ids])
+            windows = np.lib.stride_tricks.sliding_window_view(padded, width)
+        else:
+            lengths_all = np.zeros(scored.size, dtype=np.int64)
+        for lo in range(0, scored.size, chunk_size):
+            hi = min(lo + chunk_size, scored.size)
+            chunk = scored[lo:hi]
+            contexts = windows[chunk] if width \
+                else np.zeros((chunk.size, 0), dtype=np.int64)
+            probabilities[lo:hi] = self._position_probabilities(
+                contexts, lengths_all[lo:hi], ids[chunk])
+        return probabilities

@@ -30,12 +30,11 @@ substrate's storage-backend selection.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable, Sequence
 
 import numpy as np
 
-from repro.llm.compiled import CompiledNGramModel
+from repro.llm.backends import resolve_backend_kind
 from repro.llm.ngram_model import NGramLanguageModel
 from repro.llm.sampler import SamplerConfig
 
@@ -63,18 +62,8 @@ def seeded_rng(seed: int | None) -> np.random.Generator:
 
 def resolve_engine_kind(kind: str | None = None) -> str:
     """Resolve ``None``/``"auto"`` through the environment to a concrete engine."""
-    kind = kind or "auto"
-    if kind == "auto":
-        kind = os.environ.get(_ENV_VAR, "compiled")
-        if kind not in GENERATION_ENGINES:
-            kind = "compiled"
-    if kind not in GENERATION_ENGINES:
-        raise ValueError(
-            "generation engine must be one of {} or 'auto', got {!r}".format(
-                GENERATION_ENGINES, kind
-            )
-        )
-    return kind
+    return resolve_backend_kind(kind, _ENV_VAR, GENERATION_ENGINES,
+                                default="compiled", label="generation engine")
 
 
 class ObjectBackbone:
@@ -100,7 +89,7 @@ class ObjectBackbone:
                 self._lane_context(contexts, lengths, lane))
             row = dense[lane]
             row.fill(rest)
-            for counts, scale in layers:
+            for counts, scale, _ in layers:
                 ids = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
                 values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
                 row[ids] += values * scale
@@ -116,7 +105,7 @@ class ObjectBackbone:
             rest, layers = self.model.distribution_components(
                 self._lane_context(contexts, lengths, lane))
             mass = rest
-            for counts, scale in layers:
+            for counts, scale, _ in layers:
                 count = counts.get(token_id)
                 if count:
                     mass += count * scale
@@ -140,7 +129,9 @@ class BatchGenerationEngine:
         self.config = config or SamplerConfig()
         self.kind = resolve_engine_kind(kind if kind is not None else self.config.engine)
         if self.kind == "compiled":
-            self._backbone = CompiledNGramModel(model)
+            # array-trained models hand back their cached CSR freeze, so no
+            # dict walk (or re-freeze) happens here
+            self._backbone = model.compiled_model()
         else:
             self._backbone = ObjectBackbone(model)
         self.tokenizer = model.tokenizer

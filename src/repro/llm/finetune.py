@@ -5,6 +5,21 @@ batches" (Sec. 4.1.4).  For the n-gram substrate an epoch is one pass of
 count accumulation and a batch is a shard of the corpus; the loop exposes the
 same knobs plus a per-epoch held-out perplexity trace so experiments can show
 the model actually adapts to the encoded corpus.
+
+Two interchangeable engines run the loop (see :mod:`repro.llm.training`):
+
+* ``"object"`` — the legacy path: per-sentence tokenisation and token-by-token
+  updates of the nested ``dict[context] -> Counter`` tables, one pass per
+  epoch, per-epoch validation scoring through the object model.
+* ``"compiled"`` — one batched corpus encode into a flat id array, one
+  array-reduction count accumulation, analytic epoch scaling, and per-epoch
+  validation scoring through the compiled CSR scorer.
+
+Both engines produce bit-identical counts, vocabulary ids and perplexity
+traces, so a given seed maps to one deterministic fine-tuning outcome
+regardless of the engine.  The engine is picked per :class:`FineTuneConfig`
+(its ``engine`` field), falling back to the ``REPRO_TRAINING_ENGINE``
+environment variable and finally to ``"compiled"``.
 """
 
 from __future__ import annotations
@@ -13,13 +28,31 @@ import random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
-from repro.llm.ngram_model import ModelConfig, NGramLanguageModel
+from repro.llm.compiled import CompiledNGramModel
+from repro.llm.ngram_model import (
+    ModelConfig,
+    NGramLanguageModel,
+    perplexity_from_probabilities,
+)
 from repro.llm.tokenizer import WordTokenizer
+from repro.llm.training import (
+    ArrayTrainedNGramModel,
+    accumulate_counts,
+    resolve_training_engine,
+)
+
+#: Accepted values of :attr:`FineTuneConfig.engine`.
+ENGINE_CHOICES = ("auto", "object", "compiled")
 
 
 @dataclass(frozen=True)
 class FineTuneConfig:
-    """Hyper-parameters of the fine-tuning loop (paper defaults in Sec. 4.1.4)."""
+    """Hyper-parameters of the fine-tuning loop (paper defaults in Sec. 4.1.4).
+
+    ``engine`` picks the training engine (``"object"`` keeps the legacy dict
+    updates, ``"compiled"`` runs the array path; ``"auto"`` resolves through
+    the ``REPRO_TRAINING_ENGINE`` environment variable to ``"compiled"``).
+    """
 
     epochs: int = 10
     batches: int = 5
@@ -27,6 +60,7 @@ class FineTuneConfig:
     shuffle: bool = True
     seed: int = 0
     model: ModelConfig = field(default_factory=ModelConfig)
+    engine: str = "auto"
 
     def __post_init__(self):
         if self.epochs < 1:
@@ -35,6 +69,10 @@ class FineTuneConfig:
             raise ValueError("batches must be at least 1")
         if not 0.0 <= self.validation_fraction < 1.0:
             raise ValueError("validation_fraction must be in [0, 1)")
+        if self.engine not in ENGINE_CHOICES:
+            raise ValueError(
+                "engine must be one of {}, got {!r}".format(ENGINE_CHOICES, self.engine)
+            )
 
 
 @dataclass
@@ -45,6 +83,7 @@ class FineTuneResult:
     perplexity_trace: list[float]
     train_size: int
     validation_size: int
+    engine: str = "object"
 
 
 class FineTuner:
@@ -70,6 +109,18 @@ class FineTuner:
         validation = shuffled[:n_validation]
         training = shuffled[n_validation:] or shuffled
 
+        if resolve_training_engine(self.config.engine) == "compiled":
+            result = self._fine_tune_compiled(shuffled, training, validation)
+            if result is not None:
+                return result
+            # vocabulary too large for packed int64 keys: run the dict path
+            # (the vocabulary fitted above is reused — fit() is idempotent)
+        return self._fine_tune_object(shuffled, training, validation)
+
+    # -- object engine: the legacy dict path --------------------------------------------
+
+    def _fine_tune_object(self, shuffled: list[str], training: list[str],
+                          validation: list[str]) -> FineTuneResult:
         # make sure every token (including validation-only ones) is in the vocabulary
         self.tokenizer.fit(shuffled)
         model = NGramLanguageModel(self.tokenizer, self.config.model)
@@ -88,4 +139,58 @@ class FineTuner:
             perplexity_trace=perplexity_trace,
             train_size=len(training),
             validation_size=len(validation),
+            engine="object",
+        )
+
+    # -- compiled engine: the array path -------------------------------------------------
+
+    def _fine_tune_compiled(self, shuffled: list[str], training: list[str],
+                            validation: list[str]) -> FineTuneResult | None:
+        """One encode, one count reduction, analytic epoch scaling.
+
+        An epoch of the batched loop is exactly one pass over the training
+        corpus (the batch shards partition it), so the counts after epoch
+        ``e`` are ``e`` times the single-pass counts — no re-looping.  The
+        per-epoch validation perplexities are computed by the compiled CSR
+        scorer on count views scaled to each epoch.  Returns ``None`` when
+        the vocabulary cannot be packed (caller falls back to the object
+        engine).
+        """
+        config = self.config
+        encoded = self.tokenizer.fit_encode_corpus(shuffled)
+        n_validation = len(validation)
+        if len(training) == len(shuffled):  # covers the empty-split fallback
+            training_encoded = encoded
+        else:
+            training_encoded = encoded.slice(n_validation, encoded.n_sentences)
+        counts = accumulate_counts(training_encoded, config.model.order,
+                                   len(self.tokenizer.vocabulary))
+        if counts is None:
+            return None
+
+        perplexity_trace: list[float] = []
+        if validation:
+            validation_encoded = encoded.slice(0, n_validation)
+            base_scorer = CompiledNGramModel.from_counts(
+                counts, self.tokenizer, config.model)
+            for epoch in range(1, config.epochs + 1):
+                scorer = base_scorer.with_count_multiplier(epoch)
+                perplexity_trace.append(perplexity_from_probabilities(
+                    scorer.score_corpus(validation_encoded.ids,
+                                        validation_encoded.offsets)))
+
+        model = ArrayTrainedNGramModel(
+            self.tokenizer, config.model, counts.scaled(config.epochs),
+            trained_sentences=len(training) * config.epochs,
+        )
+        if not perplexity_trace:
+            perplexity_trace.append(perplexity_from_probabilities(
+                model.compiled_model().score_corpus(training_encoded.ids,
+                                                    training_encoded.offsets)))
+        return FineTuneResult(
+            model=model,
+            perplexity_trace=perplexity_trace,
+            train_size=len(training),
+            validation_size=len(validation),
+            engine="compiled",
         )

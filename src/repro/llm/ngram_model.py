@@ -26,6 +26,33 @@ import numpy as np
 
 from repro.llm.tokenizer import WordTokenizer
 
+#: Probability floor applied before taking logs, shared by every scoring path.
+PROBABILITY_FLOOR = 1e-12
+
+
+def interpolation_weights(config: "ModelConfig") -> list[float]:
+    """Normalised per-order interpolation weights, highest order first."""
+    order = config.order
+    weights = list(config.interpolation)[:order]
+    while len(weights) < order:
+        weights.append(weights[-1] if weights else 1.0)
+    total = sum(weights)
+    if total <= 0:
+        return [1.0 / order] * order
+    return [w / total for w in weights]
+
+
+def perplexity_from_probabilities(probabilities: np.ndarray) -> float:
+    """Per-token perplexity from per-position next-token probabilities.
+
+    Both training engines reduce their scores through this one function, so a
+    bit-identical probability vector maps to a bit-identical perplexity.
+    """
+    if probabilities.size == 0:
+        raise ValueError("cannot compute perplexity of an empty corpus")
+    log_probs = np.log(np.maximum(probabilities, PROBABILITY_FLOOR))
+    return math.exp(-float(log_probs.sum()) / probabilities.size)
+
 
 @dataclass(frozen=True)
 class ModelConfig:
@@ -112,14 +139,7 @@ class NGramLanguageModel:
     # -- probabilities -----------------------------------------------------------------
 
     def _interpolation_weights(self) -> list[float]:
-        order = self.config.order
-        weights = list(self.config.interpolation)[:order]
-        while len(weights) < order:
-            weights.append(weights[-1] if weights else 1.0)
-        total = sum(weights)
-        if total <= 0:
-            return [1.0 / order] * order
-        return [w / total for w in weights]
+        return interpolation_weights(self.config)
 
     def distribution_components(self, context_ids: Sequence[int]) -> tuple[float, list]:
         """Canonical decomposition of the (unnormalised) next-token masses.
@@ -127,12 +147,14 @@ class NGramLanguageModel:
         Returns ``(rest, layers)``: *rest* is the baseline mass every
         vocabulary entry receives (all smoothing and unseen-context mass,
         folded analytically instead of being expanded over the vocabulary),
-        and *layers* lists, highest order first, ``(counts, scale)`` pairs —
-        the live ``Counter`` of next-token counts after that order's context
-        and the factor its counts are scaled by.  The mass of token ``t`` is
-        ``rest + sum(counts[t] * scale for each layer)`` and the exact
-        normaliser is the summed interpolation weight of the non-skipped
-        orders.  Callers must not mutate the returned counters.
+        and *layers* lists, highest order first, ``(counts, scale, total)``
+        triples — the live ``Counter`` of next-token counts after that
+        order's context, the factor its counts are scaled by, and the stored
+        total count of the context (``sum(counts.values())`` without the
+        sum).  The mass of token ``t`` is ``rest + sum(counts[t] * scale for
+        each layer)`` and the exact normaliser is ``rest * vocab_size +
+        sum(total * scale for each layer)``.  Callers must not mutate the
+        returned counters.
 
         This is the hot-path API: generation and batch engines consume the
         components directly, so no full-vocabulary dict is ever materialised
@@ -147,7 +169,7 @@ class NGramLanguageModel:
         smoothing_mass = smoothing * vocab_size
 
         rest = 0.0
-        layers: list[tuple[Counter, float]] = []
+        layers: list[tuple[Counter, float, int]] = []
         # highest order first: weights[0] is for the longest context
         for k in range(order - 1, -1, -1):
             context = tuple(context_ids[-k:]) if k > 0 else ()
@@ -163,7 +185,7 @@ class NGramLanguageModel:
             rest += smoothing * scale
             counts = self._counts[k].get(context)
             if counts:
-                layers.append((counts, scale))
+                layers.append((counts, scale, total))
         return rest, layers
 
     def next_token_distribution(self, context_ids: Sequence[int]) -> dict[int, float]:
@@ -177,7 +199,7 @@ class NGramLanguageModel:
         rest, layers = self.distribution_components(context_ids)
         vocab_size = len(self.tokenizer.vocabulary)
         bonus: dict[int, float] = defaultdict(float)
-        for counts, scale in layers:
+        for counts, scale, _ in layers:
             for token_id, count in counts.items():
                 bonus[token_id] += count * scale
         total_mass = rest * vocab_size + sum(bonus.values())
@@ -197,11 +219,11 @@ class NGramLanguageModel:
         """
         rest, layers = self.distribution_components(context_ids)
         probability = rest
-        for counts, scale in layers:
+        for counts, scale, _ in layers:
             count = counts.get(token_id)
             if count:
                 probability += count * scale
-        return max(probability, 1e-12)
+        return max(probability, PROBABILITY_FLOOR)
 
     def score_token_sequence(self, context_ids: Sequence[int], token_ids: Sequence[int]) -> float:
         """Log probability of *token_ids* continuing *context_ids* (natural log)."""
@@ -213,36 +235,71 @@ class NGramLanguageModel:
             context.append(token_id)
         return log_prob
 
+    def _position_probability(self, token_ids: Sequence[int], position: int) -> float:
+        """Probability of the token at *position* given its sentence context.
+
+        Uses the stored per-context totals for the normaliser instead of
+        re-summing each live counter, so scoring a position costs O(order)
+        regardless of how many continuations a context has.
+        """
+        vocab_size = len(self.tokenizer.vocabulary)
+        context = token_ids[max(0, position - self.config.order + 1):position]
+        rest, layers = self.distribution_components(context)
+        mass = rest
+        total_mass = rest * vocab_size
+        for counts, scale, total in layers:
+            count = counts.get(token_ids[position])
+            if count:
+                mass += count * scale
+            total_mass += total * scale
+        return mass / total_mass if total_mass > 0 else 1.0 / vocab_size
+
     def sequence_log_probability(self, text: str) -> float:
         """Log probability of a sentence under the model (natural log)."""
         token_ids = self.tokenizer.encode(text)
-        vocab_size = len(self.tokenizer.vocabulary)
         log_prob = 0.0
         for position in range(1, len(token_ids)):
-            context = token_ids[max(0, position - self.config.order + 1):position]
-            rest, layers = self.distribution_components(context)
-            mass = rest
-            total_mass = rest * vocab_size
-            for counts, scale in layers:
-                count = counts.get(token_ids[position])
-                if count:
-                    mass += count * scale
-                total_mass += sum(counts.values()) * scale
-            p = mass / total_mass if total_mass > 0 else 1.0 / vocab_size
-            log_prob += math.log(max(p, 1e-12))
+            p = self._position_probability(token_ids, position)
+            log_prob += math.log(max(p, PROBABILITY_FLOOR))
         return log_prob
 
     def perplexity(self, corpus: Iterable[str]) -> float:
-        """Per-token perplexity of a corpus under the model."""
-        total_log_prob = 0.0
-        total_tokens = 0
+        """Per-token perplexity of a corpus under the model.
+
+        Each sentence is encoded exactly once and its positions scored
+        through :meth:`_position_probability`; the final reduction is shared
+        with the compiled scorer (:func:`perplexity_from_probabilities`), so
+        both training engines produce bit-identical perplexity traces.
+        """
+        probabilities: list[float] = []
         for sentence in corpus:
             token_ids = self.tokenizer.encode(sentence)
-            total_tokens += max(len(token_ids) - 1, 0)
-            total_log_prob += self.sequence_log_probability(sentence)
-        if total_tokens == 0:
-            raise ValueError("cannot compute perplexity of an empty corpus")
-        return math.exp(-total_log_prob / total_tokens)
+            probabilities.extend(
+                self._position_probability(token_ids, position)
+                for position in range(1, len(token_ids))
+            )
+        return perplexity_from_probabilities(np.asarray(probabilities, dtype=np.float64))
+
+    def _ensure_dict_tables(self) -> None:
+        """Hook for array-trained subclasses to materialise the dict tables.
+
+        Anything that walks ``_counts``/``_context_totals`` directly (the
+        dict-freezing compiled constructor, incremental ``fit``) calls this
+        first; the base model's tables are always live, so this is a no-op.
+        """
+
+    # -- compiled view ------------------------------------------------------------------
+
+    def compiled_model(self):
+        """Frozen CSR view of the trained counts (see :mod:`repro.llm.compiled`).
+
+        The base implementation freezes the dict tables on every call;
+        array-trained models (compiled training engine) override this with a
+        cached direct array -> CSR construction.
+        """
+        from repro.llm.compiled import CompiledNGramModel
+
+        return CompiledNGramModel(self)
 
     # -- generation ---------------------------------------------------------------------
 
@@ -261,7 +318,7 @@ class NGramLanguageModel:
             context = generated[-(self.config.order - 1):] if self.config.order > 1 else []
             rest, layers = self.distribution_components(context)
             masses = np.full(vocab_size, rest)
-            for counts, scale in layers:
+            for counts, scale, _ in layers:
                 ids = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
                 values = np.fromiter(counts.values(), dtype=np.float64, count=len(counts))
                 masses[ids] += values * scale
@@ -292,13 +349,26 @@ def _sample_masses(masses: "np.ndarray", rng: random.Random,
     """Sample a token id from an unnormalised mass vector with temperature / top-k.
 
     Ties at the top-k boundary are broken deterministically by descending
-    mass then ascending token id (stable sort on the negated masses).
+    mass then ascending token id.  Selection uses ``argpartition`` (O(n))
+    rather than a full sort, with the boundary ties resolved explicitly so
+    the candidate list is identical to what a stable sort on the negated
+    masses would produce — the same kernel shape as the batch engine's
+    ``_draw_tokens``, with the legacy tie-break preserved.
     """
     if masses.size == 0:
         raise ValueError("cannot sample from an empty distribution")
     if top_k is not None and 0 < top_k < masses.size:
-        candidate_ids = np.argsort(-masses, kind="stable")[:top_k]
+        partitioned = np.argpartition(-masses, top_k - 1)[:top_k]
+        boundary = masses[partitioned].min()
+        above = np.flatnonzero(masses > boundary)
+        tied = np.flatnonzero(masses == boundary)
+        candidate_ids = np.concatenate([above, tied[:top_k - above.size]])
         candidate_masses = masses[candidate_ids]
+        # ids are ascending within each mass class, so a stable sort on the
+        # negated masses restores the exact legacy candidate order
+        order = np.argsort(-candidate_masses, kind="stable")
+        candidate_ids = candidate_ids[order]
+        candidate_masses = candidate_masses[order]
     else:
         candidate_ids = None
         candidate_masses = masses

@@ -15,6 +15,15 @@ from collections import Counter
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
+import numpy as np
+
+#: Sentence separator used by the one-pass corpus tokenizer.  The token
+#: pattern matches it as a single punctuation token and no other alternative
+#: can span it, so joining a corpus with it and running one global scan yields
+#: exactly the per-sentence token streams with a recognisable marker between
+#: them.  Corpora that *contain* the marker fall back to per-sentence scans.
+_SENTINEL = "\x00"
+
 #: Special tokens shared by every model built on this tokenizer.
 SPECIAL_TOKENS = {
     "pad": "<pad>",
@@ -88,6 +97,43 @@ class Vocabulary:
         return self.token_to_id[SPECIAL_TOKENS["unk"]]
 
 
+@dataclass(frozen=True)
+class EncodedCorpus:
+    """Flat token-id view of a whole corpus.
+
+    ``ids`` concatenates the per-sentence token ids (``<bos>``/``<eos>``
+    included when requested at encode time) and ``offsets`` marks the sentence
+    boundaries: sentence ``i`` occupies ``ids[offsets[i]:offsets[i + 1]]``.
+    This is the layout the compiled training engine consumes — n-gram count
+    accumulation and batched scoring are array sweeps over it.
+    """
+
+    ids: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def n_sentences(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def n_scored_positions(self) -> int:
+        """How many next-token predictions the corpus contains (positions
+        ``1 .. len - 1`` of every sentence, matching the model's training and
+        scoring loops)."""
+        return int(self.ids.size - self.n_sentences)
+
+    def sentence(self, index: int) -> list[int]:
+        """Token ids of sentence *index* as a plain list."""
+        start, stop = int(self.offsets[index]), int(self.offsets[index + 1])
+        return self.ids[start:stop].tolist()
+
+    def slice(self, start: int, stop: int) -> "EncodedCorpus":
+        """Sub-corpus of sentences ``start:stop`` (rebased offsets)."""
+        lo, hi = int(self.offsets[start]), int(self.offsets[stop])
+        return EncodedCorpus(ids=self.ids[lo:hi],
+                             offsets=self.offsets[start:stop + 1] - lo)
+
+
 class WordTokenizer:
     """Deterministic word/punctuation tokenizer with a trainable vocabulary."""
 
@@ -124,17 +170,119 @@ class WordTokenizer:
                 pieces.append(token)
         return " ".join(pieces)
 
-    # -- vocabulary management ---------------------------------------------------------
+    # -- one-pass corpus scanning ------------------------------------------------------
 
-    def fit(self, corpus: Iterable[str], min_count: int = 1) -> "WordTokenizer":
-        """Build the vocabulary from a corpus of sentences."""
-        counter: Counter[str] = Counter()
-        for sentence in corpus:
-            counter.update(self.tokenize(sentence))
+    def _corpus_tokens(self, sentences: Sequence[str]) -> tuple[list[str], np.ndarray]:
+        """All surface tokens of *sentences* from one regex scan.
+
+        Returns ``(tokens, boundaries)``: the flat token stream with a
+        sentinel token between consecutive sentences, and the sentinel
+        positions within it (``len(sentences) - 1`` of them).  Equivalent to
+        per-sentence :meth:`tokenize` calls — the sentinel is a single
+        non-space, non-alphanumeric character, so no pattern alternative can
+        match across it — but avoids the per-sentence Python loop overhead.
+        """
+        if not sentences:
+            return [], np.empty(0, dtype=np.int64)
+        if any(_SENTINEL in sentence for sentence in sentences):
+            # pathological corpus: scan per sentence, inserting sentinels
+            tokens: list[str] = []
+            bounds: list[int] = []
+            for index, sentence in enumerate(sentences):
+                if index:
+                    bounds.append(len(tokens))
+                    tokens.append(_SENTINEL)
+                tokens.extend(self.tokenize(sentence))
+            return tokens, np.asarray(bounds, dtype=np.int64)
+        joined = _SENTINEL.join(sentences)
+        if self.lowercase:
+            joined = joined.lower()
+        tokens = _TOKEN_PATTERN.findall(joined)
+        bounds = [i for i, token in enumerate(tokens) if token == _SENTINEL]
+        return tokens, np.asarray(bounds, dtype=np.int64)
+
+    def _fit_counter(self, counter: Counter, n_sentinels: int, min_count: int) -> None:
+        """Add corpus tokens to the vocabulary in ``(-count, token)`` order.
+
+        ``n_sentinels`` is how many separator tokens the corpus scan
+        inserted; only those are discounted, so a corpus that genuinely
+        contains the sentinel character keeps its own occurrences.
+        """
+        if n_sentinels:
+            remaining = counter[_SENTINEL] - n_sentinels
+            if remaining > 0:
+                counter[_SENTINEL] = remaining
+            else:
+                del counter[_SENTINEL]
         for token, count in sorted(counter.items(), key=lambda kv: (-kv[1], kv[0])):
             if count >= min_count:
                 self.vocabulary.add(token)
+
+    def _assemble_corpus(self, tokens: list[str], bounds: np.ndarray,
+                         n_sentences: int, add_bos: bool, add_eos: bool) -> EncodedCorpus:
+        """Map a sentinel-delimited token stream to the flat id layout."""
+        if n_sentences == 0:
+            return EncodedCorpus(ids=np.empty(0, dtype=np.int64),
+                                 offsets=np.zeros(1, dtype=np.int64))
+        token_to_id = self.vocabulary.token_to_id
+        unk_id = self.vocabulary.unk_id
+        all_ids = np.array([token_to_id.get(token, unk_id) for token in tokens],
+                           dtype=np.int64)
+        body = np.delete(all_ids, bounds) if bounds.size else all_ids
+        edges = np.concatenate([[-1], bounds, [len(tokens)]])
+        counts = np.diff(edges) - 1  # tokens per sentence
+        extra = int(add_bos) + int(add_eos)
+        offsets = np.zeros(n_sentences + 1, dtype=np.int64)
+        np.cumsum(counts + extra, out=offsets[1:])
+        flat = np.empty(int(offsets[-1]), dtype=np.int64)
+        if add_bos:
+            flat[offsets[:-1]] = self.vocabulary.bos_id
+        if add_eos:
+            flat[offsets[1:] - 1] = self.vocabulary.eos_id
+        if body.size:
+            starts = np.repeat(offsets[:-1] + int(add_bos), counts)
+            within = np.arange(body.size, dtype=np.int64) \
+                - np.repeat(np.cumsum(counts) - counts, counts)
+            flat[starts + within] = body
+        return EncodedCorpus(ids=flat, offsets=offsets)
+
+    # -- vocabulary management ---------------------------------------------------------
+
+    def fit(self, corpus: Iterable[str], min_count: int = 1) -> "WordTokenizer":
+        """Build the vocabulary from a corpus of sentences.
+
+        Tokens are added in ``(-count, token)`` order from one global count
+        over the whole corpus, so the resulting ids are independent of
+        sentence order within equal-count ties.
+        """
+        tokens, bounds = self._corpus_tokens(list(corpus))
+        self._fit_counter(Counter(tokens), bounds.size, min_count)
         return self
+
+    def encode_corpus(self, corpus: Sequence[str], add_bos: bool = True,
+                      add_eos: bool = True) -> EncodedCorpus:
+        """Encode a whole corpus into the flat id + sentence-offset layout.
+
+        Sentence ``i`` of the result equals ``encode(corpus[i])`` exactly;
+        the corpus is scanned with a single regex pass instead of one call
+        per sentence.
+        """
+        sentences = list(corpus)
+        tokens, bounds = self._corpus_tokens(sentences)
+        return self._assemble_corpus(tokens, bounds, len(sentences), add_bos, add_eos)
+
+    def fit_encode_corpus(self, corpus: Sequence[str], min_count: int = 1,
+                          add_bos: bool = True, add_eos: bool = True) -> EncodedCorpus:
+        """Fit the vocabulary and encode the corpus from one shared scan.
+
+        Identical to ``fit(corpus)`` followed by ``encode_corpus(corpus)``
+        but tokenizes the text only once — the entry point of the compiled
+        training engine.
+        """
+        sentences = list(corpus)
+        tokens, bounds = self._corpus_tokens(sentences)
+        self._fit_counter(Counter(tokens), bounds.size, min_count)
+        return self._assemble_corpus(tokens, bounds, len(sentences), add_bos, add_eos)
 
     # -- token list <-> id list -----------------------------------------------------
 

@@ -82,22 +82,27 @@ class ParentChildSynthesizer:
 
         self._parent_synth.fit(parent)
 
-        # child training rows carry the parent columns as conditioning context
-        parent_by_subject = {row[subject_column]: row for row in parent.iter_rows()}
-        conditioned_records = []
-        for row in child.iter_rows():
-            parent_row = parent_by_subject.get(row[subject_column])
-            if parent_row is None:
-                continue
-            record = dict(parent_row)
-            for name in self._child_columns:
-                record[name] = row[name]
-            conditioned_records.append(record)
-        if not conditioned_records:
+        # child training rows carry the parent columns as conditioning
+        # context; the conditioned table is assembled column-wise (one parent
+        # row index per child row, then a gather per column) instead of
+        # building a dict per row
+        parent_row_index: dict = {}
+        for index, subject in enumerate(parent.column(subject_column).values):
+            parent_row_index[subject] = index  # last occurrence wins, as before
+        child_parents = [parent_row_index.get(subject)
+                         for subject in child.column(subject_column).values]
+        kept = [row for row, parent_idx in enumerate(child_parents)
+                if parent_idx is not None]
+        if not kept:
             raise ValueError("no child rows reference a parent subject; cannot fit")
-        conditioned = Table.from_records(
-            conditioned_records, columns=self._parent_columns + self._child_columns
-        )
+        columns: dict = {}
+        for name in self._parent_columns:
+            values = parent.column(name).values
+            columns[name] = [values[child_parents[row]] for row in kept]
+        for name in self._child_columns:
+            values = child.column(name).values
+            columns[name] = [values[row] for row in kept]
+        conditioned = Table(columns)
         self._child_synth.fit(conditioned)
         return self
 

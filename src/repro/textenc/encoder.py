@@ -67,11 +67,36 @@ class TextualEncoder:
         return self.config.pair_separator.join(pairs)
 
     def encode_table(self, table: Table, permute: bool | None = None) -> list[str]:
-        """Encode every row of a table; one sentence per row."""
-        return [
-            self.encode_row(row, columns=table.column_names, permute=permute)
-            for row in table.iter_rows()
-        ]
+        """Encode every row of a table; one sentence per row.
+
+        Works column-wise: each column's ``'name: value'`` pair strings are
+        rendered once from its value list (no per-row dict materialisation),
+        then joined per row — permuted rows draw the same shuffle sequence
+        from the encoder RNG as the per-row path, so output is unchanged.
+        """
+        names = table.column_names
+        if not names:
+            return ["" for _ in range(table.num_rows)]
+        separator = self.config.pair_separator
+        pairs_by_column = {
+            name: [
+                "{}{}{}".format(name, self.config.key_value_separator,
+                                self.encode_value(value))
+                for value in table.column(name).values
+            ]
+            for name in names
+        }
+        do_permute = self.config.permute_features if permute is None else permute
+        if not do_permute:
+            return [separator.join(row_pairs)
+                    for row_pairs in zip(*(pairs_by_column[name] for name in names))]
+        sentences: list[str] = []
+        for index in range(table.num_rows):
+            permuted = list(names)
+            self._rng.shuffle(permuted)
+            sentences.append(separator.join(
+                pairs_by_column[name][index] for name in permuted))
+        return sentences
 
     def conditional_prompt(self, partial_row: Mapping, columns: Sequence[str] | None = None) -> str:
         """Encode a partial row as a generation prompt.

@@ -1,0 +1,355 @@
+"""Tests for the compiled training engine (batch encode, array counts, scoring).
+
+The load-bearing property: the ``object`` and ``compiled`` training engines
+must be *bit-identical* — same vocabulary ids, same integer count tables,
+same perplexity traces, and (through identical seeds) the same synthetic
+tables end to end.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.frame.table import Table
+from repro.great.synthesizer import GReaTConfig, GReaTSynthesizer
+from repro.llm.compiled import CompiledNGramModel
+from repro.llm.finetune import FineTuneConfig, FineTuner
+from repro.llm.ngram_model import (
+    ModelConfig,
+    NGramLanguageModel,
+    perplexity_from_probabilities,
+    _sample_masses,
+)
+from repro.llm.sampler import SamplerConfig
+from repro.llm.tokenizer import WordTokenizer
+from repro.llm.training import (
+    ArrayTrainedNGramModel,
+    TRAINING_ENGINES,
+    accumulate_counts,
+    resolve_training_engine,
+)
+
+WORDS = ["Name", ":", "Grace", "Yin", "Lunch", "Rice", "3", ",", "x", "20.5"]
+
+
+def _random_corpus(seed: int, n_sentences: int = 60) -> list[str]:
+    rng = random.Random(seed)
+    return [
+        " ".join(rng.choice(WORDS) for _ in range(rng.randrange(2, 10)))
+        for _ in range(n_sentences)
+    ]
+
+
+class TestEncodedCorpus:
+    def test_matches_per_sentence_encode(self):
+        corpus = _random_corpus(0) + ["", "a b c"]
+        tokenizer = WordTokenizer().fit(corpus)
+        encoded = tokenizer.encode_corpus(corpus)
+        assert encoded.n_sentences == len(corpus)
+        for index, sentence in enumerate(corpus):
+            assert encoded.sentence(index) == tokenizer.encode(sentence)
+
+    def test_fit_encode_matches_fit_then_encode(self):
+        corpus = _random_corpus(1)
+        one_shot = WordTokenizer()
+        encoded = one_shot.fit_encode_corpus(corpus)
+        two_step = WordTokenizer().fit(corpus)
+        assert one_shot.vocabulary.token_to_id == two_step.vocabulary.token_to_id
+        reference = two_step.encode_corpus(corpus)
+        assert np.array_equal(encoded.ids, reference.ids)
+        assert np.array_equal(encoded.offsets, reference.offsets)
+
+    def test_sentinel_in_corpus_falls_back(self):
+        corpus = ["a\x00b c", "d e"]
+        tokenizer = WordTokenizer().fit(corpus)
+        encoded = tokenizer.encode_corpus(corpus)
+        for index, sentence in enumerate(corpus):
+            assert encoded.sentence(index) == tokenizer.encode(sentence)
+
+    def test_sentinel_character_keeps_its_vocabulary_entry(self):
+        """A corpus genuinely containing the scan sentinel still gets a
+        vocabulary id for it — only the inserted separators are discounted."""
+        corpus = ["a \x00 b", "\x00 c"]
+        tokenizer = WordTokenizer().fit(corpus)
+        assert "\x00" in tokenizer.vocabulary
+        unk = tokenizer.vocabulary.unk_id
+        encoded = tokenizer.encode_corpus(corpus)
+        assert unk not in encoded.ids
+
+    def test_slice_rebases_offsets(self):
+        corpus = _random_corpus(2, n_sentences=10)
+        tokenizer = WordTokenizer().fit(corpus)
+        encoded = tokenizer.encode_corpus(corpus)
+        part = encoded.slice(3, 7)
+        assert part.n_sentences == 4
+        for index in range(4):
+            assert part.sentence(index) == tokenizer.encode(corpus[3 + index])
+
+    def test_scored_positions_count(self):
+        corpus = ["a b", "c"]
+        tokenizer = WordTokenizer().fit(corpus)
+        encoded = tokenizer.encode_corpus(corpus)
+        # every token except each sentence's <bos> is a scored position
+        assert encoded.n_scored_positions == sum(
+            len(tokenizer.encode(s)) - 1 for s in corpus)
+
+
+class TestAccumulateCounts:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4])
+    def test_matches_dict_training(self, order):
+        corpus = _random_corpus(3)
+        tokenizer = WordTokenizer().fit(corpus)
+        reference = NGramLanguageModel(tokenizer, ModelConfig(order=order)).fit(corpus)
+        frozen = CompiledNGramModel(reference)
+        encoded = tokenizer.encode_corpus(corpus)
+        counts = accumulate_counts(encoded, order, len(tokenizer.vocabulary))
+        direct = CompiledNGramModel.from_counts(counts, tokenizer,
+                                                ModelConfig(order=order))
+        for k in range(1, order):
+            for name in ("_keys", "_row_ptr", "_tokens", "_counts", "_totals",
+                         "_entry_keys", "_powers"):
+                assert np.array_equal(getattr(frozen, name)[k],
+                                      getattr(direct, name)[k]), (k, name)
+        assert np.array_equal(frozen._tokens0, direct._tokens0)
+        assert np.array_equal(frozen._counts0, direct._counts0)
+        assert frozen._total0 == direct._total0
+        assert frozen._scale0 == direct._scale0 and frozen._base0 == direct._base0
+
+    def test_unpackable_vocabulary_returns_none(self):
+        corpus = ["a b c"]
+        tokenizer = WordTokenizer().fit(corpus)
+        encoded = tokenizer.encode_corpus(corpus)
+        assert accumulate_counts(encoded, order=40,
+                                 vocab_size=len(tokenizer.vocabulary)) is None
+
+    def test_scaled_counts_match_repeated_epochs(self):
+        corpus = _random_corpus(4)
+        tokenizer = WordTokenizer().fit(corpus)
+        reference = NGramLanguageModel(tokenizer, ModelConfig(order=3)).fit(corpus, epochs=3)
+        frozen = CompiledNGramModel(reference)
+        encoded = tokenizer.encode_corpus(corpus)
+        counts = accumulate_counts(encoded, 3, len(tokenizer.vocabulary)).scaled(3)
+        direct = CompiledNGramModel.from_counts(counts, tokenizer, ModelConfig(order=3))
+        for k in range(1, 3):
+            assert np.array_equal(frozen._counts[k], direct._counts[k])
+            assert np.array_equal(frozen._totals[k], direct._totals[k])
+        assert frozen._total0 == direct._total0
+
+
+class TestScoreCorpus:
+    @pytest.mark.parametrize("order", [1, 2, 3, 5])
+    def test_matches_object_scoring(self, order):
+        corpus = _random_corpus(5)
+        held_out = _random_corpus(6, n_sentences=20)
+        tokenizer = WordTokenizer().fit(corpus + held_out)
+        model = NGramLanguageModel(tokenizer, ModelConfig(order=order)).fit(corpus)
+        compiled = model.compiled_model()
+        encoded = tokenizer.encode_corpus(held_out)
+        batched = compiled.score_corpus(encoded.ids, encoded.offsets)
+        reference = []
+        for sentence in held_out:
+            ids = tokenizer.encode(sentence)
+            reference.extend(model._position_probability(ids, position)
+                             for position in range(1, len(ids)))
+        assert np.array_equal(batched, np.asarray(reference))
+        assert model.perplexity(held_out) == perplexity_from_probabilities(batched)
+
+    def test_chunked_scoring_is_identical(self):
+        corpus = _random_corpus(7)
+        tokenizer = WordTokenizer().fit(corpus)
+        model = NGramLanguageModel(tokenizer, ModelConfig(order=3)).fit(corpus)
+        compiled = model.compiled_model()
+        encoded = tokenizer.encode_corpus(corpus)
+        whole = compiled.score_corpus(encoded.ids, encoded.offsets)
+        chunked = compiled.score_corpus(encoded.ids, encoded.offsets, chunk_size=7)
+        assert np.array_equal(whole, chunked)
+
+
+class TestTrainingEngineSwitch:
+    def test_resolve_explicit(self):
+        assert resolve_training_engine("object") == "object"
+        assert resolve_training_engine("compiled") == "compiled"
+        with pytest.raises(ValueError):
+            resolve_training_engine("gpu")
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRAINING_ENGINE", "object")
+        assert resolve_training_engine("auto") == "object"
+        monkeypatch.setenv("REPRO_TRAINING_ENGINE", "bogus")
+        assert resolve_training_engine(None) == "compiled"
+        monkeypatch.delenv("REPRO_TRAINING_ENGINE")
+        assert resolve_training_engine() == "compiled"
+
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ValueError):
+            FineTuneConfig(engine="gpu")
+
+    def test_engines_are_concrete(self):
+        assert set(TRAINING_ENGINES) == {"object", "compiled"}
+
+
+def _fine_tune_pair(corpus, order, epochs, batches, validation_fraction, seed):
+    results = {}
+    for engine in TRAINING_ENGINES:
+        config = FineTuneConfig(epochs=epochs, batches=batches,
+                                validation_fraction=validation_fraction,
+                                seed=seed, model=ModelConfig(order=order),
+                                engine=engine)
+        results[engine] = FineTuner(WordTokenizer(), config).fine_tune(corpus)
+    return results["object"], results["compiled"]
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+        order=st.integers(min_value=1, max_value=4),
+        epochs=st.integers(min_value=1, max_value=3),
+        batches=st.integers(min_value=1, max_value=4),
+        validation_fraction=st.sampled_from([0.0, 0.1, 0.3]),
+    )
+    def test_bitwise_identical_training(self, seed, order, epochs, batches,
+                                        validation_fraction):
+        """Property: counts, vocabulary, and perplexity trace match exactly."""
+        corpus = _random_corpus(seed, n_sentences=30)
+        object_result, compiled_result = _fine_tune_pair(
+            corpus, order, epochs, batches, validation_fraction, seed)
+        assert (object_result.model.tokenizer.vocabulary.token_to_id
+                == compiled_result.model.tokenizer.vocabulary.token_to_id)
+        assert object_result.perplexity_trace == compiled_result.perplexity_trace
+        assert object_result.train_size == compiled_result.train_size
+        assert object_result.validation_size == compiled_result.validation_size
+        assert compiled_result.engine == "compiled"
+        assert isinstance(compiled_result.model, ArrayTrainedNGramModel)
+        # materialise the array model's dict tables and compare integer counts
+        array_model = compiled_result.model
+        array_model.distribution_components([])
+        for k in range(order):
+            assert dict(object_result.model._counts[k]) == dict(array_model._counts[k])
+            assert (dict(object_result.model._context_totals[k])
+                    == dict(array_model._context_totals[k]))
+        assert (object_result.model.trained_sentences
+                == array_model.trained_sentences)
+
+    def test_validation_fraction_zero_edge(self):
+        corpus = _random_corpus(11, n_sentences=12)
+        object_result, compiled_result = _fine_tune_pair(
+            corpus, order=3, epochs=2, batches=2, validation_fraction=0.0, seed=1)
+        assert len(object_result.perplexity_trace) == 1
+        assert object_result.perplexity_trace == compiled_result.perplexity_trace
+        assert object_result.validation_size == compiled_result.validation_size == 0
+
+    def test_identical_synthetic_tables(self):
+        rng = random.Random(9)
+        table = Table({
+            "city": [rng.choice(["austin", "boston", "denver"]) for _ in range(80)],
+            "clicks": [rng.randrange(8) for _ in range(80)],
+        })
+        samples = {}
+        for engine in TRAINING_ENGINES:
+            config = GReaTConfig(
+                fine_tune=FineTuneConfig(epochs=2, batches=2, seed=4,
+                                         model=ModelConfig(order=4), engine=engine),
+                sampler=SamplerConfig(temperature=0.9, top_k=8, seed=4),
+                seed=4,
+            )
+            synthesizer = GReaTSynthesizer(config).fit(table)
+            assert synthesizer.training_engine == engine
+            samples[engine] = synthesizer.sample(120, seed=13).to_records()
+        assert samples["object"] == samples["compiled"]
+
+    def test_direct_freeze_of_array_model_materialises_dicts(self):
+        """CompiledNGramModel(model) on an array-trained model must freeze the
+        real counts, not the (lazily empty) dict tables."""
+        corpus = _random_corpus(14, n_sentences=20)
+        config = FineTuneConfig(epochs=2, batches=1, validation_fraction=0.0,
+                                seed=0, model=ModelConfig(order=3), engine="compiled")
+        array_model = FineTuner(WordTokenizer(), config).fine_tune(corpus).model
+        direct = CompiledNGramModel(array_model)
+        cached = array_model.compiled_model()
+        assert direct._total0 == cached._total0 > 0
+        for k in range(1, 3):
+            assert np.array_equal(direct._keys[k], cached._keys[k])
+            assert np.array_equal(direct._counts[k], cached._counts[k])
+
+    def test_array_model_supports_incremental_fit(self):
+        """Re-fitting an array-trained model falls back to the dict tables."""
+        corpus = _random_corpus(12, n_sentences=15)
+        extra = _random_corpus(13, n_sentences=5)
+        tokenizer = WordTokenizer().fit(corpus + extra)
+        config = FineTuneConfig(epochs=1, batches=1, validation_fraction=0.0,
+                                shuffle=False, seed=0, model=ModelConfig(order=3),
+                                engine="compiled")
+        array_model = FineTuner(tokenizer, config).fine_tune(corpus).model
+        array_model.fit(extra)
+        reference = NGramLanguageModel(tokenizer, ModelConfig(order=3))
+        reference.fit(corpus).fit(extra)
+        for k in range(3):
+            assert dict(reference._counts[k]) == dict(array_model._counts[k])
+        # the compiled view after the incremental fit reflects the new counts
+        frozen = array_model.compiled_model()
+        assert frozen._total0 == reference.compiled_model()._total0
+
+
+class TestSampleMassesKernel:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 16),
+        size=st.integers(min_value=1, max_value=40),
+        top_k=st.integers(min_value=1, max_value=45),
+        temperature=st.sampled_from([0.0, 0.7, 1.0]),
+    )
+    def test_argpartition_matches_stable_argsort(self, seed, size, top_k, temperature):
+        """Satellite pin: the argpartition top-k draws exactly what the legacy
+        full stable argsort drew, tied masses included."""
+        rng = np.random.default_rng(seed)
+        # coarse quantisation forces plenty of ties, including at the boundary
+        masses = np.round(rng.random(size) * 4) / 4
+
+        def legacy(masses, py_rng, temperature, top_k):
+            if top_k is not None and 0 < top_k < masses.size:
+                candidate_ids = np.argsort(-masses, kind="stable")[:top_k]
+                candidate_masses = masses[candidate_ids]
+            else:
+                candidate_ids = None
+                candidate_masses = masses
+            if temperature <= 0:
+                best = int(np.argmax(candidate_masses))
+                return int(candidate_ids[best]) if candidate_ids is not None else best
+            weights = candidate_masses ** (1.0 / temperature)
+            total = float(weights.sum())
+            if total <= 0:
+                chosen = py_rng.randrange(candidate_masses.size)
+                return int(candidate_ids[chosen]) if candidate_ids is not None else chosen
+            threshold = py_rng.random() * total
+            cumulative = np.cumsum(weights)
+            chosen = int(np.searchsorted(cumulative, threshold, side="left"))
+            chosen = min(chosen, candidate_masses.size - 1)
+            return int(candidate_ids[chosen]) if candidate_ids is not None else chosen
+
+        for draw_seed in range(5):
+            assert (_sample_masses(masses, random.Random(draw_seed),
+                                   temperature=temperature, top_k=top_k)
+                    == legacy(masses, random.Random(draw_seed),
+                              temperature, top_k))
+
+
+class TestPerplexityReduction:
+    def test_floor_applied(self):
+        probabilities = np.array([0.5, 0.0, 1e-30])
+        expected = math.exp(-(math.fsum([
+            float(np.log(0.5)), float(np.log(1e-12)), float(np.log(1e-12))])) / 3)
+        assert perplexity_from_probabilities(probabilities) == pytest.approx(expected)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            perplexity_from_probabilities(np.empty(0))
+
+    def test_perplexity_rejects_empty_corpus(self):
+        tokenizer = WordTokenizer().fit(["a b"])
+        model = NGramLanguageModel(tokenizer, ModelConfig(order=2)).fit(["a b"])
+        with pytest.raises(ValueError):
+            model.perplexity([])
