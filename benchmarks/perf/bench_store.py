@@ -1,0 +1,230 @@
+"""Artifact-store + serving benchmark.
+
+Measures the three things the train-once / serve-many split buys:
+
+* **save/load latency** — persisting a fitted GReaTER pipeline as a bundle
+  and loading it back;
+* **cold start vs retrain** — ``load + sample`` in a fresh synthesizer
+  state against ``fit + sample`` from scratch, with a hard assertion that
+  the loaded pipeline produces the **byte-identical** synthetic flat table
+  (CSV bytes compared) for the same seed, on both the ``object`` and
+  ``compiled`` engines;
+* **serving throughput** — block-sharded ``sample_table`` requests through
+  :class:`repro.serving.SynthesisService` at 1/2/4 shards, asserting every
+  shard count yields the identical table.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf.bench_store
+    PYTHONPATH=src python -m benchmarks.perf.bench_store --smoke   # CI-sized
+
+The report lands in ``BENCH_store.json``; the process exits non-zero on any
+load/sample or shard mismatch (CI runs ``--smoke`` and fails on mismatch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.connecting.connector import ConnectorConfig
+from repro.datasets.digix import DigixConfig, generate_digix_like
+from repro.enhancement.enhancer import EnhancerConfig
+from repro.frame.table import Table
+from repro.pipelines.base import FittedPipeline
+from repro.pipelines.config import PipelineConfig
+from repro.pipelines.greater import GReaTERPipeline
+from repro.serving import ServingConfig, SynthesisService
+from repro.store.bundle import load_fitted_pipeline
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _trial(n_users: int, seed: int):
+    dataset = generate_digix_like(DigixConfig(
+        n_tasks=1,
+        n_users_per_task=n_users,
+        ads_rows_per_user=(2, 4),
+        feeds_rows_per_user=(2, 4),
+        seed=seed,
+    ))
+    return dataset.trials()[0]
+
+
+def _pipeline_config(seed: int, engine: str) -> PipelineConfig:
+    return PipelineConfig(
+        seed=seed,
+        drop_columns=("task_id",),
+        enhancer=EnhancerConfig(semantic_level="understandability", seed=seed),
+        connector=ConnectorConfig(remove_noisy_columns=False),
+        generation_engine=engine,
+        training_engine=engine,
+    )
+
+
+def _csv_bytes(table: Table) -> bytes:
+    """Canonical CSV rendering used for the byte-identity assertions."""
+    import csv
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(table.column_names)
+    for row in table.iter_rows():
+        writer.writerow(["" if row[name] is None else row[name] for name in table.column_names])
+    return buffer.getvalue().encode("utf-8")
+
+
+def run(n_users: int, n_sample: int, requests: int, seed: int = 7) -> dict:
+    trial = _trial(n_users, seed)
+    workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
+    report: dict = {"n_users": n_users, "n_sample": n_sample, "seed": seed,
+                    "numpy_version": np.__version__}
+
+    # -- cold start vs retrain, byte identity, both engines ---------------------------
+    # "cold start" is time-to-ready-to-serve: loading the bundle instead of
+    # retraining from scratch.  The sampled output is then asserted to be
+    # byte-identical (CSV bytes) between the retrained and the loaded state.
+    engines: dict[str, dict] = {}
+    for engine in ("object", "compiled"):
+        config = _pipeline_config(seed, engine)
+        start = time.perf_counter()
+        fitted = GReaTERPipeline(config).fit(trial.ads, trial.feeds)
+        fit_s = time.perf_counter() - start
+        warm_result = fitted.sample(n_subjects=n_sample, seed=seed + 1)
+
+        bundle_path = workdir / "bundle_{}".format(engine)
+        start = time.perf_counter()
+        digest = fitted.save(bundle_path)
+        save_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        loaded, loaded_digest = load_fitted_pipeline(bundle_path)
+        load_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cold_result = loaded.sample(n_subjects=n_sample, seed=seed + 1)
+        first_sample_s = time.perf_counter() - start
+
+        identical = (_csv_bytes(cold_result.synthetic_flat)
+                     == _csv_bytes(warm_result.synthetic_flat)
+                     and cold_result.synthetic_parent == warm_result.synthetic_parent
+                     and cold_result.synthetic_child == warm_result.synthetic_child)
+        engines[engine] = {
+            "digest": digest[:12],
+            "digest_stable": digest == loaded_digest,
+            "save_s": round(save_s, 6),
+            "load_s": round(load_s, 6),
+            "retrain_s": round(fit_s, 6),
+            "first_sample_s": round(first_sample_s, 6),
+            "cold_start_speedup": round(fit_s / load_s, 2) if load_s > 0 else float("inf"),
+            "identical_output": identical,
+            "synthetic_rows": warm_result.synthetic_flat.num_rows,
+        }
+    report["engines"] = engines
+
+    # -- serving throughput at several shard counts -----------------------------------
+    bundle_path = workdir / "bundle_compiled"
+    serving: list[dict] = []
+    reference: list[Table] | None = None
+    for shards in SHARD_COUNTS:
+        service = SynthesisService.from_bundle(bundle_path, ServingConfig(
+            shards=shards, block_size=max(8, n_sample // 8), cache_size=0))
+        start = time.perf_counter()
+        tables = [service.sample_table(n_sample, seed=seed + index)
+                  for index in range(requests)]
+        elapsed = time.perf_counter() - start
+        if reference is None:
+            reference = tables
+        identical = all(a == b for a, b in zip(tables, reference))
+        total_rows = sum(table.num_rows for table in tables)
+        serving.append({
+            "shards": shards,
+            "requests": requests,
+            "seconds": round(elapsed, 6),
+            "requests_per_s": round(requests / elapsed, 3) if elapsed > 0 else float("inf"),
+            "rows_per_s": round(total_rows / elapsed, 1) if elapsed > 0 else float("inf"),
+            "identical_across_shards": identical,
+        })
+    report["serving"] = serving
+
+    # -- coalesced conditioned-row serving ----------------------------------------------
+    service = SynthesisService.from_bundle(bundle_path, ServingConfig(cache_size=0))
+    row_requests = [service._normalize_request(max(4, n_sample // 8), None, seed + index)
+                    for index in range(requests)]
+    start = time.perf_counter()
+    merged = service.sample_rows_many(row_requests)
+    merged_s = time.perf_counter() - start
+    start = time.perf_counter()
+    solo = [service.sample_rows_many([request])[0] for request in row_requests]
+    solo_s = time.perf_counter() - start
+    report["coalescing"] = {
+        "requests": len(row_requests),
+        "rows_per_request": row_requests[0].n,
+        "merged_s": round(merged_s, 6),
+        "solo_s": round(solo_s, 6),
+        "coalescing_speedup": round(solo_s / merged_s, 2) if merged_s > 0 else float("inf"),
+        "identical_output": all(a == b for a, b in zip(merged, solo)),
+    }
+
+    report["all_identical"] = (
+        all(entry["identical_output"] for entry in engines.values())
+        and all(entry["identical_across_shards"] for entry in serving)
+        and report["coalescing"]["identical_output"]
+    )
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the artifact store and the synthesis serving layer."
+    )
+    parser.add_argument("--users", type=int, default=48,
+                        help="users in the training trial (default 48)")
+    parser.add_argument("--sample", type=int, default=96,
+                        help="synthetic subjects per sampling request (default 96)")
+    parser.add_argument("--requests", type=int, default=4,
+                        help="serving requests per shard count (default 4)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (8 users, 16 subjects)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_store.json"),
+                        help="output JSON path (default ./BENCH_store.json)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        users, sample, requests = 8, 16, 2
+    else:
+        users, sample, requests = args.users, args.sample, args.requests
+    report = run(users, sample, requests, seed=args.seed)
+    report["mode"] = "smoke" if args.smoke else "full"
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    for engine, entry in report["engines"].items():
+        print("{:9s} save {:>8.3f}s  load {:>8.3f}s  retrain {:>8.3f}s  "
+              "cold-start speedup {:>8.2f}x  identical={}".format(
+                  engine, entry["save_s"], entry["load_s"], entry["retrain_s"],
+                  entry["cold_start_speedup"], entry["identical_output"]))
+    for entry in report["serving"]:
+        print("serving shards={:d}  {:>8.3f}s  {:>8.1f} rows/s  identical={}".format(
+            entry["shards"], entry["seconds"], entry["rows_per_s"],
+            entry["identical_across_shards"]))
+    coalescing = report["coalescing"]
+    print("coalescing {} requests: merged {:.3f}s vs solo {:.3f}s ({}x)  identical={}".format(
+        coalescing["requests"], coalescing["merged_s"], coalescing["solo_s"],
+        coalescing["coalescing_speedup"], coalescing["identical_output"]))
+    print("wrote {}".format(args.out))
+
+    if not report["all_identical"]:
+        print("ERROR: loaded/served output does not match the in-process fit")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,10 +21,15 @@ Tabular data after data Enhancement and Reduction* (ICDE 2025).  It contains:
   (Algorithm 1) and the ablation reports.
 * ``repro.datasets`` — the DIGIX-like synthetic dataset generator and the toy
   tables used in the paper's figures.
+* ``repro.store`` — the artifact store: a binary columnar table format and
+  versioned, pickle-free bundles for fitted synthesizers and pipelines.
+* ``repro.serving`` — the synthesis serving layer: load a bundle once and
+  answer sampling requests (sharded, coalesced, cached) without retraining.
 """
 
 from repro.frame import Table, Column
 from repro.pipelines import (
+    FittedPipeline,
     GReaTERPipeline,
     DERECPipeline,
     DirectFlattenPipeline,
@@ -44,6 +49,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Table",
     "Column",
+    "FittedPipeline",
     "GReaTERPipeline",
     "DERECPipeline",
     "DirectFlattenPipeline",

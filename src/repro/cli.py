@@ -4,6 +4,17 @@
 rows; ``greater list`` shows what is available.  The heavy lifting lives in
 :mod:`repro.experiments.figures`, so the CLI, the benchmarks and the examples
 all produce the same numbers.
+
+The artifact-store workflow adds three subcommands on top of the
+experiments (every one supports ``--json`` like the experiment commands):
+
+* ``greater fit`` — fit a pipeline on a DIGIX-like trial and save the
+  fitted bundle (see :mod:`repro.store`);
+* ``greater sample`` — load a bundle and sample synthetic tables without
+  retraining (optionally writing the flat table to CSV);
+* ``greater serve-bench`` — serve repeated sampling requests from a bundle
+  through :class:`repro.serving.SynthesisService` at several shard counts,
+  asserting that every shard count produces the identical table.
 """
 
 from __future__ import annotations
@@ -11,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.experiments import (
     dataset_statistics,
@@ -40,6 +52,15 @@ EXPERIMENTS = {
 #: Experiments that accept an :class:`ExperimentConfig`.
 _CONFIGURABLE = {"fig5", "fig7", "fig8", "fig9", "fig10", "sec442", "dataset"}
 
+#: Artifact-store subcommands (name -> description), shown by ``list``.
+COMMANDS = {
+    "fit": "fit a pipeline on a DIGIX-like trial and save the fitted bundle",
+    "sample": "load a fitted bundle and sample synthetic tables (no retraining)",
+    "serve-bench": "serve sampling requests from a bundle at several shard counts",
+}
+
+_PIPELINES = ("greater", "direct_flatten", "derec")
+
 
 def _print_rows(rows: list[dict]) -> None:
     if not rows:
@@ -58,6 +79,14 @@ def _print_rows(rows: list[dict]) -> None:
     print("-" * len(header))
     for row in rows:
         print("  ".join(str(row.get(key, "")).ljust(widths[key]) for key in keys))
+
+
+def _emit_rows(rows: list[dict], as_json: bool) -> None:
+    """Shared output path: aligned table or the experiments' JSON format."""
+    if as_json:
+        print(json.dumps(rows, indent=2, default=str))
+    else:
+        _print_rows(rows)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -87,11 +116,176 @@ def _experiment_config(args) -> ExperimentConfig:
     )
 
 
+# ---------------------------------------------------------------------------
+# artifact-store subcommands
+# ---------------------------------------------------------------------------
+
+def _command_parser(command: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="greater {}".format(command),
+        description=COMMANDS[command],
+    )
+    parser.add_argument("--json", action="store_true", help="print the rows as JSON")
+    if command == "fit":
+        parser.add_argument("--pipeline", choices=_PIPELINES, default="greater",
+                            help="which pipeline to fit (default greater)")
+        parser.add_argument("--bundle", required=True,
+                            help="output bundle path for the fitted pipeline")
+        parser.add_argument("--seed", type=int, default=7, help="random seed")
+        parser.add_argument("--users-per-task", type=int, default=12,
+                            help="users per task subgroup of the generated trial")
+        parser.add_argument("--semantic-level", default="none",
+                            choices=("none", "differentiability", "understandability"),
+                            help="Data Semantic Enhancement level (default none)")
+    else:
+        parser.add_argument("--bundle", required=True,
+                            help="bundle path written by 'greater fit'")
+        parser.add_argument("--n", type=int, default=None,
+                            help="synthetic subjects to sample (default: training size)")
+        parser.add_argument("--seed", type=int, default=None,
+                            help="sampling seed (default: the bundle's fit seed)")
+    if command == "sample":
+        parser.add_argument("--out", default=None,
+                            help="optionally write the synthetic flat table to this CSV path")
+    if command == "serve-bench":
+        parser.add_argument("--requests", type=int, default=4,
+                            help="sampling requests per shard count (default 4)")
+        parser.add_argument("--shards", default="1,2,4",
+                            help="comma-separated worker counts to benchmark (default 1,2,4)")
+        parser.add_argument("--block-size", type=int, default=64,
+                            help="synthetic subjects per serving block (default 64)")
+    return parser
+
+
+def _run_fit(args) -> list[dict]:
+    from repro.connecting.connector import ConnectorConfig
+    from repro.enhancement.enhancer import EnhancerConfig
+    from repro.pipelines.config import PipelineConfig
+    from repro.pipelines.derec import DERECPipeline
+    from repro.pipelines.flatten_baseline import DirectFlattenPipeline
+    from repro.pipelines.greater import GReaTERPipeline
+
+    pipelines = {"greater": GReaTERPipeline, "direct_flatten": DirectFlattenPipeline,
+                 "derec": DERECPipeline}
+    experiment = ExperimentConfig(n_trials=1, n_users_per_task=args.users_per_task,
+                                  seed=args.seed)
+    trial = experiment.dataset().trials()[0]
+    config = PipelineConfig(
+        seed=args.seed,
+        drop_columns=("task_id",),
+        enhancer=EnhancerConfig(semantic_level=args.semantic_level, seed=args.seed),
+        connector=ConnectorConfig(remove_noisy_columns=False),
+    )
+    start = time.perf_counter()
+    fitted = pipelines[args.pipeline](config).fit(trial.ads, trial.feeds)
+    fit_s = time.perf_counter() - start
+    start = time.perf_counter()
+    digest = fitted.save(args.bundle)
+    save_s = time.perf_counter() - start
+    return [{
+        "command": "fit",
+        "pipeline": args.pipeline,
+        "bundle": args.bundle,
+        "digest": digest[:12],
+        "n_training_subjects": fitted.n_training_subjects,
+        "seed": args.seed,
+        "fit_s": round(fit_s, 4),
+        "save_s": round(save_s, 4),
+    }]
+
+
+def _run_sample(args) -> list[dict]:
+    from repro.frame.io import write_csv
+    from repro.store.bundle import load_fitted_pipeline
+
+    start = time.perf_counter()
+    fitted, digest = load_fitted_pipeline(args.bundle)
+    load_s = time.perf_counter() - start
+    start = time.perf_counter()
+    result = fitted.sample(n_subjects=args.n, seed=args.seed)
+    sample_s = time.perf_counter() - start
+    row = {
+        "command": "sample",
+        "pipeline": fitted.name,
+        "digest": digest[:12],
+        "rows": result.synthetic_flat.num_rows,
+        "columns": result.synthetic_flat.num_columns,
+        "seed": fitted.config.seed if args.seed is None else args.seed,
+        "load_s": round(load_s, 4),
+        "sample_s": round(sample_s, 4),
+    }
+    if args.out:
+        write_csv(result.synthetic_flat, args.out)
+        row["out"] = args.out
+    return [row]
+
+
+def _run_serve_bench(args) -> list[dict]:
+    from repro.serving import ServingConfig, SynthesisService
+
+    try:
+        shard_counts = [int(part) for part in str(args.shards).split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit("--shards must be a comma-separated list of integers")
+    base_seed = 0 if args.seed is None else args.seed
+    rows: list[dict] = []
+    all_identical = True
+    reference = None
+    for shards in shard_counts:
+        service = SynthesisService.from_bundle(args.bundle, ServingConfig(
+            shards=shards, block_size=args.block_size, cache_size=0))
+        n = service.fitted._resolve_n(args.n)
+        start = time.perf_counter()
+        tables = [service.sample_table(n, seed=base_seed + index)
+                  for index in range(args.requests)]
+        elapsed = time.perf_counter() - start
+        if reference is None:
+            reference = tables
+        identical = all(a == b for a, b in zip(tables, reference))
+        all_identical = all_identical and identical
+        total_rows = sum(table.num_rows for table in tables)
+        rows.append({
+            "command": "serve-bench",
+            "shards": shards,
+            "requests": args.requests,
+            "n_subjects": n,
+            "seconds": round(elapsed, 4),
+            "requests_per_s": round(args.requests / elapsed, 3) if elapsed > 0 else float("inf"),
+            "rows_per_s": round(total_rows / elapsed, 1) if elapsed > 0 else float("inf"),
+            "identical_across_shards": identical,
+        })
+    if not all_identical:
+        _emit_rows(rows, args.json)
+        raise SystemExit("ERROR: sharded serving output diverged between shard counts")
+    return rows
+
+
+_COMMAND_RUNNERS = {"fit": _run_fit, "sample": _run_sample, "serve-bench": _run_serve_bench}
+
+
+def _run_command(argv: list[str]) -> int:
+    command, rest = argv[0], argv[1:]
+    args = _command_parser(command).parse_args(rest)
+    rows = _COMMAND_RUNNERS[command](args)
+    _emit_rows(rows, args.json)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in COMMANDS:
+        return _run_command(argv)
+
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
-            print("{:8s} {}".format(name, EXPERIMENTS[name][1]))
+            print("{:12s} {}".format(name, EXPERIMENTS[name][1]))
+        for name in sorted(COMMANDS):
+            print("{:12s} {}".format(name, COMMANDS[name]))
         return 0
 
     function, _ = EXPERIMENTS[args.experiment]
@@ -101,10 +295,7 @@ def main(argv: list[str] | None = None) -> int:
         outcome = function()
 
     rows = outcome.get("rows", [])
-    if args.json:
-        print(json.dumps(rows, indent=2, default=str))
-    else:
-        _print_rows(rows)
+    _emit_rows(rows, args.json)
     return 0
 
 

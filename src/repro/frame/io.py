@@ -10,20 +10,29 @@ import csv
 from pathlib import Path
 
 from repro.frame.table import Table
+from repro.store.atomic import atomic_path
 
 
 def _parse_cell(text: str):
-    """Parse a CSV cell back into int, float, None or str."""
+    """Parse a CSV cell back into int, float, None or str.
+
+    Python's ``int()``/``float()`` accept underscore digit separators, so a
+    cell like ``"1_000"`` would silently round-trip as the integer ``1000``
+    — a lossy rewrite of what was a string.  Underscore-containing cells are
+    therefore never parsed as numbers; the writer only ever emits canonical
+    ``str()`` forms, which contain no underscores.
+    """
     if text == "":
         return None
-    try:
-        return int(text)
-    except ValueError:
-        pass
-    try:
-        return float(text)
-    except ValueError:
-        pass
+    if "_" not in text:
+        try:
+            return int(text)
+        except ValueError:
+            pass
+        try:
+            return float(text)
+        except ValueError:
+            pass
     return text
 
 
@@ -51,12 +60,19 @@ def read_csv(path, parse_types: bool = True) -> Table:
 
 
 def write_csv(table: Table, path) -> Path:
-    """Write a :class:`Table` to a CSV file and return the path."""
+    """Write a :class:`Table` to a CSV file and return the path.
+
+    The write is atomic: rows land in a temporary sibling file which is
+    renamed over *path* on success, so a crashed or concurrent writer never
+    leaves a torn file for a reader (e.g. the serving layer) to load.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(table.column_names)
-        for row in table.iter_rows():
-            writer.writerow(["" if row[name] is None else row[name] for name in table.column_names])
+    with atomic_path(path) as tmp:
+        with tmp.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.column_names)
+            for row in table.iter_rows():
+                writer.writerow(
+                    ["" if row[name] is None else row[name] for name in table.column_names]
+                )
     return path

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 import random
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -157,6 +158,31 @@ class GReaTSynthesizer:
         self._engine = self._sampler.engine
         self._prepare_guided_state(tokenizer)
         return self
+
+    @classmethod
+    def _from_fitted_state(cls, config: GReaTConfig, training_table: Table,
+                           model: NGramLanguageModel, decoder: TextualDecoder,
+                           perplexity_trace: Sequence[float],
+                           training_engine: str | None) -> "GReaTSynthesizer":
+        """Reconstruct a fitted synthesizer from persisted state.
+
+        Used by :mod:`repro.store` to revive a bundle without retraining:
+        the sampler/engine/guided state are rebuilt deterministically from
+        the persisted model, vocabulary and training table, so a loaded
+        synthesizer samples bit-identically to the one that was saved.
+        """
+        synth = cls(config)
+        synth._training_table = training_table
+        synth._encoder.reseed(config.seed)
+        synth._decoder = decoder
+        synth._model = model
+        synth._perplexity_trace = list(perplexity_trace)
+        synth._training_engine = training_engine
+        synth._sampler = TemperatureSampler(model, config.sampler)
+        synth._sampler.reseed(config.seed)
+        synth._engine = synth._sampler.engine
+        synth._prepare_guided_state(model.tokenizer)
+        return synth
 
     def _prepare_guided_state(self, tokenizer: WordTokenizer) -> None:
         """Pre-tokenize every column's observed values and the structural glue."""

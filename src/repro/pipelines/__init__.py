@@ -12,14 +12,20 @@ Data Semantic Enhancement System is applied:
   per child table, combined independently (the paper's second baseline);
 * :class:`GReaTERPipeline` — the proposed method: Cross-table Connecting plus
   optional semantic enhancement.
+
+``pipeline.fit(first, second)`` returns a persistable
+:class:`FittedPipeline` (the train-once / serve-many split);
+``pipeline.run(first, second)`` remains the one-shot convenience.
 """
 
+from repro.pipelines.base import FittedPipeline
 from repro.pipelines.config import PipelineConfig, SynthesisResult
 from repro.pipelines.flatten_baseline import DirectFlattenPipeline
 from repro.pipelines.derec import DERECPipeline
 from repro.pipelines.greater import GReaTERPipeline
 
 __all__ = [
+    "FittedPipeline",
     "PipelineConfig",
     "SynthesisResult",
     "GReaTERPipeline",

@@ -7,16 +7,24 @@ pseudo-identifier columns whose association scores are misleading
 extract a single merged parent table.  What differs between pipelines is only
 how the two child remainders are turned into the child table the parent/child
 synthesizer is trained on.
+
+Fitting and sampling are split: :meth:`MultiTablePipeline.fit` runs the
+expensive preparation + training stages and returns a
+:class:`FittedPipeline` — a persistable object (see :mod:`repro.store`)
+that can :meth:`~FittedPipeline.sample` any number of times, in this
+process or a fresh one, with bit-identical output for identical seeds.
+:meth:`MultiTablePipeline.run` remains the one-shot convenience:
+``fit(...).sample()``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.connecting.flatten import direct_flatten
 from repro.connecting.preprocessing import DIGIX_NOISY_COLUMNS
 from repro.enhancement.enhancer import DataSemanticEnhancer
-from repro.frame.ops import left_join
+from repro.frame.ops import inner_join, left_join
 from repro.frame.table import Table
 from repro.pipelines.config import PipelineConfig, SynthesisResult
 from repro.relational.contextual import (
@@ -36,6 +44,137 @@ class PreparedTables:
     second_child: Table
     original_flat: Table
     subject_column: str
+
+
+@dataclass
+class FittedPipeline:
+    """A trained pipeline: everything needed to sample, nothing that retrains.
+
+    ``synthesizers`` holds one fitted :class:`ParentChildSynthesizer` for
+    GReaTER and the direct-flattening baseline, two (one per round) for
+    DEREC.  ``enhancer`` carries the fitted mapping so synthetic output is
+    inverse-mapped back to the original label space; ``original_flat`` is
+    the evaluation reference; ``details`` the fit-time diagnostics.
+
+    The whole object is persistable through :meth:`save` /
+    :meth:`load` (see :mod:`repro.store.bundle`): a pipeline fitted in one
+    process, saved and loaded in a fresh process produces byte-identical
+    synthetic tables for identical seeds on both engines.
+    """
+
+    name: str
+    config: PipelineConfig
+    subject_column: str
+    enhancer: DataSemanticEnhancer
+    synthesizers: list[ParentChildSynthesizer]
+    original_flat: Table
+    n_training_subjects: int
+    details: dict = field(default_factory=dict)
+
+    # -- sampling -------------------------------------------------------------------
+
+    def _resolve_n(self, n_subjects: int | None) -> int:
+        if n_subjects is not None:
+            return n_subjects
+        if self.config.n_synthetic_subjects is not None:
+            return self.config.n_synthetic_subjects
+        return self.n_training_subjects
+
+    def sample(self, n_subjects: int | None = None, seed: int | None = None) -> SynthesisResult:
+        """Sample a :class:`SynthesisResult` from the fitted synthesizers.
+
+        ``n_subjects`` defaults to the config's ``n_synthetic_subjects`` and
+        then to the training subject count; ``seed`` to the config seed —
+        so ``fit(...).sample()`` reproduces the historical ``run(...)``
+        output exactly.
+        """
+        n = self._resolve_n(n_subjects)
+        seed = self.config.seed if seed is None else seed
+        if len(self.synthesizers) == 2:
+            return self._sample_two_round(n, seed)
+        return self._sample_single(n, seed)
+
+    def _sample_single(self, n: int, seed: int) -> SynthesisResult:
+        synthetic_parent, synthetic_child, synthetic_flat = \
+            self.synthesizers[0].sample_all(n, seed=seed)
+        enhancer = self.enhancer
+        synthetic_flat = enhancer.inverse_transform(synthetic_flat)
+        synthetic_parent = enhancer.inverse_transform(synthetic_parent)
+        synthetic_child = enhancer.inverse_transform(synthetic_child)
+        if self.subject_column in synthetic_flat.column_names:
+            synthetic_flat = synthetic_flat.drop(self.subject_column)
+        return SynthesisResult(
+            synthetic_flat=synthetic_flat,
+            original_flat=self.original_flat,
+            synthetic_parent=synthetic_parent,
+            synthetic_child=synthetic_child,
+            pipeline_name=self.name,
+            details=dict(self.details),
+        )
+
+    def _sample_two_round(self, n: int, seed: int) -> SynthesisResult:
+        combined, first_flat = self._two_round_flat(n, seed)
+        enhancer = self.enhancer
+        synthetic_flat = enhancer.inverse_transform(combined)
+        if self.subject_column in synthetic_flat.column_names:
+            synthetic_flat = synthetic_flat.drop(self.subject_column)
+        details = dict(self.details)
+        details["n_synthetic_subjects"] = n
+        return SynthesisResult(
+            synthetic_flat=synthetic_flat,
+            original_flat=self.original_flat,
+            synthetic_parent=enhancer.inverse_transform(first_flat),
+            synthetic_child=None,
+            pipeline_name=self.name,
+            details=details,
+        )
+
+    def _two_round_flat(self, n: int, seed: int,
+                        subject_offset: int = 0) -> tuple[Table, Table]:
+        """DEREC's two independent rounds, joined on the synthetic subject key."""
+        subject = self.subject_column
+        first_flat = self.synthesizers[0].sample_flat(
+            n, seed=seed, subject_offset=subject_offset)
+        second_flat = self.synthesizers[1].sample_flat(
+            n, seed=seed + 1, subject_offset=subject_offset)
+        combined = inner_join(first_flat, second_flat, on=subject, suffixes=("", "_round2"))
+        duplicated = [name for name in combined.column_names if name.endswith("_round2")]
+        if duplicated:
+            combined = combined.drop(duplicated)
+        return combined, first_flat
+
+    def sample_block(self, start: int, count: int, seed: int) -> Table:
+        """Sample one independently seeded block of the synthetic flat view.
+
+        The serving layer's sharding unit: blocks are fully determined by
+        ``(fitted state, start, count, seed)``, so any partition of a
+        request into blocks — run serially or across workers — concatenates
+        to the same table.  Subject keys are numbered from ``start`` so
+        block outputs are globally consistent.
+        """
+        if len(self.synthesizers) == 2:
+            flat, _ = self._two_round_flat(count, seed, subject_offset=start)
+        else:
+            flat = self.synthesizers[0].sample_flat(count, seed=seed, subject_offset=start)
+        flat = self.enhancer.inverse_transform(flat)
+        if self.subject_column in flat.column_names:
+            flat = flat.drop(self.subject_column)
+        return flat
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, path) -> str:
+        """Persist this fitted pipeline as a bundle; returns the digest."""
+        from repro.store.bundle import save_fitted_pipeline
+
+        return save_fitted_pipeline(self, path)
+
+    @staticmethod
+    def load(path) -> "FittedPipeline":
+        """Load a fitted pipeline bundle saved by :meth:`save`."""
+        from repro.store.bundle import load_fitted_pipeline
+
+        return load_fitted_pipeline(path)[0]
 
 
 class MultiTablePipeline:
@@ -96,28 +235,26 @@ class MultiTablePipeline:
 
     # -- synthesis plumbing -------------------------------------------------------------
 
-    def _fit_and_sample(self, parent: Table, child: Table, subject: str,
-                        n_subjects: int | None) -> tuple[Table, Table, Table]:
-        """Fit the parent/child synthesizer and sample a synthetic flat view.
-
-        One generation pass: ``sample_all`` derives the flat view by joining
-        the sampled pair, so pair and flat view are guaranteed consistent and
-        the parent/child generation runs once instead of twice.
-        """
+    def _fit_synthesizer(self, parent: Table, child: Table,
+                         subject: str) -> ParentChildSynthesizer:
+        """Fit one parent/child synthesizer on an (enhanced) table pair."""
         synthesizer = ParentChildSynthesizer(self.config.parent_child())
         synthesizer.fit(parent, child, subject)
-        n = n_subjects if n_subjects is not None else parent.num_rows
-        return synthesizer.sample_all(n, seed=self.config.seed)
+        return synthesizer
 
     # -- public API -----------------------------------------------------------------------
 
-    def run(self, first: Table, second: Table) -> SynthesisResult:
-        """Prepare, synthesize and return a :class:`SynthesisResult`.
+    def fit(self, first: Table, second: Table) -> FittedPipeline:
+        """Prepare and train, returning a persistable :class:`FittedPipeline`.
 
-        Subclasses implement :meth:`_run_prepared`.
+        Subclasses implement :meth:`_fit_prepared`.
         """
         prepared = self.prepare(first, second)
-        return self._run_prepared(prepared)
+        return self._fit_prepared(prepared)
 
-    def _run_prepared(self, prepared: PreparedTables) -> SynthesisResult:
+    def run(self, first: Table, second: Table) -> SynthesisResult:
+        """One-shot convenience: ``fit(first, second).sample()``."""
+        return self.fit(first, second).sample()
+
+    def _fit_prepared(self, prepared: PreparedTables) -> FittedPipeline:
         raise NotImplementedError

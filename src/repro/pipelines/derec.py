@@ -11,10 +11,7 @@ parent distribution) is what the Cross-table Connecting Method removes.
 
 from __future__ import annotations
 
-from repro.frame.ops import inner_join
-from repro.pipelines.base import MultiTablePipeline, PreparedTables
-from repro.pipelines.config import SynthesisResult
-from repro.relational.parent_child import ParentChildSynthesizer
+from repro.pipelines.base import FittedPipeline, MultiTablePipeline, PreparedTables
 
 
 class DERECPipeline(MultiTablePipeline):
@@ -22,13 +19,8 @@ class DERECPipeline(MultiTablePipeline):
 
     name = "derec"
 
-    def _run_prepared(self, prepared: PreparedTables) -> SynthesisResult:
+    def _fit_prepared(self, prepared: PreparedTables) -> FittedPipeline:
         subject = prepared.subject_column
-        n_subjects = (
-            self.config.n_synthetic_subjects
-            if self.config.n_synthetic_subjects is not None
-            else prepared.parent.num_rows
-        )
 
         enhancer = self._build_enhancer()
         enhancer.fit_transform(prepared.original_flat)
@@ -36,39 +28,25 @@ class DERECPipeline(MultiTablePipeline):
         enhanced_first = enhancer.transform(prepared.first_child)
         enhanced_second = enhancer.transform(prepared.second_child)
 
-        # round 1: parent + first child table
-        first_synth = ParentChildSynthesizer(self.config.parent_child())
-        first_synth.fit(enhanced_parent, enhanced_first, subject)
-        first_flat = first_synth.sample_flat(n_subjects, seed=self.config.seed)
-
-        # round 2: parent + second child table (an independent model of the parent
-        # distribution — the redundancy the paper calls out)
-        second_synth = ParentChildSynthesizer(self.config.parent_child())
-        second_synth.fit(enhanced_parent, enhanced_second, subject)
-        second_flat = second_synth.sample_flat(n_subjects, seed=self.config.seed + 1)
-
-        # combine the two rounds on the synthetic subject key; the parent columns
-        # of the second round are redundant duplicates and are dropped.
-        combined = inner_join(first_flat, second_flat, on=subject, suffixes=("", "_round2"))
-        duplicated = [name for name in combined.column_names if name.endswith("_round2")]
-        if duplicated:
-            combined = combined.drop(duplicated)
-
-        synthetic_flat = enhancer.inverse_transform(combined)
-        if subject in synthetic_flat.column_names:
-            synthetic_flat = synthetic_flat.drop(subject)
+        # round 1: parent + first child table; round 2: parent + second child
+        # table (an independent model of the parent distribution — the
+        # redundancy the paper calls out).  Sampling and the per-subject join
+        # of the two rounds live on the fitted pipeline.
+        first_synth = self._fit_synthesizer(enhanced_parent, enhanced_first, subject)
+        second_synth = self._fit_synthesizer(enhanced_parent, enhanced_second, subject)
 
         details = {
             "rounds": 2,
-            "n_synthetic_subjects": n_subjects,
             "semantic_level": self.config.enhancer.semantic_level,
         }
-        return SynthesisResult(
-            synthetic_flat=synthetic_flat,
+        return FittedPipeline(
+            name=self.name,
+            config=self.config,
+            subject_column=subject,
+            enhancer=enhancer,
+            synthesizers=[first_synth, second_synth],
             original_flat=prepared.original_flat,
-            synthetic_parent=enhancer.inverse_transform(first_flat),
-            synthetic_child=None,
-            pipeline_name=self.name,
+            n_training_subjects=enhanced_parent.num_rows,
             details=details,
         )
     # NOTE: the per-subject join can blow up when both rounds generate many child

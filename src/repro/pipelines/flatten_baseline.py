@@ -10,8 +10,7 @@ Cross-table Connecting Method removes.
 from __future__ import annotations
 
 from repro.connecting.flatten import direct_flatten, flattening_report
-from repro.pipelines.base import MultiTablePipeline, PreparedTables
-from repro.pipelines.config import SynthesisResult
+from repro.pipelines.base import FittedPipeline, MultiTablePipeline, PreparedTables
 
 
 class DirectFlattenPipeline(MultiTablePipeline):
@@ -19,7 +18,7 @@ class DirectFlattenPipeline(MultiTablePipeline):
 
     name = "direct_flatten"
 
-    def _run_prepared(self, prepared: PreparedTables) -> SynthesisResult:
+    def _fit_prepared(self, prepared: PreparedTables) -> FittedPipeline:
         subject = prepared.subject_column
 
         flattened_child = direct_flatten(prepared.first_child, prepared.second_child, subject)
@@ -32,15 +31,7 @@ class DirectFlattenPipeline(MultiTablePipeline):
             enhancer, prepared.original_flat, prepared.parent, flattened_child
         )
 
-        synthetic_parent, synthetic_child, synthetic_flat = self._fit_and_sample(
-            enhanced_parent, enhanced_child, subject, self.config.n_synthetic_subjects
-        )
-
-        synthetic_flat = enhancer.inverse_transform(synthetic_flat)
-        synthetic_parent = enhancer.inverse_transform(synthetic_parent)
-        synthetic_child = enhancer.inverse_transform(synthetic_child)
-        if subject in synthetic_flat.column_names:
-            synthetic_flat = synthetic_flat.drop(subject)
+        synthesizer = self._fit_synthesizer(enhanced_parent, enhanced_child, subject)
 
         details = {
             "rows_flattened": report.rows_flattened,
@@ -48,11 +39,13 @@ class DirectFlattenPipeline(MultiTablePipeline):
             "engagement_ratio": report.engagement_ratio,
             "semantic_level": self.config.enhancer.semantic_level,
         }
-        return SynthesisResult(
-            synthetic_flat=synthetic_flat,
+        return FittedPipeline(
+            name=self.name,
+            config=self.config,
+            subject_column=subject,
+            enhancer=enhancer,
+            synthesizers=[synthesizer],
             original_flat=prepared.original_flat,
-            synthetic_parent=synthetic_parent,
-            synthetic_child=synthetic_child,
-            pipeline_name=self.name,
+            n_training_subjects=enhanced_parent.num_rows,
             details=details,
         )

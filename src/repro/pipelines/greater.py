@@ -11,8 +11,7 @@ is returned (Sec. 3.2.3).
 from __future__ import annotations
 
 from repro.connecting.connector import CrossTableConnector
-from repro.pipelines.base import MultiTablePipeline, PreparedTables
-from repro.pipelines.config import SynthesisResult
+from repro.pipelines.base import FittedPipeline, MultiTablePipeline, PreparedTables
 
 
 class GReaTERPipeline(MultiTablePipeline):
@@ -20,7 +19,7 @@ class GReaTERPipeline(MultiTablePipeline):
 
     name = "greater"
 
-    def _run_prepared(self, prepared: PreparedTables) -> SynthesisResult:
+    def _fit_prepared(self, prepared: PreparedTables) -> FittedPipeline:
         subject = prepared.subject_column
 
         # (3) cross-table connecting of the two child remainders
@@ -34,17 +33,10 @@ class GReaTERPipeline(MultiTablePipeline):
             enhancer, prepared.original_flat, prepared.parent, connected_child
         )
 
-        # parent/child synthesis on the enhanced tables
-        synthetic_parent, synthetic_child, synthetic_flat = self._fit_and_sample(
-            enhanced_parent, enhanced_child, subject, self.config.n_synthetic_subjects
-        )
-
-        # inverse mapping back to the original label space, then drop the key
-        synthetic_flat = enhancer.inverse_transform(synthetic_flat)
-        synthetic_parent = enhancer.inverse_transform(synthetic_parent)
-        synthetic_child = enhancer.inverse_transform(synthetic_child)
-        if subject in synthetic_flat.column_names:
-            synthetic_flat = synthetic_flat.drop(subject)
+        # parent/child training on the enhanced tables; sampling (and the
+        # inverse mapping back to the original label space) happens on the
+        # returned fitted pipeline
+        synthesizer = self._fit_synthesizer(enhanced_parent, enhanced_child, subject)
 
         details = {
             "independence_method": self.config.connector.independence_method,
@@ -56,11 +48,13 @@ class GReaTERPipeline(MultiTablePipeline):
             "special_transform": self.config.enhancer.apply_special_transform,
             "mapped_columns": enhancer.mapping.columns,
         }
-        return SynthesisResult(
-            synthetic_flat=synthetic_flat,
+        return FittedPipeline(
+            name=self.name,
+            config=self.config,
+            subject_column=subject,
+            enhancer=enhancer,
+            synthesizers=[synthesizer],
             original_flat=prepared.original_flat,
-            synthetic_parent=synthetic_parent,
-            synthetic_child=synthetic_child,
-            pipeline_name=self.name,
+            n_training_subjects=enhanced_parent.num_rows,
             details=details,
         )

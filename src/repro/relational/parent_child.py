@@ -59,6 +59,24 @@ class ParentChildSynthesizer:
     def is_fitted(self) -> bool:
         return self._subject_column is not None
 
+    @classmethod
+    def _from_fitted_state(cls, config: ParentChildConfig,
+                           parent_synth: GReaTSynthesizer,
+                           child_synth: GReaTSynthesizer,
+                           subject_column: str,
+                           parent_columns: list[str],
+                           child_columns: list[str],
+                           children_per_subject: list[int]) -> "ParentChildSynthesizer":
+        """Reconstruct a fitted pair from persisted state (see :mod:`repro.store`)."""
+        synth = cls(config)
+        synth._parent_synth = parent_synth
+        synth._child_synth = child_synth
+        synth._subject_column = subject_column
+        synth._parent_columns = list(parent_columns)
+        synth._child_columns = list(child_columns)
+        synth._children_per_subject = [int(c) for c in children_per_subject]
+        return synth
+
     def fit(self, parent: Table, child: Table, subject_column: str) -> "ParentChildSynthesizer":
         """Fit the parent synthesizer on *parent* and the child synthesizer on
         the child rows augmented with their parent's columns."""
@@ -110,12 +128,16 @@ class ParentChildSynthesizer:
         if not self.is_fitted:
             raise RuntimeError("call fit() before sampling")
 
-    def sample(self, n_parents: int, seed: int | None = None) -> tuple[Table, Table]:
+    def sample(self, n_parents: int, seed: int | None = None,
+               subject_offset: int = 0) -> tuple[Table, Table]:
         """Sample *n_parents* parent rows and their conditioned child rows.
 
         Returns ``(parent_table, child_table)``; the child table repeats each
         synthetic subject's key on every generated child row, reproducing the
-        one-to-many structure of the training data.
+        one-to-many structure of the training data.  ``subject_offset``
+        shifts the synthetic subject numbering, so independently seeded
+        blocks (the serving layer's sharding unit) produce globally unique,
+        position-stable keys.
         """
         self._require_fitted()
         if n_parents <= 0:
@@ -125,7 +147,8 @@ class ParentChildSynthesizer:
 
         parent_table = self._parent_synth.sample(n_parents, seed=seed)
         # synthetic subjects get fresh unique keys so child rows can reference them
-        synthetic_subjects = ["synthetic_subject_{}".format(i) for i in range(n_parents)]
+        synthetic_subjects = ["synthetic_subject_{}".format(subject_offset + i)
+                              for i in range(n_parents)]
         parent_table = parent_table.with_column(self._subject_column, synthetic_subjects)
 
         # every parent's children ride in one conditioned mega-batch: the
@@ -153,14 +176,16 @@ class ParentChildSynthesizer:
         )
         return parent_table, child_table
 
-    def sample_all(self, n_parents: int, seed: int | None = None) -> tuple[Table, Table, Table]:
+    def sample_all(self, n_parents: int, seed: int | None = None,
+                   subject_offset: int = 0) -> tuple[Table, Table, Table]:
         """Sample once and return ``(parent, child, flat)``.
 
         The flat view is *derived* from the sampled pair by joining each child
         row with its parent's columns, so pair and flat view are guaranteed
         consistent and generation runs exactly once.
         """
-        parent_table, child_table = self.sample(n_parents, seed=seed)
+        parent_table, child_table = self.sample(n_parents, seed=seed,
+                                                subject_offset=subject_offset)
         return parent_table, child_table, self.flatten_pair(parent_table, child_table)
 
     def flatten_pair(self, parent_table: Table, child_table: Table) -> Table:
@@ -176,14 +201,15 @@ class ParentChildSynthesizer:
             records.append(record)
         return Table.from_records(records, columns=self._parent_columns + self._child_columns)
 
-    def sample_flat(self, n_parents: int, seed: int | None = None) -> Table:
+    def sample_flat(self, n_parents: int, seed: int | None = None,
+                    subject_offset: int = 0) -> Table:
         """Sample and return the child table joined with its parent columns.
 
         This flat view (every child row carrying its parent's contextual
         columns) is what the fidelity evaluation compares against the original
         flat data.
         """
-        return self.sample_all(n_parents, seed=seed)[2]
+        return self.sample_all(n_parents, seed=seed, subject_offset=subject_offset)[2]
 
     def _draw_children_count(self, rng: random.Random) -> int:
         if isinstance(self.config.children_per_parent, int):

@@ -1,0 +1,27 @@
+"""Synthesis serving layer (the serve-many half of train-once / serve-many).
+
+:class:`SynthesisService` loads a fitted-pipeline bundle once (see
+:mod:`repro.store`) and answers ``sample(n, seed, conditions)`` requests:
+block-sharded full-table sampling that is bit-identical across worker
+counts, coalesced conditioned-row sampling that merges concurrent requests
+into one batched engine pass, and an LRU result cache keyed by
+``(bundle digest, request)``.
+"""
+
+from repro.serving.service import (
+    LruCache,
+    RowRequest,
+    ServingConfig,
+    ServingError,
+    SynthesisService,
+    derive_seed,
+)
+
+__all__ = [
+    "LruCache",
+    "RowRequest",
+    "ServingConfig",
+    "ServingError",
+    "SynthesisService",
+    "derive_seed",
+]

@@ -1,0 +1,386 @@
+"""Synthesis serving: load a bundle once, answer sampling requests forever.
+
+:class:`SynthesisService` is the serve-many half of the train-once /
+serve-many split.  It wraps a :class:`~repro.pipelines.base.FittedPipeline`
+(usually loaded from a :mod:`repro.store` bundle) and serves two request
+shapes without ever retraining:
+
+* :meth:`~SynthesisService.sample_table` — a full synthetic flat table of
+  ``n`` subjects.  The request is decomposed into fixed-size *blocks*, each
+  sampled with a deterministically derived seed (:func:`derive_seed`), so
+  the output is a pure function of ``(bundle, n, seed, block_size)`` — a
+  run sharded across ``W`` workers is bit-identical to the single-process
+  run, for any ``W``.
+* :meth:`~SynthesisService.sample_rows` — ``n`` conditioned rows from the
+  child synthesizer (e.g. "rows for a user with these contextual
+  attributes").  Concurrent requests are coalesced: a leader thread drains
+  the pending queue and advances *every* request's lanes through **one**
+  batched engine pass per column (one dense-mass/candidate-scoring call for
+  the merged batch).  Each request draws from its own named RNG stream, so
+  a request's output never depends on what it was batched with.
+
+Results are memoised in an LRU cache keyed by ``(bundle digest, request)``
+— identical requests against the same artifact are served from memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.frame.ops import concat_rows
+from repro.frame.table import Table
+from repro.llm.engine import SEED_MASK, _choose_indices
+from repro.pipelines.base import FittedPipeline
+
+
+class ServingError(RuntimeError):
+    """A request the loaded bundle cannot serve."""
+
+
+#: Named sub-streams of the request seed (table blocks vs row requests), so
+#: the two request shapes never share RNG state.
+_TABLE_STREAM = 11
+_ROWS_STREAM = 13
+
+
+def derive_seed(seed: int, *path: int) -> int:
+    """Deterministic child seed for a named position under *seed*.
+
+    Built on :class:`numpy.random.SeedSequence`, so derived seeds are
+    well-spread, platform-independent and a pure function of
+    ``(seed, path)`` — the property that makes sharded runs bit-identical
+    to single-process runs.
+    """
+    sequence = np.random.SeedSequence([int(seed) & SEED_MASK] + [int(p) for p in path])
+    return int(sequence.generate_state(1, dtype=np.uint64)[0]) & SEED_MASK
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving layer.
+
+    ``shards`` is the worker count for block-sharded table sampling (the
+    output is identical for every value — only throughput changes);
+    ``block_size`` the number of synthetic subjects per independently
+    seeded block; ``cache_size`` the LRU result-cache capacity (0 disables
+    caching); ``batch_window_s`` how long a coalescing leader waits for
+    followers before draining the queue.
+    """
+
+    shards: int = 1
+    block_size: int = 256
+    cache_size: int = 64
+    batch_window_s: float = 0.002
+
+    def __post_init__(self):
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.block_size < 1:
+            raise ValueError("block_size must be at least 1")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class RowRequest:
+    """One conditioned row-sampling request (the coalescable unit)."""
+
+    n: int
+    conditions: tuple = ()  # sorted (column, value) pairs; dicts accepted by the service
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+
+
+class LruCache:
+    """A tiny thread-safe LRU mapping for sampled results."""
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: "OrderedDict" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+
+@dataclass
+class _PendingRequest:
+    request: RowRequest
+    event: threading.Event = field(default_factory=threading.Event)
+    result: Table | None = None
+    error: BaseException | None = None
+
+
+class SynthesisService:
+    """Serve sampling requests from one loaded fitted pipeline."""
+
+    def __init__(self, fitted: FittedPipeline, config: ServingConfig | None = None,
+                 digest: str | None = None):
+        self.fitted = fitted
+        self.config = config or ServingConfig()
+        #: cache namespace; bundle-loaded services use the content digest so
+        #: equal artifacts share keys, in-memory ones get a unique token
+        self.digest = digest or "unsaved-{:x}".format(id(fitted))
+        self._cache = LruCache(self.config.cache_size)
+        self._stats_lock = threading.Lock()
+        self._stats = {"table_requests": 0, "row_requests": 0, "coalesced_batches": 0,
+                       "coalesced_requests_max": 0}
+        self._batch_lock = threading.Lock()
+        self._pending: list[_PendingRequest] = []
+        self._draining = False
+
+    @classmethod
+    def from_bundle(cls, path, config: ServingConfig | None = None) -> "SynthesisService":
+        """Load a fitted-pipeline bundle once and serve from it."""
+        from repro.store.bundle import load_fitted_pipeline
+
+        fitted, digest = load_fitted_pipeline(path)
+        return cls(fitted, config=config, digest=digest)
+
+    # -- public request API ----------------------------------------------------------
+
+    def sample(self, n: int | None = None, seed: int | None = None,
+               conditions: dict | None = None) -> Table:
+        """Serve one sampling request.
+
+        Without *conditions*: a full synthetic flat table of *n* subjects
+        (block-sharded, see :meth:`sample_table`).  With *conditions*: *n*
+        child rows conditioned on the given column values (coalescable, see
+        :meth:`sample_rows`).
+        """
+        if conditions is not None:
+            if n is None:
+                raise ValueError("conditioned sampling requires an explicit n")
+            return self.sample_rows(n, conditions=conditions, seed=seed)
+        return self.sample_table(n, seed=seed)
+
+    def stats(self) -> dict:
+        """Serving counters plus cache hit/miss totals."""
+        with self._stats_lock:
+            out = dict(self._stats)
+        out["cache_hits"] = self._cache.hits
+        out["cache_misses"] = self._cache.misses
+        return out
+
+    # -- full-table sampling (block-sharded) -------------------------------------------
+
+    def _blocks(self, n: int, seed: int) -> list[tuple[int, int, int]]:
+        size = self.config.block_size
+        return [
+            (start, min(size, n - start), derive_seed(seed, _TABLE_STREAM, index))
+            for index, start in enumerate(range(0, n, size))
+        ]
+
+    def sample_table(self, n: int | None = None, seed: int | None = None) -> Table:
+        """The synthetic flat table for *n* subjects (defaults as in the pipeline).
+
+        The request is partitioned into ``block_size`` blocks, each sampled
+        with a seed derived from ``(seed, block index)`` — independent of
+        worker count, so every ``shards`` setting produces the identical
+        table.
+        """
+        n = self.fitted._resolve_n(n)
+        seed = self.fitted.config.seed if seed is None else seed
+        with self._stats_lock:
+            self._stats["table_requests"] += 1
+        key = (self.digest, "table", n, seed, self.config.block_size)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        blocks = self._blocks(n, seed)
+        if self.config.shards == 1 or len(blocks) == 1:
+            parts = [self.fitted.sample_block(start, count, block_seed)
+                     for start, count, block_seed in blocks]
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
+                parts = list(pool.map(
+                    lambda block: self.fitted.sample_block(*block), blocks))
+        table = concat_rows(parts)
+        self._cache.put(key, table)
+        return table
+
+    # -- conditioned row sampling (coalesced) ------------------------------------------
+
+    @property
+    def _child_synth(self):
+        if len(self.fitted.synthesizers) != 1:
+            raise ServingError(
+                "conditioned row serving needs a single parent/child synthesizer; "
+                "the {!r} pipeline has {}".format(self.fitted.name,
+                                                  len(self.fitted.synthesizers))
+            )
+        synth = self.fitted.synthesizers[0]._child_synth
+        if synth.config.sampling_strategy != "guided":
+            raise ServingError("conditioned row serving requires the guided strategy")
+        return synth
+
+    def _normalize_request(self, n: int, conditions: dict | None,
+                           seed: int | None) -> RowRequest:
+        synth = self._child_synth
+        subject = self.fitted.subject_column
+        allowed = [name for name in synth._training_table.column_names if name != subject]
+        conditions = dict(conditions or {})
+        unknown = [name for name in conditions if name not in allowed]
+        if unknown:
+            raise ServingError(
+                "unknown condition columns {}; conditionable columns are {}".format(
+                    unknown, allowed))
+        seed = self.fitted.config.seed if seed is None else seed
+        pinned = tuple(sorted(conditions.items(), key=lambda item: item[0]))
+        return RowRequest(n=n, conditions=pinned, seed=seed)
+
+    def _enhanced_conditions(self, request: RowRequest) -> dict:
+        """Map original-label conditions into the enhanced space the child
+        synthesizer was trained in (one-row table through the fitted mapping)."""
+        conditions = dict(request.conditions)
+        if not conditions:
+            return {}
+        one_row = Table({name: [value] for name, value in conditions.items()})
+        return self.fitted.enhancer.transform(one_row).row(0)
+
+    def sample_rows(self, n: int, conditions: dict | None = None,
+                    seed: int | None = None) -> Table:
+        """Sample *n* conditioned child rows (original label space).
+
+        Concurrent callers are coalesced into one batched engine pass; the
+        result only depends on ``(bundle, n, conditions, seed)``.
+        """
+        request = self._normalize_request(n, conditions, seed)
+        key = (self.digest, "rows", request)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        entry = _PendingRequest(request)
+        with self._batch_lock:
+            self._pending.append(entry)
+            leader = not self._draining
+            if leader:
+                self._draining = True
+        if leader:
+            if self.config.batch_window_s > 0:
+                time.sleep(self.config.batch_window_s)
+            with self._batch_lock:
+                batch, self._pending = self._pending, []
+                self._draining = False
+            try:
+                results = self.sample_rows_many([e.request for e in batch])
+            except BaseException as error:  # propagate to every waiter
+                for waiter in batch:
+                    waiter.error = error
+                    waiter.event.set()
+                raise
+            for waiter, result in zip(batch, results):
+                waiter.result = result
+                waiter.event.set()
+        entry.event.wait()
+        if entry.error is not None:
+            raise entry.error
+        self._cache.put(key, entry.result)
+        return entry.result
+
+    def sample_rows_many(self, requests: list[RowRequest]) -> list[Table]:
+        """Serve a batch of row requests through one engine pass per column.
+
+        This is the deterministic coalescing unit: every request occupies a
+        contiguous lane range of one merged guided session, candidate
+        scoring runs once per column across all lanes, and each request
+        draws from its own ``(seed)``-derived RNG stream — so the result
+        per request is identical whether it is served alone or merged.
+        """
+        if not requests:
+            return []
+        with self._stats_lock:
+            self._stats["row_requests"] += len(requests)
+            self._stats["coalesced_batches"] += 1
+            self._stats["coalesced_requests_max"] = max(
+                self._stats["coalesced_requests_max"], len(requests))
+        synth = self._child_synth
+        engine = synth._engine
+        temperature = synth.config.sampler.temperature
+        subject = self.fitted.subject_column
+
+        sizes = [request.n for request in requests]
+        bounds = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=bounds[1:])
+        total = int(bounds[-1])
+        slices = [slice(int(bounds[i]), int(bounds[i + 1])) for i in range(len(sizes))]
+        rngs = [np.random.default_rng([_ROWS_STREAM, derive_seed(request.seed)])
+                for request in requests]
+        prompts = [self._enhanced_conditions(request) for request in requests]
+
+        # the session's own RNG is never drawn from — every draw below comes
+        # from the owning request's stream
+        session = engine.guided_session(total, seed=0)
+        rows: list[list[dict]] = [[{} for _ in range(n)] for n in sizes]
+        columns = synth._training_table.column_names
+        for name in columns:
+            session.extend_shared(synth._structure_token_ids[name])
+            candidates = synth._column_candidates[name]
+            token_lists = synth._candidate_token_ids[name]
+            fixed = [name in prompt for prompt in prompts]
+            scores = None
+            if len(candidates) > 1 and not all(fixed):
+                # the one batched engine pass for this column: candidate
+                # scores for every lane of every pending request at once
+                scores = engine._score_candidates(session.contexts, session.lengths,
+                                                  token_lists)
+            lane_tokens: list = [None] * total
+            for index, request in enumerate(requests):
+                window = slices[index]
+                request_rows = rows[index]
+                if fixed[index]:
+                    value = prompts[index][name]
+                    tokens = synth._encode_value_tokens(value)
+                    picks = None
+                elif len(candidates) == 1:
+                    value, tokens, picks = candidates[0], token_lists[0], None
+                else:
+                    picks = _choose_indices(scores[window], rngs[index], temperature)
+                for offset in range(window.stop - window.start):
+                    if picks is not None:
+                        choice = int(picks[offset])
+                        value, tokens = candidates[choice], token_lists[choice]
+                    request_rows[offset][name] = value
+                    lane_tokens[window.start + offset] = tokens
+            session.extend_rows(lane_tokens)
+            session.extend_shared(synth._separator_ids)
+
+        tables = []
+        for request_rows in rows:
+            table = Table.from_records(request_rows, columns=columns)
+            table = self.fitted.enhancer.inverse_transform(table)
+            if subject in table.column_names:
+                table = table.drop(subject)
+            tables.append(table)
+        return tables

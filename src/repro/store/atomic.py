@@ -1,0 +1,63 @@
+"""Atomic filesystem writes for artifacts.
+
+A crashed or concurrent writer must never leave a torn file where a reader
+(e.g. the serving layer) could pick it up.  Every artifact write in
+:mod:`repro.store` — and the CSV writer in :mod:`repro.frame.io` — goes
+through the helper here: the payload is written to a temporary sibling
+inside the *target* directory (so the final rename never crosses a
+filesystem boundary) and moved into place with ``os.replace``, which is
+atomic on POSIX and Windows alike.  Bundles are single files for exactly
+this reason: one rename either fully publishes the new artifact or leaves
+the old one untouched — there is no in-between state to observe.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+
+
+def _process_umask() -> int:
+    """The current umask (read non-destructively via a set/restore pair)."""
+    current = os.umask(0)
+    os.umask(current)
+    return current
+
+
+@contextmanager
+def atomic_path(path):
+    """Yield a temporary sibling of *path*; rename it over *path* on success.
+
+    The temporary file lives in the same directory as the target, so the
+    final ``os.replace`` is a same-filesystem rename.  ``mkstemp`` creates
+    the file with mode 0600; it is re-chmodded to honour the process umask
+    so the published artifact has the same permissions a plain ``open``
+    would have produced.  On any exception the temporary file is removed
+    and the target is left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle, name = tempfile.mkstemp(dir=target.parent, prefix=target.name + ".", suffix=".tmp")
+    os.close(handle)
+    tmp = Path(name)
+    try:
+        os.chmod(tmp, 0o666 & ~_process_umask())
+        yield tmp
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_write_bytes(path, data: bytes) -> Path:
+    """Atomically write *data* to *path* (write temp + ``os.replace``)."""
+    with atomic_path(path) as tmp:
+        tmp.write_bytes(data)
+    return Path(path)
+
+
+def atomic_write_text(path, text: str) -> Path:
+    """Atomically write *text* to *path* (write temp + ``os.replace``)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))

@@ -1,0 +1,610 @@
+"""Versioned, pickle-free artifact bundles for fitted synthesizers.
+
+A *bundle* is a single zip archive of small, typed parts — JSON for
+configuration and schemas (through the exact :mod:`repro.store.codec`
+envelope), NPZ for arrays and tables (:mod:`repro.store.tablefmt`) — plus
+a ``manifest.json`` recording the format version, the bundle kind,
+provenance metadata (seed, resolved engines, column schema) and a SHA-256
+digest over every part.  Because a bundle is one file, publishing it is
+one atomic ``os.replace``: a reader sees either the complete old bundle or
+the complete new one, never a torn state — even when a writer overwrites a
+bundle a serving process is concurrently loading.
+
+Serializers exist for every fitted object in the synthesis path:
+
+* :func:`save_great_synthesizer` / :func:`load_great_synthesizer` — the
+  single-table GReaT synthesizer (tokenizer vocabulary, n-gram count
+  arrays, textual decoder schema, training table, perplexity trace);
+* :func:`save_parent_child` / :func:`load_parent_child` — the coupled
+  parent/child pair plus its relational state;
+* :func:`save_fitted_pipeline` / :func:`load_fitted_pipeline` — a whole
+  fitted pipeline (enhancer mapping, one or two parent/child synthesizers,
+  the original flat reference and the fit-time diagnostics);
+* :func:`load_bundle` — kind-dispatched loading.
+
+The model counts are stored as *unpacked* integer n-gram tables (one
+``(n_contexts, k)`` context matrix per order plus CSR row pointers), the
+canonical sorted layout both training engines already agree on — so a
+loaded model reproduces the in-process model bit for bit on both the
+``object`` and ``compiled`` engines, regardless of which engine trained it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import zipfile
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.enhancement.enhancer import DataSemanticEnhancer, EnhancerConfig
+from repro.enhancement.mapping import MappingSystem
+from repro.great.synthesizer import GReaTConfig, GReaTSynthesizer
+from repro.llm.compiled import _MAX_PACKED_KEY
+from repro.llm.engine import resolve_engine_kind
+from repro.llm.finetune import FineTuneConfig
+from repro.llm.ngram_model import ModelConfig, NGramLanguageModel
+from repro.llm.sampler import SamplerConfig
+from repro.llm.tokenizer import Vocabulary, WordTokenizer
+from repro.llm.training import ArrayTrainedNGramModel, CorpusCounts, resolve_training_engine
+from repro.relational.parent_child import ParentChildConfig, ParentChildSynthesizer
+import repro.store.codec as codec
+from repro.store.atomic import atomic_path
+from repro.store.codec import StoreError
+from repro.store.tablefmt import (
+    _decode_strings,
+    _encode_strings,
+    arrays_to_table,
+    table_to_arrays,
+)
+from repro.textenc.decoder import TextualDecoder
+from repro.textenc.encoder import EncoderConfig
+
+#: Version of the bundle layout; readers reject newer versions.
+BUNDLE_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Bundle kinds understood by :func:`load_bundle`.
+BUNDLE_KINDS = ("great_synthesizer", "parent_child_synthesizer", "fitted_pipeline")
+
+
+# ---------------------------------------------------------------------------
+# bundle container
+# ---------------------------------------------------------------------------
+
+class BundleWriter:
+    """Accumulate named parts in memory, then write them atomically."""
+
+    def __init__(self, kind: str, meta: dict | None = None):
+        if kind not in BUNDLE_KINDS:
+            raise StoreError("unknown bundle kind {!r}".format(kind))
+        self.kind = kind
+        self.meta = dict(meta or {})
+        self._parts: dict[str, bytes] = {}
+
+    def add_json(self, name: str, value) -> None:
+        """Add a JSON part (typed-codec encoded, so tuples/int keys survive)."""
+        self._parts[name + ".json"] = codec.dumps(value).encode("utf-8")
+
+    def add_arrays(self, name: str, arrays: dict) -> None:
+        """Add an NPZ part from a name -> ndarray mapping."""
+        buffer = io.BytesIO()
+        np.savez_compressed(buffer, **arrays)
+        self._parts[name + ".npz"] = buffer.getvalue()
+
+    def add_table(self, name: str, table) -> None:
+        """Add a table part in the binary columnar format."""
+        self.add_arrays(name, table_to_arrays(table))
+
+    def digest(self) -> str:
+        """SHA-256 digest over every part (name + content, sorted by name)."""
+        sha = hashlib.sha256()
+        for name in sorted(self._parts):
+            sha.update(name.encode("utf-8"))
+            sha.update(b"\x00")
+            sha.update(self._parts[name])
+        return sha.hexdigest()
+
+    def write(self, path) -> str:
+        """Atomically write the bundle archive and return its digest.
+
+        The parts are already compressed (NPZ) or tiny (JSON), so the
+        archive stores them uncompressed; the whole file is published with
+        one ``os.replace``.
+        """
+        digest = self.digest()
+        manifest = {
+            "format_version": BUNDLE_FORMAT_VERSION,
+            "kind": self.kind,
+            "digest": digest,
+            "parts": {name: len(blob) for name, blob in sorted(self._parts.items())},
+            "meta": self.meta,
+        }
+        with atomic_path(path) as tmp:
+            with zipfile.ZipFile(tmp, "w", compression=zipfile.ZIP_STORED) as archive:
+                for name in sorted(self._parts):
+                    archive.writestr(name, self._parts[name])
+                archive.writestr(MANIFEST_NAME,
+                                 json.dumps(manifest, indent=2, sort_keys=True))
+        return digest
+
+
+class BundleReader:
+    """Read parts of a bundle archive written by :class:`BundleWriter`."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        if not self.path.is_file():
+            raise StoreError("no bundle at {}".format(self.path))
+        try:
+            with zipfile.ZipFile(self.path) as archive:
+                self._parts = {name: archive.read(name) for name in archive.namelist()}
+        except zipfile.BadZipFile as error:
+            raise StoreError("not a bundle archive: {} ({})".format(self.path, error)) from None
+        if MANIFEST_NAME not in self._parts:
+            raise StoreError("bundle at {} has no manifest".format(self.path))
+        self.manifest = json.loads(self._parts[MANIFEST_NAME].decode("utf-8"))
+        version = self.manifest.get("format_version")
+        if version is None or version > BUNDLE_FORMAT_VERSION:
+            raise StoreError(
+                "bundle format version {} is newer than supported version {}".format(
+                    version, BUNDLE_FORMAT_VERSION
+                )
+            )
+
+    def _part(self, name: str) -> bytes:
+        try:
+            return self._parts[name]
+        except KeyError:
+            raise StoreError("bundle at {} is missing part {!r}".format(self.path, name)) from None
+
+    @property
+    def kind(self) -> str:
+        return self.manifest["kind"]
+
+    @property
+    def digest(self) -> str:
+        return self.manifest["digest"]
+
+    @property
+    def meta(self) -> dict:
+        return self.manifest.get("meta", {})
+
+    def json(self, name: str):
+        return codec.loads(self._part(name + ".json").decode("utf-8"))
+
+    def arrays(self, name: str) -> dict:
+        with np.load(io.BytesIO(self._part(name + ".npz"))) as data:
+            return {key: data[key] for key in data.files}
+
+    def table(self, name: str):
+        return arrays_to_table(self.arrays(name))
+
+
+def read_manifest(path) -> dict:
+    """The manifest of the bundle at *path* (format version checked)."""
+    return BundleReader(path).manifest
+
+
+# ---------------------------------------------------------------------------
+# config reconstruction (frozen dataclasses from typed dicts)
+# ---------------------------------------------------------------------------
+
+def _build_model_config(d: dict) -> ModelConfig:
+    return ModelConfig(**d)
+
+
+def _build_fine_tune_config(d: dict) -> FineTuneConfig:
+    return FineTuneConfig(**{**d, "model": _build_model_config(d["model"])})
+
+
+def _build_great_config(d: dict) -> GReaTConfig:
+    return GReaTConfig(
+        fine_tune=_build_fine_tune_config(d["fine_tune"]),
+        sampler=SamplerConfig(**d["sampler"]),
+        encoder=EncoderConfig(**d["encoder"]),
+        sampling_strategy=d["sampling_strategy"],
+        permutation_passes=d["permutation_passes"],
+        fallback_to_training_rows=d["fallback_to_training_rows"],
+        seed=d["seed"],
+    )
+
+
+def _build_parent_child_config(d: dict) -> ParentChildConfig:
+    return ParentChildConfig(
+        parent=_build_great_config(d["parent"]),
+        child=_build_great_config(d["child"]),
+        children_per_parent=d["children_per_parent"],
+        seed=d["seed"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# tokenizer / model parts
+# ---------------------------------------------------------------------------
+
+def _add_tokenizer(writer: BundleWriter, prefix: str, tokenizer: WordTokenizer) -> None:
+    blob, offsets = _encode_strings(tokenizer.vocabulary.id_to_token)
+    writer.add_arrays(prefix + "vocabulary", {"blob": blob, "offsets": offsets})
+
+
+def _read_tokenizer(reader: BundleReader, prefix: str, lowercase: bool) -> WordTokenizer:
+    arrays = reader.arrays(prefix + "vocabulary")
+    tokens = _decode_strings(arrays["blob"], arrays["offsets"])
+    vocabulary = Vocabulary(
+        token_to_id={token: index for index, token in enumerate(tokens)},
+        id_to_token=tokens,
+    )
+    return WordTokenizer(lowercase=lowercase, vocabulary=vocabulary)
+
+
+def _unpack_context_keys(keys: np.ndarray, k: int, vocab_size: int) -> np.ndarray:
+    digits = np.empty((keys.size, k), dtype=np.int64)
+    remainder = keys.copy()
+    for j in range(k - 1, -1, -1):
+        digits[:, j] = remainder % vocab_size
+        remainder //= vocab_size
+    return digits
+
+
+def _add_model(writer: BundleWriter, prefix: str, model: NGramLanguageModel) -> None:
+    """Persist a trained model as unpacked integer n-gram count tables."""
+    if not model.is_trained:
+        raise StoreError("can only persist a trained model")
+    config = model.config
+    order = config.order
+    vocab_size = len(model.tokenizer.vocabulary)
+    arrays: dict[str, np.ndarray] = {}
+    counts = getattr(model, "_array_counts", None)
+    if counts is not None:
+        for k in range(1, order):
+            arrays["k{}_ctx".format(k)] = _unpack_context_keys(counts.keys[k], k, vocab_size)
+            arrays["k{}_row_ptr".format(k)] = counts.row_ptr[k]
+            arrays["k{}_tokens".format(k)] = counts.tokens[k]
+            arrays["k{}_counts".format(k)] = counts.counts[k]
+            arrays["k{}_totals".format(k)] = counts.totals[k]
+        arrays["k0_tokens"] = counts.tokens0
+        arrays["k0_counts"] = counts.counts0
+        total0 = int(counts.total0)
+    else:
+        model._ensure_dict_tables()
+        for k in range(1, order):
+            items = sorted(model._counts[k].items())  # lexicographic == packed order
+            contexts = np.asarray([context for context, _ in items],
+                                  dtype=np.int64).reshape(len(items), k)
+            row_ptr = np.zeros(len(items) + 1, dtype=np.int64)
+            token_chunks: list[np.ndarray] = []
+            count_chunks: list[np.ndarray] = []
+            totals = np.empty(len(items), dtype=np.int64)
+            for row, (context, counter) in enumerate(items):
+                ordered = sorted(counter.items())
+                token_chunks.append(np.fromiter((t for t, _ in ordered), dtype=np.int64,
+                                                count=len(ordered)))
+                count_chunks.append(np.fromiter((c for _, c in ordered), dtype=np.int64,
+                                                count=len(ordered)))
+                row_ptr[row + 1] = row_ptr[row] + len(ordered)
+                totals[row] = int(model._context_totals[k].get(context, 0))
+            arrays["k{}_ctx".format(k)] = contexts
+            arrays["k{}_row_ptr".format(k)] = row_ptr
+            arrays["k{}_tokens".format(k)] = (np.concatenate(token_chunks)
+                                              if token_chunks else np.empty(0, np.int64))
+            arrays["k{}_counts".format(k)] = (np.concatenate(count_chunks)
+                                              if count_chunks else np.empty(0, np.int64))
+            arrays["k{}_totals".format(k)] = totals
+        ordered = sorted(model._counts[0].get((), {}).items())
+        arrays["k0_tokens"] = np.fromiter((t for t, _ in ordered), dtype=np.int64,
+                                          count=len(ordered))
+        arrays["k0_counts"] = np.fromiter((c for _, c in ordered), dtype=np.int64,
+                                          count=len(ordered))
+        total0 = int(model._context_totals[0].get((), 0))
+    writer.add_json(prefix + "model", {
+        "config": asdict(config),
+        "vocab_size": vocab_size,
+        "trained_sentences": model.trained_sentences,
+        "total0": total0,
+    })
+    writer.add_arrays(prefix + "model_arrays", arrays)
+
+
+def _read_model(reader: BundleReader, prefix: str,
+                tokenizer: WordTokenizer) -> NGramLanguageModel:
+    header = reader.json(prefix + "model")
+    config = _build_model_config(header["config"])
+    vocab_size = header["vocab_size"]
+    if vocab_size != len(tokenizer.vocabulary):
+        raise StoreError(
+            "model artifact was trained with vocabulary size {}, bundle vocabulary has {}".format(
+                vocab_size, len(tokenizer.vocabulary)
+            )
+        )
+    arrays = reader.arrays(prefix + "model_arrays")
+    order = config.order
+    packable = vocab_size >= 1 and max(vocab_size, 2) ** order < _MAX_PACKED_KEY
+    if packable:
+        keys: dict = {}
+        row_ptr: dict = {}
+        tokens: dict = {}
+        counts: dict = {}
+        totals: dict = {}
+        for k in range(1, order):
+            contexts = arrays["k{}_ctx".format(k)].reshape(-1, k)
+            packed = np.zeros(contexts.shape[0], dtype=np.int64)
+            for j in range(k):
+                packed = packed * vocab_size + contexts[:, j]
+            keys[k] = packed
+            row_ptr[k] = arrays["k{}_row_ptr".format(k)]
+            tokens[k] = arrays["k{}_tokens".format(k)]
+            counts[k] = arrays["k{}_counts".format(k)]
+            totals[k] = arrays["k{}_totals".format(k)]
+        corpus_counts = CorpusCounts(
+            order=order, vocab_size=vocab_size, keys=keys, row_ptr=row_ptr,
+            tokens=tokens, counts=counts, totals=totals,
+            tokens0=arrays["k0_tokens"], counts0=arrays["k0_counts"],
+            total0=header["total0"],
+        )
+        return ArrayTrainedNGramModel(tokenizer, config, corpus_counts,
+                                      trained_sentences=header["trained_sentences"])
+    # vocabulary too large for packed int64 keys: rebuild the dict tables
+    from collections import Counter
+
+    model = NGramLanguageModel(tokenizer, config)
+    for k in range(1, order):
+        contexts = arrays["k{}_ctx".format(k)].reshape(-1, k).tolist()
+        row_ptr = arrays["k{}_row_ptr".format(k)].tolist()
+        token_list = arrays["k{}_tokens".format(k)].tolist()
+        count_list = arrays["k{}_counts".format(k)].tolist()
+        total_list = arrays["k{}_totals".format(k)].tolist()
+        for row, context in enumerate(contexts):
+            lo, hi = row_ptr[row], row_ptr[row + 1]
+            key = tuple(context)
+            model._counts[k][key] = Counter(dict(zip(token_list[lo:hi], count_list[lo:hi])))
+            model._context_totals[k][key] = total_list[row]
+    tokens0 = arrays["k0_tokens"].tolist()
+    counts0 = arrays["k0_counts"].tolist()
+    if tokens0:
+        model._counts[0][()] = Counter(dict(zip(tokens0, counts0)))
+        model._context_totals[0][()] = int(header["total0"])
+    model._trained_sentences = header["trained_sentences"]
+    return model
+
+
+# ---------------------------------------------------------------------------
+# GReaT synthesizer parts
+# ---------------------------------------------------------------------------
+
+def _add_great(writer: BundleWriter, prefix: str, synth: GReaTSynthesizer) -> None:
+    if not synth.is_fitted:
+        raise StoreError("can only persist a fitted synthesizer")
+    decoder = synth.decoder
+    writer.add_json(prefix + "config", asdict(synth.config))
+    writer.add_json(prefix + "state", {
+        "perplexity_trace": list(synth.perplexity_trace),
+        "training_engine": synth.training_engine,
+        "lowercase": synth.model.tokenizer.lowercase,
+    })
+    writer.add_json(prefix + "decoder", {
+        "columns": list(decoder.columns),
+        "dtypes": dict(decoder.dtypes),
+        "pair_separator": decoder.pair_separator,
+        "key_value_separator": decoder.key_value_separator,
+        "missing_token": decoder.missing_token,
+    })
+    _add_tokenizer(writer, prefix, synth.model.tokenizer)
+    _add_model(writer, prefix, synth.model)
+    writer.add_table(prefix + "training_table", synth._training_table)
+
+
+def _read_great(reader: BundleReader, prefix: str) -> GReaTSynthesizer:
+    config = _build_great_config(reader.json(prefix + "config"))
+    state = reader.json(prefix + "state")
+    tokenizer = _read_tokenizer(reader, prefix, lowercase=state["lowercase"])
+    model = _read_model(reader, prefix, tokenizer)
+    decoder_state = reader.json(prefix + "decoder")
+    decoder = TextualDecoder(
+        decoder_state["columns"],
+        dtypes=decoder_state["dtypes"],
+        pair_separator=decoder_state["pair_separator"],
+        key_value_separator=decoder_state["key_value_separator"],
+        missing_token=decoder_state["missing_token"],
+    )
+    return GReaTSynthesizer._from_fitted_state(
+        config,
+        training_table=reader.table(prefix + "training_table"),
+        model=model,
+        decoder=decoder,
+        perplexity_trace=state["perplexity_trace"],
+        training_engine=state["training_engine"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# parent/child synthesizer parts
+# ---------------------------------------------------------------------------
+
+def _add_parent_child(writer: BundleWriter, prefix: str,
+                      synth: ParentChildSynthesizer) -> None:
+    if not synth.is_fitted:
+        raise StoreError("can only persist a fitted synthesizer")
+    writer.add_json(prefix + "config", asdict(synth.config))
+    writer.add_json(prefix + "state", {
+        "subject_column": synth._subject_column,
+        "parent_columns": list(synth._parent_columns),
+        "child_columns": list(synth._child_columns),
+        "children_per_subject": list(synth._children_per_subject),
+    })
+    _add_great(writer, prefix + "parent.", synth._parent_synth)
+    _add_great(writer, prefix + "child.", synth._child_synth)
+
+
+def _read_parent_child(reader: BundleReader, prefix: str) -> ParentChildSynthesizer:
+    config = _build_parent_child_config(reader.json(prefix + "config"))
+    state = reader.json(prefix + "state")
+    return ParentChildSynthesizer._from_fitted_state(
+        config,
+        parent_synth=_read_great(reader, prefix + "parent."),
+        child_synth=_read_great(reader, prefix + "child."),
+        subject_column=state["subject_column"],
+        parent_columns=state["parent_columns"],
+        child_columns=state["child_columns"],
+        children_per_subject=state["children_per_subject"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# enhancer parts
+# ---------------------------------------------------------------------------
+
+def _add_enhancer(writer: BundleWriter, prefix: str,
+                  enhancer: DataSemanticEnhancer) -> None:
+    mapping = enhancer.mapping  # raises before fit
+    forward = {column: dict(mapping.mapping_for(column).forward)
+               for column in mapping.columns}
+    writer.add_json(prefix + "enhancer", {
+        "config": asdict(enhancer.config),
+        "forward": forward,
+        "special_columns": list(enhancer._special_columns),
+    })
+
+
+def _read_enhancer(reader: BundleReader, prefix: str) -> DataSemanticEnhancer:
+    state = reader.json(prefix + "enhancer")
+    config_dict = dict(state["config"])
+    config = EnhancerConfig(**config_dict)
+    enhancer = DataSemanticEnhancer(config)
+    mapping = MappingSystem()
+    for column, forward in state["forward"].items():
+        mapping.add_column(column, forward)
+    enhancer._mapping = mapping
+    enhancer._special_columns = list(state["special_columns"])
+    return enhancer
+
+
+# ---------------------------------------------------------------------------
+# public save/load entry points
+# ---------------------------------------------------------------------------
+
+def _engine_meta(fine_tune_engine: str, sampler_engine: str) -> dict:
+    return {
+        "training_engine": resolve_training_engine(fine_tune_engine),
+        "generation_engine": resolve_engine_kind(sampler_engine),
+    }
+
+
+def save_great_synthesizer(synth: GReaTSynthesizer, path) -> str:
+    """Persist a fitted GReaT synthesizer bundle; returns the digest."""
+    if not synth.is_fitted:
+        raise StoreError("can only persist a fitted synthesizer")
+    writer = BundleWriter("great_synthesizer", meta={
+        "seed": synth.config.seed,
+        "columns": synth._training_table.dtypes(),
+        **_engine_meta(synth.config.fine_tune.engine, synth.config.sampler.engine),
+    })
+    _add_great(writer, "", synth)
+    return writer.write(path)
+
+
+def load_great_synthesizer(path) -> GReaTSynthesizer:
+    reader = BundleReader(path)
+    if reader.kind != "great_synthesizer":
+        raise StoreError("bundle at {} is a {!r}, not a GReaT synthesizer".format(
+            path, reader.kind))
+    return _read_great(reader, "")
+
+
+def save_parent_child(synth: ParentChildSynthesizer, path) -> str:
+    """Persist a fitted parent/child synthesizer bundle; returns the digest."""
+    if not synth.is_fitted:
+        raise StoreError("can only persist a fitted synthesizer")
+    writer = BundleWriter("parent_child_synthesizer", meta={
+        "seed": synth.config.seed,
+        "subject_column": synth._subject_column,
+        **_engine_meta(synth.config.parent.fine_tune.engine,
+                       synth.config.parent.sampler.engine),
+    })
+    _add_parent_child(writer, "", synth)
+    return writer.write(path)
+
+
+def load_parent_child(path) -> ParentChildSynthesizer:
+    reader = BundleReader(path)
+    if reader.kind != "parent_child_synthesizer":
+        raise StoreError("bundle at {} is a {!r}, not a parent/child synthesizer".format(
+            path, reader.kind))
+    return _read_parent_child(reader, "")
+
+
+def save_fitted_pipeline(fitted, path) -> str:
+    """Persist a :class:`repro.pipelines.base.FittedPipeline`; returns the digest."""
+    writer = BundleWriter("fitted_pipeline", meta={
+        "pipeline": fitted.name,
+        "seed": fitted.config.seed,
+        "columns": fitted.original_flat.dtypes(),
+        **_engine_meta(fitted.config.training_engine, fitted.config.generation_engine),
+    })
+    writer.add_json("pipeline", {
+        "name": fitted.name,
+        "subject_column": fitted.subject_column,
+        "n_training_subjects": fitted.n_training_subjects,
+        "n_synthesizers": len(fitted.synthesizers),
+        "details": dict(fitted.details),
+    })
+    writer.add_json("pipeline_config", asdict(fitted.config))
+    _add_enhancer(writer, "", fitted.enhancer)
+    writer.add_table("original_flat", fitted.original_flat)
+    for index, synth in enumerate(fitted.synthesizers):
+        _add_parent_child(writer, "synth{}.".format(index), synth)
+    return writer.write(path)
+
+
+def load_fitted_pipeline(path):
+    """Load a fitted pipeline bundle; returns ``(fitted, digest)``."""
+    from repro.connecting.connector import ConnectorConfig
+    from repro.pipelines.base import FittedPipeline
+    from repro.pipelines.config import PipelineConfig
+
+    reader = BundleReader(path)
+    if reader.kind != "fitted_pipeline":
+        raise StoreError("bundle at {} is a {!r}, not a fitted pipeline".format(
+            path, reader.kind))
+    state = reader.json("pipeline")
+    config_dict = reader.json("pipeline_config")
+    config = PipelineConfig(**{
+        **config_dict,
+        "enhancer": EnhancerConfig(**config_dict["enhancer"]),
+        "connector": ConnectorConfig(**config_dict["connector"]),
+    })
+    synthesizers = [
+        _read_parent_child(reader, "synth{}.".format(index))
+        for index in range(state["n_synthesizers"])
+    ]
+    fitted = FittedPipeline(
+        name=state["name"],
+        config=config,
+        subject_column=state["subject_column"],
+        enhancer=_read_enhancer(reader, ""),
+        synthesizers=synthesizers,
+        original_flat=reader.table("original_flat"),
+        n_training_subjects=state["n_training_subjects"],
+        details=state["details"],
+    )
+    return fitted, reader.digest
+
+
+def load_bundle(path):
+    """Load whatever fitted object the bundle at *path* contains.
+
+    Returns the loaded object; for fitted pipelines this is the
+    ``(fitted, digest)`` pair of :func:`load_fitted_pipeline`.
+    """
+    kind = BundleReader(path).kind
+    if kind == "great_synthesizer":
+        return load_great_synthesizer(path)
+    if kind == "parent_child_synthesizer":
+        return load_parent_child(path)
+    if kind == "fitted_pipeline":
+        return load_fitted_pipeline(path)
+    raise StoreError("unknown bundle kind {!r}".format(kind))

@@ -1,0 +1,78 @@
+"""Typed, pickle-free scalar/JSON codec.
+
+Artifact manifests and bundle parts are JSON files, but plain JSON loses
+the distinctions the substrate depends on: tuple vs list (frozen config
+fields), int vs float (column dtypes), non-string dictionary keys (mapping
+systems over label-encoded columns).  The codec wraps every value in a
+small ``{"t": <tag>, "v": <payload>}`` envelope so the round trip is exact
+for the closed set of types the repo actually stores: ``None``, ``bool``,
+``int``, ``float``, ``str``, ``list``, ``tuple`` and ``dict`` (with
+arbitrary encodable keys).
+
+Anything outside that set raises :class:`StoreError` — by design there is
+no arbitrary-object escape hatch, which is what keeps the format
+pickle-free and safe to load.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class StoreError(RuntimeError):
+    """An artifact could not be encoded, decoded or validated."""
+
+
+def encode_value(value):
+    """Encode *value* into the typed JSON envelope."""
+    if value is None:
+        return {"t": "none"}
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return {"t": "bool", "v": value}
+    if isinstance(value, int):
+        return {"t": "int", "v": value}
+    if isinstance(value, float):
+        # json round-trips floats exactly via repr (NaN/Infinity included,
+        # using the non-strict tokens both dumps and loads understand)
+        return {"t": "float", "v": value}
+    if isinstance(value, str):
+        return {"t": "str", "v": value}
+    if isinstance(value, list):
+        return {"t": "list", "v": [encode_value(item) for item in value]}
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [encode_value(item) for item in value]}
+    if isinstance(value, dict):
+        return {"t": "dict",
+                "v": [[encode_value(k), encode_value(v)] for k, v in value.items()]}
+    raise StoreError(
+        "cannot encode value of type {} into the artifact format".format(type(value).__name__)
+    )
+
+
+def decode_value(payload):
+    """Inverse of :func:`encode_value`."""
+    try:
+        tag = payload["t"]
+    except (TypeError, KeyError):
+        raise StoreError("malformed typed payload: {!r}".format(payload)) from None
+    if tag == "none":
+        return None
+    if tag in ("bool", "int", "float", "str"):
+        return payload["v"]
+    if tag == "list":
+        return [decode_value(item) for item in payload["v"]]
+    if tag == "tuple":
+        return tuple(decode_value(item) for item in payload["v"])
+    if tag == "dict":
+        return {decode_value(k): decode_value(v) for k, v in payload["v"]}
+    raise StoreError("unknown type tag {!r} in artifact payload".format(tag))
+
+
+def dumps(value) -> str:
+    """Serialise *value* through the typed envelope to a JSON string."""
+    return json.dumps(encode_value(value), indent=2, sort_keys=True)
+
+
+def loads(text: str):
+    """Inverse of :func:`dumps`."""
+    return decode_value(json.loads(text))
