@@ -134,7 +134,7 @@ def run(n_users: int, n_sample: int, requests: int, seed: int = 7) -> dict:
     reference: list[Table] | None = None
     for shards in SHARD_COUNTS:
         service = SynthesisService.from_bundle(bundle_path, ServingConfig(
-            shards=shards, block_size=max(8, n_sample // 8), cache_size=0))
+            shards=shards, block_size=max(8, n_sample // 8), cache_bytes=0))
         start = time.perf_counter()
         tables = [service.sample_table(n_sample, seed=seed + index)
                   for index in range(requests)]
@@ -154,7 +154,7 @@ def run(n_users: int, n_sample: int, requests: int, seed: int = 7) -> dict:
     report["serving"] = serving
 
     # -- coalesced conditioned-row serving ----------------------------------------------
-    service = SynthesisService.from_bundle(bundle_path, ServingConfig(cache_size=0))
+    service = SynthesisService.from_bundle(bundle_path, ServingConfig(cache_bytes=0))
     row_requests = [service._normalize_request(max(4, n_sample // 8), None, seed + index)
                     for index in range(requests)]
     start = time.perf_counter()

@@ -5,8 +5,8 @@ rows; ``greater list`` shows what is available.  The heavy lifting lives in
 :mod:`repro.experiments.figures`, so the CLI, the benchmarks and the examples
 all produce the same numbers.
 
-The artifact-store workflow adds three subcommands on top of the
-experiments (every one supports ``--json`` like the experiment commands):
+The artifact-store workflow adds subcommands on top of the experiments
+(every one supports ``--json`` like the experiment commands):
 
 * ``greater fit`` — fit a pipeline on a DIGIX-like trial and save the
   fitted bundle (see :mod:`repro.store`);
@@ -15,6 +15,16 @@ experiments (every one supports ``--json`` like the experiment commands):
 * ``greater serve-bench`` — serve repeated sampling requests from a bundle
   through :class:`repro.serving.SynthesisService` at several shard counts,
   asserting that every shard count produces the identical table.
+
+The relational-schema workflow (see :mod:`repro.schema`) adds:
+
+* ``greater schema infer --data-dir DIR`` — discover primary/foreign keys
+  across a directory of CSVs and optionally write the schema-graph JSON;
+* ``greater schema show`` — print a saved schema graph (or the graph
+  embedded in a multitable bundle) with its topological order;
+* ``greater run --pipeline multitable --data-dir DIR`` — fit the
+  whole-database pipeline on the CSVs, sample a synthetic database, and
+  optionally persist the fitted bundle and the synthetic CSVs.
 """
 
 from __future__ import annotations
@@ -52,11 +62,13 @@ EXPERIMENTS = {
 #: Experiments that accept an :class:`ExperimentConfig`.
 _CONFIGURABLE = {"fig5", "fig7", "fig8", "fig9", "fig10", "sec442", "dataset"}
 
-#: Artifact-store subcommands (name -> description), shown by ``list``.
+#: Artifact-store and schema subcommands (name -> description), shown by ``list``.
 COMMANDS = {
     "fit": "fit a pipeline on a DIGIX-like trial and save the fitted bundle",
     "sample": "load a fitted bundle and sample synthetic tables (no retraining)",
     "serve-bench": "serve sampling requests from a bundle at several shard counts",
+    "schema": "infer or show a relational schema graph (actions: infer, show)",
+    "run": "fit the multitable pipeline on a directory of CSVs and sample a database",
 }
 
 _PIPELINES = ("greater", "direct_flatten", "derec")
@@ -126,6 +138,35 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
         description=COMMANDS[command],
     )
     parser.add_argument("--json", action="store_true", help="print the rows as JSON")
+    if command == "schema":
+        parser.add_argument("action", choices=("infer", "show"),
+                            help="infer a schema graph from CSVs, or show a saved one")
+        parser.add_argument("--data-dir", default=None,
+                            help="directory of CSV files (one table per file)")
+        parser.add_argument("--out", default=None,
+                            help="write the inferred schema-graph JSON to this path")
+        parser.add_argument("--schema", default=None,
+                            help="schema-graph JSON path to show")
+        parser.add_argument("--bundle", default=None,
+                            help="multitable bundle whose embedded graph to show")
+        return parser
+    if command == "run":
+        parser.add_argument("--pipeline", choices=("multitable",), default="multitable",
+                            help="which pipeline to run (multitable)")
+        parser.add_argument("--data-dir", required=True,
+                            help="directory of CSV files (one table per file)")
+        parser.add_argument("--schema", default=None,
+                            help="optional schema-graph JSON (skips inference)")
+        parser.add_argument("--bundle", default=None,
+                            help="optionally save the fitted bundle to this path")
+        parser.add_argument("--compress", action="store_true",
+                            help="compress the bundle's array parts")
+        parser.add_argument("--n", type=int, default=None,
+                            help="rows per root table (default: training sizes)")
+        parser.add_argument("--seed", type=int, default=7, help="random seed")
+        parser.add_argument("--out-dir", default=None,
+                            help="write the synthetic tables as CSVs into this directory")
+        return parser
     if command == "fit":
         parser.add_argument("--pipeline", choices=_PIPELINES, default="greater",
                             help="which pipeline to fit (default greater)")
@@ -137,6 +178,8 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
         parser.add_argument("--semantic-level", default="none",
                             choices=("none", "differentiability", "understandability"),
                             help="Data Semantic Enhancement level (default none)")
+        parser.add_argument("--compress", action="store_true",
+                            help="compress the bundle's array parts")
     else:
         parser.add_argument("--bundle", required=True,
                             help="bundle path written by 'greater fit'")
@@ -180,7 +223,7 @@ def _run_fit(args) -> list[dict]:
     fitted = pipelines[args.pipeline](config).fit(trial.ads, trial.feeds)
     fit_s = time.perf_counter() - start
     start = time.perf_counter()
-    digest = fitted.save(args.bundle)
+    digest = fitted.save(args.bundle, compress=args.compress)
     save_s = time.perf_counter() - start
     return [{
         "command": "fit",
@@ -233,7 +276,12 @@ def _run_serve_bench(args) -> list[dict]:
     reference = None
     for shards in shard_counts:
         service = SynthesisService.from_bundle(args.bundle, ServingConfig(
-            shards=shards, block_size=args.block_size, cache_size=0))
+            shards=shards, block_size=args.block_size, cache_bytes=0))
+        if service.is_multitable:
+            raise SystemExit(
+                "serve-bench serves flat-table bundles; {} is a multitable bundle "
+                "(sample whole databases with 'run' or "
+                "SynthesisService.sample_database)".format(args.bundle))
         n = service.fitted._resolve_n(args.n)
         start = time.perf_counter()
         tables = [service.sample_table(n, seed=base_seed + index)
@@ -260,7 +308,92 @@ def _run_serve_bench(args) -> list[dict]:
     return rows
 
 
-_COMMAND_RUNNERS = {"fit": _run_fit, "sample": _run_sample, "serve-bench": _run_serve_bench}
+def _load_graph_for_show(args):
+    from pathlib import Path
+
+    from repro.schema import SchemaGraph
+    from repro.store.bundle import BundleReader
+
+    if args.schema:
+        return SchemaGraph.from_json(Path(args.schema).read_text())
+    if args.bundle:
+        reader = BundleReader(args.bundle)
+        prefix = {"multitable_pipeline": "synth.", "multitable_synthesizer": ""}.get(reader.kind)
+        if prefix is None:
+            raise SystemExit("bundle at {} is a {!r}; only multitable bundles "
+                             "embed a schema graph".format(args.bundle, reader.kind))
+        return SchemaGraph.from_dict(reader.json(prefix + "graph"))
+    raise SystemExit("schema show requires --schema or --bundle")
+
+
+def _run_schema(args) -> list[dict]:
+    from repro.schema import infer_schema, load_tables
+    from repro.store.atomic import atomic_write_text
+
+    if args.action == "infer":
+        if not args.data_dir:
+            raise SystemExit("schema infer requires --data-dir")
+        start = time.perf_counter()
+        graph = infer_schema(load_tables(args.data_dir))
+        infer_s = time.perf_counter() - start
+        if args.out:
+            atomic_write_text(args.out, graph.to_json())
+        rows = [{"command": "schema infer", **row} for row in graph.describe()]
+        rows[0]["infer_s"] = round(infer_s, 4)
+        if args.out:
+            rows[0]["out"] = args.out
+        return rows
+    graph = _load_graph_for_show(args)
+    order = {name: position for position, name in enumerate(graph.topological_order())}
+    return [{"command": "schema show", "order": order[row["table"]], **row}
+            for row in graph.describe()]
+
+
+def _run_multitable(args) -> list[dict]:
+    from pathlib import Path
+
+    from repro.frame.io import write_csv
+    from repro.pipelines.multitable import (
+        MultiTablePipelineConfig,
+        MultiTableSchemaPipeline,
+    )
+    from repro.schema import SchemaGraph, load_tables
+
+    tables = load_tables(args.data_dir)
+    graph = SchemaGraph.from_json(Path(args.schema).read_text()) if args.schema else None
+    config = MultiTablePipelineConfig(seed=args.seed)
+    start = time.perf_counter()
+    fitted = MultiTableSchemaPipeline(config).fit(tables, graph)
+    fit_s = time.perf_counter() - start
+    digest = fitted.save(args.bundle, compress=args.compress) if args.bundle else None
+    start = time.perf_counter()
+    database = fitted.sample_database(args.n, seed=args.seed)
+    sample_s = time.perf_counter() - start
+
+    rows = []
+    for describe_row in fitted.graph.describe():
+        name = describe_row["table"]
+        table = database[name]
+        row = {"command": "run", "pipeline": args.pipeline, **describe_row,
+               "synthetic_rows": table.num_rows}
+        if args.out_dir:
+            out_path = Path(args.out_dir) / "{}.csv".format(name)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            write_csv(table, out_path)
+            row["out"] = str(out_path)
+        rows.append(row)
+    rows[0]["seed"] = args.seed
+    rows[0]["fit_s"] = round(fit_s, 4)
+    rows[0]["sample_s"] = round(sample_s, 4)
+    if digest:
+        rows[0]["bundle"] = args.bundle
+        rows[0]["digest"] = digest[:12]
+    return rows
+
+
+_COMMAND_RUNNERS = {"fit": _run_fit, "sample": _run_sample,
+                    "serve-bench": _run_serve_bench,
+                    "schema": _run_schema, "run": _run_multitable}
 
 
 def _run_command(argv: list[str]) -> int:

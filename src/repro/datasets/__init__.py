@@ -7,9 +7,14 @@
   categorical features, pseudo-ID columns, caret-separated interest lists).
 * :mod:`repro.datasets.toy` — the small illustrative tables of Fig. 2, Fig. 4
   and Fig. 11 (Grace/Yin/Anson, membership + visit logbook).
+* :mod:`repro.datasets.relational` — a five-table retail-flavoured database
+  (3 levels deep, two children under one parent, a secondary foreign key,
+  a standalone table) exercising the schema subsystem
+  (:mod:`repro.schema`).
 """
 
 from repro.datasets.digix import DigixConfig, DigixDataset, generate_digix_like
+from repro.datasets.relational import RetailConfig, generate_retail_like
 from repro.datasets.toy import (
     fig2_single_table,
     fig4_child_tables,
@@ -19,7 +24,9 @@ from repro.datasets.toy import (
 __all__ = [
     "DigixConfig",
     "DigixDataset",
+    "RetailConfig",
     "generate_digix_like",
+    "generate_retail_like",
     "fig2_single_table",
     "fig4_child_tables",
     "fig11_membership_and_visits",

@@ -253,7 +253,12 @@ class CompiledNGramModel:
                 lanes = np.flatnonzero(available)
                 window = contexts[lanes][:, width - k:]
             rows, found = self._context_rows(k, window)
-            totals = np.where(found, self._totals[k][rows], 0.0)
+            if self._totals[k].size:
+                totals = np.where(found, self._totals[k][rows], 0.0)
+            else:
+                # no contexts of this order were ever observed (very short
+                # corpora, e.g. single-column tables): every lane misses
+                totals = np.zeros(len(rows), dtype=np.float64)
             weight = self.weights[self.order - 1 - k]
             denom = totals + self.smoothing_mass
             positive = denom > 0

@@ -60,6 +60,20 @@ def seeded_rng(seed: int | None) -> np.random.Generator:
     return np.random.default_rng(int(seed) & SEED_MASK)
 
 
+def derive_seed(seed: int, *path: int) -> int:
+    """Deterministic child seed for a named position under *seed*.
+
+    Built on :class:`numpy.random.SeedSequence`, so derived seeds are
+    well-spread, platform-independent and a pure function of
+    ``(seed, path)``.  This is the determinism primitive behind both the
+    serving layer's sharded sampling (blocks of one table request) and the
+    schema subsystem's per-table streams — shared here, next to
+    :data:`SEED_MASK`, so the two layers can never drift apart.
+    """
+    sequence = np.random.SeedSequence([int(seed) & SEED_MASK] + [int(p) for p in path])
+    return int(sequence.generate_state(1, dtype=np.uint64)[0]) & SEED_MASK
+
+
 def resolve_engine_kind(kind: str | None = None) -> str:
     """Resolve ``None``/``"auto"`` through the environment to a concrete engine."""
     return resolve_backend_kind(kind, _ENV_VAR, GENERATION_ENGINES,

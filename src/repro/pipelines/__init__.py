@@ -13,9 +13,14 @@ Data Semantic Enhancement System is applied:
 * :class:`GReaTERPipeline` — the proposed method: Cross-table Connecting plus
   optional semantic enhancement.
 
-``pipeline.fit(first, second)`` returns a persistable
-:class:`FittedPipeline` (the train-once / serve-many split);
-``pipeline.run(first, second)`` remains the one-shot convenience.
+Beyond the paper's two-child-table setting,
+:class:`MultiTableSchemaPipeline` (the ``multitable`` pipeline) takes any
+dict of tables, infers the foreign-key graph (see :mod:`repro.schema`) and
+synthesizes whole referentially-intact databases.
+
+``pipeline.fit(...)`` returns a persistable fitted pipeline (the
+train-once / serve-many split); ``pipeline.run(...)`` remains the one-shot
+convenience.
 """
 
 from repro.pipelines.base import FittedPipeline
@@ -23,10 +28,18 @@ from repro.pipelines.config import PipelineConfig, SynthesisResult
 from repro.pipelines.flatten_baseline import DirectFlattenPipeline
 from repro.pipelines.derec import DERECPipeline
 from repro.pipelines.greater import GReaTERPipeline
+from repro.pipelines.multitable import (
+    FittedMultiTablePipeline,
+    MultiTablePipelineConfig,
+    MultiTableSchemaPipeline,
+)
 
 __all__ = [
     "FittedPipeline",
+    "FittedMultiTablePipeline",
     "PipelineConfig",
+    "MultiTablePipelineConfig",
+    "MultiTableSchemaPipeline",
     "SynthesisResult",
     "GReaTERPipeline",
     "DERECPipeline",

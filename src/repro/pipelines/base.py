@@ -163,11 +163,11 @@ class FittedPipeline:
 
     # -- persistence ----------------------------------------------------------------
 
-    def save(self, path) -> str:
+    def save(self, path, compress: bool = False) -> str:
         """Persist this fitted pipeline as a bundle; returns the digest."""
         from repro.store.bundle import save_fitted_pipeline
 
-        return save_fitted_pipeline(self, path)
+        return save_fitted_pipeline(self, path, compress=compress)
 
     @staticmethod
     def load(path) -> "FittedPipeline":

@@ -85,6 +85,15 @@ class ParentChildSynthesizer:
         if subject_column not in child.column_names:
             raise ColumnNotFoundError(subject_column, child.column_names)
 
+        subjects = parent.column(subject_column).values
+        if len(set(subjects)) != len(subjects):
+            raise ValueError(
+                "subject column {!r} is not unique in the parent table "
+                "({} rows, {} distinct subjects); a parent table must have "
+                "exactly one row per subject — extract it with "
+                "repro.relational.contextual.extract_parent_table first".format(
+                    subject_column, len(subjects), len(set(subjects))))
+
         self._subject_column = subject_column
         self._parent_columns = list(parent.column_names)
         self._child_columns = [name for name in child.column_names if name != subject_column]
@@ -104,9 +113,7 @@ class ParentChildSynthesizer:
         # context; the conditioned table is assembled column-wise (one parent
         # row index per child row, then a gather per column) instead of
         # building a dict per row
-        parent_row_index: dict = {}
-        for index, subject in enumerate(parent.column(subject_column).values):
-            parent_row_index[subject] = index  # last occurrence wins, as before
+        parent_row_index = {subject: index for index, subject in enumerate(subjects)}
         child_parents = [parent_row_index.get(subject)
                          for subject in child.column(subject_column).values]
         kept = [row for row, parent_idx in enumerate(child_parents)

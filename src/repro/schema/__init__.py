@@ -1,0 +1,51 @@
+"""Relational schema graph: infer multi-table schemas, synthesize whole databases.
+
+The subsystem has three layers:
+
+* :mod:`repro.schema.graph` — the typed, JSON-serializable
+  :class:`SchemaGraph` (tables, primary keys, foreign-key edges) with cycle
+  detection and a deterministic topological order;
+* :mod:`repro.schema.inference` — :func:`infer_schema`: primary keys from
+  uniqueness/coverage heuristics, foreign keys from an
+  inclusion-dependency scan over the columnar backend;
+* :mod:`repro.schema.multitable` — :class:`MultiTableSynthesizer`: one
+  GReaT/parent-child style synthesizer per root table and per foreign-key
+  edge, sampling referentially-intact synthetic databases of arbitrary
+  depth from one seed.
+"""
+
+from repro.schema.graph import (
+    ForeignKey,
+    SchemaCycleError,
+    SchemaGraph,
+    SchemaGraphError,
+    TableSchema,
+)
+from repro.schema.inference import (
+    InferenceConfig,
+    infer_primary_key,
+    infer_schema,
+    infer_schema_from_directory,
+    load_tables,
+)
+from repro.schema.multitable import (
+    EdgeSynthesizer,
+    MultiTableConfig,
+    MultiTableSynthesizer,
+)
+
+__all__ = [
+    "EdgeSynthesizer",
+    "ForeignKey",
+    "InferenceConfig",
+    "MultiTableConfig",
+    "MultiTableSynthesizer",
+    "SchemaCycleError",
+    "SchemaGraph",
+    "SchemaGraphError",
+    "TableSchema",
+    "infer_primary_key",
+    "infer_schema",
+    "infer_schema_from_directory",
+    "load_tables",
+]

@@ -1,0 +1,329 @@
+"""Typed relational schema graph.
+
+A :class:`SchemaGraph` describes a whole database: one :class:`TableSchema`
+per table (column names, logical dtypes and the primary key) plus the
+:class:`ForeignKey` edges that connect them.  The graph is the contract
+between schema inference (:mod:`repro.schema.inference`), the multi-table
+synthesizer (:mod:`repro.schema.multitable`) and the artifact store: it is
+JSON-serializable through the typed codec (:meth:`SchemaGraph.to_json` /
+:meth:`SchemaGraph.from_json`), validates itself against concrete tables,
+detects reference cycles and yields a deterministic topological order
+(parents before children) that every consumer — fitting, sampling, serving
+— walks identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.frame.table import Table
+
+
+class SchemaGraphError(RuntimeError):
+    """The schema graph is malformed or inconsistent with the data."""
+
+
+class SchemaCycleError(SchemaGraphError):
+    """The foreign-key edges contain a reference cycle."""
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """One directed edge: ``table.column`` references ``parent_table.parent_column``.
+
+    ``coverage`` records the inclusion fraction observed at inference time
+    (the share of distinct non-missing child values present in the parent
+    key column); hand-written graphs can leave it at 1.0.
+    """
+
+    table: str
+    column: str
+    parent_table: str
+    parent_column: str
+    coverage: float = 1.0
+
+    @property
+    def edge_name(self) -> str:
+        """Stable human-readable label, used in bundles and reports."""
+        return "{}.{}->{}.{}".format(self.table, self.column,
+                                     self.parent_table, self.parent_column)
+
+    def to_dict(self) -> dict:
+        return {"table": self.table, "column": self.column,
+                "parent_table": self.parent_table,
+                "parent_column": self.parent_column,
+                "coverage": float(self.coverage)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ForeignKey":
+        return cls(table=d["table"], column=d["column"],
+                   parent_table=d["parent_table"],
+                   parent_column=d["parent_column"],
+                   coverage=float(d.get("coverage", 1.0)))
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """The typed shape of one table: ordered columns, dtypes, primary key."""
+
+    name: str
+    columns: tuple[str, ...]
+    dtypes: tuple[str, ...]
+    primary_key: str | None = None
+
+    def __post_init__(self):
+        if len(self.columns) != len(self.dtypes):
+            raise SchemaGraphError(
+                "table {!r} has {} columns but {} dtypes".format(
+                    self.name, len(self.columns), len(self.dtypes)))
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaGraphError("table {!r} has duplicate columns".format(self.name))
+        if self.primary_key is not None and self.primary_key not in self.columns:
+            raise SchemaGraphError(
+                "primary key {!r} is not a column of table {!r}".format(
+                    self.primary_key, self.name))
+
+    @classmethod
+    def from_table(cls, name: str, table: Table,
+                   primary_key: str | None = None) -> "TableSchema":
+        dtypes = table.dtypes()
+        return cls(name=name, columns=tuple(table.column_names),
+                   dtypes=tuple(dtypes[c] for c in table.column_names),
+                   primary_key=primary_key)
+
+    def dtype_of(self, column: str) -> str:
+        try:
+            return self.dtypes[self.columns.index(column)]
+        except ValueError:
+            raise SchemaGraphError(
+                "table {!r} has no column {!r}".format(self.name, column)) from None
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "columns": list(self.columns),
+                "dtypes": list(self.dtypes), "primary_key": self.primary_key}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TableSchema":
+        return cls(name=d["name"], columns=tuple(d["columns"]),
+                   dtypes=tuple(d["dtypes"]), primary_key=d.get("primary_key"))
+
+
+@dataclass(frozen=True)
+class SchemaGraph:
+    """A whole-database schema: tables plus foreign-key edges."""
+
+    tables: tuple[TableSchema, ...]
+    foreign_keys: tuple[ForeignKey, ...] = ()
+
+    def __post_init__(self):
+        names = [t.name for t in self.tables]
+        if len(set(names)) != len(names):
+            raise SchemaGraphError("duplicate table names in schema graph")
+        by_name = {t.name: t for t in self.tables}
+        seen_columns: set[tuple[str, str]] = set()
+        for fk in self.foreign_keys:
+            if fk.table not in by_name:
+                raise SchemaGraphError("foreign key {} names unknown table {!r}".format(
+                    fk.edge_name, fk.table))
+            if fk.parent_table not in by_name:
+                raise SchemaGraphError(
+                    "foreign key {} names unknown parent table {!r}".format(
+                        fk.edge_name, fk.parent_table))
+            if fk.table == fk.parent_table:
+                raise SchemaGraphError(
+                    "self-referencing foreign key {} is not supported".format(fk.edge_name))
+            # one generated value per key column: a foreign key sharing its
+            # column with the table's primary key (1:1 extension tables) or
+            # with another foreign key would be silently overwritten at
+            # sampling time, breaking referential integrity
+            if fk.column == by_name[fk.table].primary_key:
+                raise SchemaGraphError(
+                    "foreign key {} reuses the primary key column of {!r}; "
+                    "1:1 extension keys are not supported".format(fk.edge_name, fk.table))
+            if (fk.table, fk.column) in seen_columns:
+                raise SchemaGraphError(
+                    "column {}.{} carries more than one foreign key".format(
+                        fk.table, fk.column))
+            seen_columns.add((fk.table, fk.column))
+            by_name[fk.table].dtype_of(fk.column)
+            parent = by_name[fk.parent_table]
+            parent.dtype_of(fk.parent_column)
+            if parent.primary_key != fk.parent_column:
+                raise SchemaGraphError(
+                    "foreign key {} must reference the parent's primary key "
+                    "({!r} has primary key {!r})".format(
+                        fk.edge_name, fk.parent_table, parent.primary_key))
+
+    # -- lookups -----------------------------------------------------------------
+
+    @property
+    def table_names(self) -> list[str]:
+        return [t.name for t in self.tables]
+
+    def table(self, name: str) -> TableSchema:
+        for t in self.tables:
+            if t.name == name:
+                return t
+        raise SchemaGraphError("schema graph has no table {!r}".format(name))
+
+    def parents_of(self, name: str) -> list[ForeignKey]:
+        """Foreign keys *out of* table *name* (its references to parents)."""
+        return [fk for fk in self.foreign_keys if fk.table == name]
+
+    def children_of(self, name: str) -> list[ForeignKey]:
+        """Foreign keys *into* table *name* (its children's references)."""
+        return [fk for fk in self.foreign_keys if fk.parent_table == name]
+
+    def primary_parent(self, name: str) -> ForeignKey | None:
+        """The edge that *generates* rows of table *name*.
+
+        Tables with several foreign keys are grown along the first edge in
+        deterministic ``(column, parent_table)`` order; the remaining keys
+        are filled by sampling from the referenced parent's synthetic keys.
+        """
+        parents = sorted(self.parents_of(name),
+                         key=lambda fk: (fk.column, fk.parent_table))
+        return parents[0] if parents else None
+
+    def roots(self) -> list[str]:
+        """Tables with no foreign key, in topological (here: name) order."""
+        return [name for name in sorted(self.table_names) if not self.parents_of(name)]
+
+    def key_columns(self, name: str) -> list[str]:
+        """The surrogate-key columns of *name*: its primary key + foreign keys."""
+        schema = self.table(name)
+        keys = [schema.primary_key] if schema.primary_key else []
+        for fk in self.parents_of(name):
+            if fk.column not in keys:
+                keys.append(fk.column)
+        return keys
+
+    def feature_columns(self, name: str) -> list[str]:
+        """The non-key columns of *name*, in schema order."""
+        keys = set(self.key_columns(name))
+        return [c for c in self.table(name).columns if c not in keys]
+
+    # -- ordering ----------------------------------------------------------------
+
+    def topological_order(self) -> list[str]:
+        """Table names, parents before children, deterministically.
+
+        Kahn's algorithm with a lexicographically sorted ready set, so the
+        order is a pure function of the graph — every fit/sample/serve walk
+        visits tables identically.  Raises :class:`SchemaCycleError` when
+        the foreign keys contain a cycle.
+        """
+        remaining = {name: {fk.parent_table for fk in self.parents_of(name)}
+                     for name in self.table_names}
+        order: list[str] = []
+        while remaining:
+            ready = sorted(name for name, deps in remaining.items() if not deps)
+            if not ready:
+                raise SchemaCycleError(
+                    "foreign keys form a reference cycle among tables {}".format(
+                        sorted(remaining)))
+            for name in ready:
+                order.append(name)
+                del remaining[name]
+            for deps in remaining.values():
+                deps.difference_update(ready)
+        return order
+
+    def depth_levels(self) -> list[list[str]]:
+        """Topological order grouped into levels of mutually independent tables.
+
+        Tables in one level share no ancestor/descendant relation given the
+        previous levels, so they can be sampled concurrently with identical
+        output (the serving layer's database sharding unit).
+        """
+        placed: dict[str, int] = {}
+        levels: list[list[str]] = []
+        for name in self.topological_order():
+            level = 0
+            for fk in self.parents_of(name):
+                level = max(level, placed[fk.parent_table] + 1)
+            placed[name] = level
+            while len(levels) <= level:
+                levels.append([])
+            levels[level].append(name)
+        return levels
+
+    # -- validation against concrete tables --------------------------------------
+
+    def validate_tables(self, tables: dict[str, Table]) -> None:
+        """Check the concrete *tables* against this graph.
+
+        Verifies that every schema table is present with the declared
+        columns, that primary keys are unique and fully populated, and that
+        every foreign-key value appears in its referenced key column.
+        """
+        for schema in self.tables:
+            if schema.name not in tables:
+                raise SchemaGraphError("missing table {!r}".format(schema.name))
+            table = tables[schema.name]
+            if tuple(table.column_names) != schema.columns:
+                raise SchemaGraphError(
+                    "table {!r} has columns {} but the schema declares {}".format(
+                        schema.name, table.column_names, list(schema.columns)))
+            if schema.primary_key is not None:
+                column = table.column(schema.primary_key)
+                if column.missing_count():
+                    raise SchemaGraphError(
+                        "primary key {}.{} has missing values".format(
+                            schema.name, schema.primary_key))
+                if column.nunique() != len(column):
+                    raise SchemaGraphError(
+                        "primary key {}.{} is not unique ({} rows, {} distinct)".format(
+                            schema.name, schema.primary_key, len(column), column.nunique()))
+        for fk in self.foreign_keys:
+            parent_keys = set(tables[fk.parent_table].column(fk.parent_column).unique())
+            child_values = [v for v in tables[fk.table].column(fk.column).unique()
+                            if v is not None]
+            dangling = [v for v in child_values if v not in parent_keys]
+            if dangling:
+                raise SchemaGraphError(
+                    "foreign key {} has {} dangling value(s), e.g. {!r}".format(
+                        fk.edge_name, len(dangling), dangling[0]))
+
+    # -- JSON codec ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"tables": [t.to_dict() for t in self.tables],
+                "foreign_keys": [fk.to_dict() for fk in self.foreign_keys]}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SchemaGraph":
+        return cls(tables=tuple(TableSchema.from_dict(t) for t in d["tables"]),
+                   foreign_keys=tuple(ForeignKey.from_dict(fk)
+                                      for fk in d.get("foreign_keys", [])))
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SchemaGraph":
+        import json
+
+        return cls.from_dict(json.loads(text))
+
+    # -- reporting ----------------------------------------------------------------
+
+    def describe(self) -> list[dict]:
+        """One row per table, the shape the CLI prints."""
+        order = self.topological_order()
+        rows = []
+        for name in order:
+            schema = self.table(name)
+            parents = sorted(self.parents_of(name), key=lambda fk: fk.column)
+            rows.append({
+                "table": name,
+                "columns": len(schema.columns),
+                "primary_key": schema.primary_key or "",
+                "references": ", ".join(
+                    "{}->{}.{}".format(fk.column, fk.parent_table, fk.parent_column)
+                    for fk in parents),
+                "children": len({fk.table for fk in self.children_of(name)}),
+            })
+        return rows

@@ -1,0 +1,192 @@
+"""Schema inference: discover primary and foreign keys from raw tables.
+
+Given a directory (or dict) of tables, :func:`infer_schema` produces a
+:class:`~repro.schema.graph.SchemaGraph` in two passes:
+
+* **primary keys** — per table, the best column that is fully populated and
+  unique on every row.  Candidates are ranked by a key-likeness heuristic
+  (``id``-style names beat arbitrary unique columns, integer/string dtypes
+  beat floats, leftmost wins ties), so the choice is deterministic.
+* **foreign keys** — an inclusion-dependency scan over the columnar
+  backend: a child column is a foreign-key candidate for a parent's primary
+  key when its distinct non-missing values are covered by the parent's key
+  set (``min_coverage``, default 1.0).  Pure inclusion over-matches badly —
+  a binary flag is "included" in any integer key column — so a candidate
+  must also *look* like a reference: either its name matches the parent
+  (``user_id`` -> ``users.user_id``) or it uses a substantial fraction of
+  the parent's keys (``min_unnamed_key_ratio``).  Each child column keeps
+  only its best-scoring parent.
+
+Both passes read distinct-value sets through ``Column.unique`` /
+``Column.nunique``, which the typed storage backends serve from vectorized
+factorizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.frame.table import Table
+from repro.schema.graph import ForeignKey, SchemaGraph, SchemaGraphError, TableSchema
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Knobs of the schema-inference heuristics.
+
+    ``min_coverage`` is the inclusion threshold: the fraction of a child
+    column's distinct non-missing values that must appear in the parent key
+    column.  ``min_unnamed_key_ratio`` guards the no-name-hint case: a
+    column whose name does not resemble the parent only counts as a foreign
+    key when its values use at least this fraction of the parent's keys.
+    ``min_parent_rows`` skips degenerate parents whose key set is too small
+    for inclusion to mean anything.
+    """
+
+    min_coverage: float = 1.0
+    min_unnamed_key_ratio: float = 0.5
+    min_parent_rows: int = 2
+
+    def __post_init__(self):
+        if not 0.0 < self.min_coverage <= 1.0:
+            raise ValueError("min_coverage must be in (0, 1]")
+        if not 0.0 <= self.min_unnamed_key_ratio <= 1.0:
+            raise ValueError("min_unnamed_key_ratio must be in [0, 1]")
+        if self.min_parent_rows < 1:
+            raise ValueError("min_parent_rows must be at least 1")
+
+
+#: dtypes that make plausible key columns; floats are excluded outright.
+_KEY_DTYPES = ("int", "str")
+
+
+def _name_key_score(column: str) -> int:
+    """How much a column *name* looks like a key (2 id-style, 1 key-style, 0)."""
+    lowered = column.lower()
+    if lowered == "id" or lowered.endswith("_id") or lowered.endswith("id"):
+        return 2
+    if lowered.endswith("_key") or lowered.endswith("_code") or lowered == "key":
+        return 1
+    return 0
+
+
+def _name_references(column: str, parent_table: str, parent_key: str) -> bool:
+    """Does the child column *name* plausibly reference ``parent_table.parent_key``?"""
+    lowered = column.lower()
+    if lowered == parent_key.lower():
+        return True
+    stem = parent_table.lower().rstrip("s")  # "users" -> "user"
+    return stem != "" and lowered.startswith(stem) and _name_key_score(column) > 0
+
+
+def infer_primary_key(table: Table) -> str | None:
+    """The most key-like fully-populated unique column of *table*, if any."""
+    best: tuple | None = None
+    for position, name in enumerate(table.column_names):
+        column = table.column(name)
+        if len(column) == 0 or column.missing_count():
+            continue
+        if column.dtype not in _KEY_DTYPES:
+            continue
+        if column.nunique() != len(column):
+            continue
+        # higher name score wins, then leftmost position
+        rank = (-_name_key_score(name), position)
+        if best is None or rank < best[0]:
+            best = (rank, name)
+    return best[1] if best else None
+
+
+def _foreign_key_candidates(name: str, table: Table, primary_key: str | None,
+                            parents: dict[str, tuple[Table, str]],
+                            config: InferenceConfig) -> list[ForeignKey]:
+    """Best foreign-key edge per column of *table* (inclusion + heuristics)."""
+    edges: list[ForeignKey] = []
+    for column_name in table.column_names:
+        if column_name == primary_key:
+            continue
+        column = table.column(column_name)
+        if column.dtype not in _KEY_DTYPES:
+            continue
+        distinct = [v for v in column.unique() if v is not None]
+        if not distinct:
+            continue
+        best: tuple | None = None
+        for parent_name in sorted(parents):
+            if parent_name == name:
+                continue
+            parent_table, parent_key = parents[parent_name]
+            key_column = parent_table.column(parent_key)
+            if key_column.dtype != column.dtype:
+                continue
+            if len(key_column) < config.min_parent_rows:
+                continue
+            keys = set(key_column.unique())
+            covered = sum(1 for v in distinct if v in keys)
+            coverage = covered / len(distinct)
+            if coverage < config.min_coverage:
+                continue
+            named = _name_references(column_name, parent_name, parent_key)
+            key_ratio = covered / len(keys)
+            if not named and key_ratio < config.min_unnamed_key_ratio:
+                continue
+            # prefer name-matched parents, then higher coverage, then the
+            # parent whose key set the column uses most densely
+            rank = (-int(named), -coverage, -key_ratio, parent_name)
+            if best is None or rank < best[0]:
+                best = (rank, ForeignKey(table=name, column=column_name,
+                                         parent_table=parent_name,
+                                         parent_column=parent_key,
+                                         coverage=coverage))
+        if best is not None:
+            edges.append(best[1])
+    return edges
+
+
+def infer_schema(tables: dict[str, Table],
+                 config: InferenceConfig | None = None) -> SchemaGraph:
+    """Infer a :class:`SchemaGraph` (primary keys + foreign keys) from *tables*.
+
+    Table order in the graph follows the (insertion) order of *tables*; the
+    result is a pure function of the data and the config.  Raises
+    :class:`SchemaGraphError` when the inferred edges contain a cycle —
+    genuinely cyclic schemas must be described by hand with the offending
+    edge removed.
+    """
+    config = config or InferenceConfig()
+    if not tables:
+        raise SchemaGraphError("cannot infer a schema from zero tables")
+    primary_keys = {name: infer_primary_key(table) for name, table in tables.items()}
+    parents = {name: (table, primary_keys[name])
+               for name, table in tables.items() if primary_keys[name] is not None}
+    foreign_keys: list[ForeignKey] = []
+    for name, table in tables.items():
+        foreign_keys.extend(_foreign_key_candidates(
+            name, table, primary_keys[name], parents, config))
+    graph = SchemaGraph(
+        tables=tuple(TableSchema.from_table(name, table, primary_keys[name])
+                     for name, table in tables.items()),
+        foreign_keys=tuple(sorted(foreign_keys, key=lambda fk: fk.edge_name)),
+    )
+    graph.topological_order()  # surfaces cycles at inference time
+    return graph
+
+
+def load_tables(directory) -> dict[str, Table]:
+    """Read every ``*.csv`` in *directory* as a table keyed by file stem."""
+    from repro.frame.io import read_csv
+
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise SchemaGraphError("no such data directory: {}".format(directory))
+    paths = sorted(directory.glob("*.csv"))
+    if not paths:
+        raise SchemaGraphError("no CSV files in {}".format(directory))
+    return {path.stem: read_csv(path) for path in paths}
+
+
+def infer_schema_from_directory(directory,
+                                config: InferenceConfig | None = None) -> SchemaGraph:
+    """:func:`infer_schema` over every CSV file in *directory*."""
+    return infer_schema(load_tables(directory), config)

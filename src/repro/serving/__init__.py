@@ -4,8 +4,10 @@
 :mod:`repro.store`) and answers ``sample(n, seed, conditions)`` requests:
 block-sharded full-table sampling that is bit-identical across worker
 counts, coalesced conditioned-row sampling that merges concurrent requests
-into one batched engine pass, and an LRU result cache keyed by
-``(bundle digest, request)``.
+into one batched engine pass, whole-database sampling from ``multitable``
+bundles (level-sharded, identical across shard counts), and an LRU result
+cache keyed by ``(bundle digest, request)`` and bounded by approximate
+result bytes.
 """
 
 from repro.serving.service import (
@@ -14,6 +16,8 @@ from repro.serving.service import (
     ServingConfig,
     ServingError,
     SynthesisService,
+    approx_result_bytes,
+    approx_table_bytes,
     derive_seed,
 )
 
@@ -23,5 +27,7 @@ __all__ = [
     "ServingConfig",
     "ServingError",
     "SynthesisService",
+    "approx_result_bytes",
+    "approx_table_bytes",
     "derive_seed",
 ]

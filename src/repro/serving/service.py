@@ -18,9 +18,17 @@ shapes without ever retraining:
   batched engine pass per column (one dense-mass/candidate-scoring call for
   the merged batch).  Each request draws from its own named RNG stream, so
   a request's output never depends on what it was batched with.
+* :meth:`~SynthesisService.sample_database` — a whole synthetic multi-table
+  database from a loaded ``multitable`` bundle (see :mod:`repro.schema`).
+  Tables of one schema depth level are sampled across the worker pool; the
+  per-table seeds are ``SeedSequence``-derived inside the synthesizer, so
+  every ``shards`` setting produces the identical database.
 
 Results are memoised in an LRU cache keyed by ``(bundle digest, request)``
 — identical requests against the same artifact are served from memory.
+The cache is bounded by **approximate result bytes**
+(``ServingConfig.cache_bytes``), not entry count, so one huge table cannot
+silently pin the memory a thousand small results would fit in.
 """
 
 from __future__ import annotations
@@ -34,8 +42,9 @@ import numpy as np
 
 from repro.frame.ops import concat_rows
 from repro.frame.table import Table
-from repro.llm.engine import SEED_MASK, _choose_indices
+from repro.llm.engine import _choose_indices, derive_seed
 from repro.pipelines.base import FittedPipeline
+from repro.pipelines.multitable import FittedMultiTablePipeline
 
 
 class ServingError(RuntimeError):
@@ -48,33 +57,57 @@ _TABLE_STREAM = 11
 _ROWS_STREAM = 13
 
 
-def derive_seed(seed: int, *path: int) -> int:
-    """Deterministic child seed for a named position under *seed*.
+def approx_table_bytes(table: Table) -> int:
+    """Approximate in-memory footprint of a table, in bytes.
 
-    Built on :class:`numpy.random.SeedSequence`, so derived seeds are
-    well-spread, platform-independent and a pure function of
-    ``(seed, path)`` — the property that makes sharded runs bit-identical
-    to single-process runs.
+    Typed backends are sized from their arrays; object columns estimate
+    ~48 bytes of boxing overhead plus the stringified payload per value.
+    Cheap by construction — this runs on every cache insert.
     """
-    sequence = np.random.SeedSequence([int(seed) & SEED_MASK] + [int(p) for p in path])
-    return int(sequence.generate_state(1, dtype=np.uint64)[0]) & SEED_MASK
+    total = 0
+    for column in table.columns:
+        backend = column._backend
+        data = getattr(backend, "data", None)
+        if isinstance(data, np.ndarray):  # NumericBackend
+            total += data.nbytes
+            mask = getattr(backend, "mask", None)
+            if isinstance(mask, np.ndarray):
+                total += mask.nbytes
+            continue
+        codes = getattr(backend, "codes", None)
+        if isinstance(codes, np.ndarray):  # CategoricalBackend
+            total += codes.nbytes
+            total += sum(48 + len(str(c)) for c in backend.categories)
+            continue
+        total += sum(48 + len(str(v)) for v in backend.tolist())
+    return total
+
+
+def approx_result_bytes(value) -> int:
+    """Approximate size of a cached serving result (table or table mapping)."""
+    if isinstance(value, Table):
+        return approx_table_bytes(value)
+    if isinstance(value, dict):
+        return sum(approx_result_bytes(item) for item in value.values())
+    return 64
 
 
 @dataclass(frozen=True)
 class ServingConfig:
     """Knobs of the serving layer.
 
-    ``shards`` is the worker count for block-sharded table sampling (the
-    output is identical for every value — only throughput changes);
-    ``block_size`` the number of synthetic subjects per independently
-    seeded block; ``cache_size`` the LRU result-cache capacity (0 disables
-    caching); ``batch_window_s`` how long a coalescing leader waits for
-    followers before draining the queue.
+    ``shards`` is the worker count for block-sharded table sampling and
+    level-sharded database sampling (the output is identical for every
+    value — only throughput changes); ``block_size`` the number of
+    synthetic subjects per independently seeded block; ``cache_bytes`` the
+    approximate byte budget of the LRU result cache (0 disables caching);
+    ``batch_window_s`` how long a coalescing leader waits for followers
+    before draining the queue.
     """
 
     shards: int = 1
     block_size: int = 256
-    cache_size: int = 64
+    cache_bytes: int = 64 * 2**20
     batch_window_s: float = 0.002
 
     def __post_init__(self):
@@ -82,8 +115,8 @@ class ServingConfig:
             raise ValueError("shards must be at least 1")
         if self.block_size < 1:
             raise ValueError("block_size must be at least 1")
-        if self.cache_size < 0:
-            raise ValueError("cache_size must be non-negative")
+        if self.cache_bytes < 0:
+            raise ValueError("cache_bytes must be non-negative")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
 
@@ -102,34 +135,50 @@ class RowRequest:
 
 
 class LruCache:
-    """A tiny thread-safe LRU mapping for sampled results."""
+    """A thread-safe LRU mapping bounded by approximate result bytes.
 
-    def __init__(self, capacity: int):
-        self.capacity = capacity
-        self._entries: "OrderedDict" = OrderedDict()
+    ``capacity_bytes`` is the byte budget (0 disables the cache); every
+    entry is sized once at insert time by *sizer* (default
+    :func:`approx_result_bytes`) and the least-recently-used entries are
+    evicted until the total fits.  A single result larger than the whole
+    budget is never cached — it would only evict everything else and then
+    miss anyway.
+    """
+
+    def __init__(self, capacity_bytes: int, sizer=approx_result_bytes):
+        self.capacity_bytes = capacity_bytes
+        self._sizer = sizer
+        self._entries: "OrderedDict" = OrderedDict()  # key -> (value, size)
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.bytes_used = 0
 
     def get(self, key):
-        if self.capacity == 0:
+        if self.capacity_bytes == 0:
             return None
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
+                return self._entries[key][0]
             self.misses += 1
             return None
 
     def put(self, key, value) -> None:
-        if self.capacity == 0:
+        if self.capacity_bytes == 0:
             return
+        size = self._sizer(value)
         with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+            if key in self._entries:
+                self.bytes_used -= self._entries.pop(key)[1]
+            if size > self.capacity_bytes:
+                return
+            self._entries[key] = (value, size)
+            self.bytes_used += size
+            while self.bytes_used > self.capacity_bytes:
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self.bytes_used -= evicted
 
 
 @dataclass
@@ -141,30 +190,60 @@ class _PendingRequest:
 
 
 class SynthesisService:
-    """Serve sampling requests from one loaded fitted pipeline."""
+    """Serve sampling requests from one loaded fitted pipeline.
 
-    def __init__(self, fitted: FittedPipeline, config: ServingConfig | None = None,
+    Accepts either a flat :class:`FittedPipeline` (full-table and
+    conditioned-row requests) or a
+    :class:`~repro.pipelines.multitable.FittedMultiTablePipeline`
+    (whole-database requests); asking the wrong shape raises
+    :class:`ServingError`.
+    """
+
+    def __init__(self, fitted: FittedPipeline | FittedMultiTablePipeline,
+                 config: ServingConfig | None = None,
                  digest: str | None = None):
         self.fitted = fitted
         self.config = config or ServingConfig()
         #: cache namespace; bundle-loaded services use the content digest so
         #: equal artifacts share keys, in-memory ones get a unique token
         self.digest = digest or "unsaved-{:x}".format(id(fitted))
-        self._cache = LruCache(self.config.cache_size)
+        self._cache = LruCache(self.config.cache_bytes)
         self._stats_lock = threading.Lock()
-        self._stats = {"table_requests": 0, "row_requests": 0, "coalesced_batches": 0,
-                       "coalesced_requests_max": 0}
+        self._stats = {"table_requests": 0, "row_requests": 0, "database_requests": 0,
+                       "coalesced_batches": 0, "coalesced_requests_max": 0}
         self._batch_lock = threading.Lock()
         self._pending: list[_PendingRequest] = []
         self._draining = False
 
     @classmethod
     def from_bundle(cls, path, config: ServingConfig | None = None) -> "SynthesisService":
-        """Load a fitted-pipeline bundle once and serve from it."""
-        from repro.store.bundle import load_fitted_pipeline
+        """Load a fitted-pipeline bundle (flat or multitable) once and serve from it."""
+        from repro.store.bundle import (
+            BundleReader,
+            load_fitted_pipeline,
+            load_multitable_pipeline,
+        )
 
-        fitted, digest = load_fitted_pipeline(path)
+        if BundleReader(path).kind == "multitable_pipeline":
+            fitted, digest = load_multitable_pipeline(path)
+        else:
+            fitted, digest = load_fitted_pipeline(path)
         return cls(fitted, config=config, digest=digest)
+
+    @property
+    def is_multitable(self) -> bool:
+        return isinstance(self.fitted, FittedMultiTablePipeline)
+
+    def _require_flat(self):
+        if self.is_multitable:
+            raise ServingError(
+                "this service wraps a multitable pipeline; use sample_database")
+
+    def _require_multitable(self):
+        if not self.is_multitable:
+            raise ServingError(
+                "whole-database serving needs a multitable bundle; the {!r} "
+                "pipeline serves tables and rows".format(self.fitted.name))
 
     # -- public request API ----------------------------------------------------------
 
@@ -184,12 +263,44 @@ class SynthesisService:
         return self.sample_table(n, seed=seed)
 
     def stats(self) -> dict:
-        """Serving counters plus cache hit/miss totals."""
+        """Serving counters plus cache hit/miss totals and bytes held."""
         with self._stats_lock:
             out = dict(self._stats)
         out["cache_hits"] = self._cache.hits
         out["cache_misses"] = self._cache.misses
+        out["cache_bytes_used"] = self._cache.bytes_used
         return out
+
+    # -- whole-database sampling (multitable bundles) ----------------------------------
+
+    def sample_database(self, n: int | dict | None = None,
+                        seed: int | None = None) -> dict:
+        """A whole synthetic database from a loaded ``multitable`` bundle.
+
+        Tables of one schema depth level are mutually independent, so with
+        ``shards > 1`` they are sampled across a thread pool; the per-table
+        seeds are derived inside the synthesizer from the deterministic
+        topological order, so every shard count returns the identical
+        database (same guarantee as :meth:`sample_table`).
+        """
+        self._require_multitable()
+        seed = self.fitted.config.seed if seed is None else seed
+        with self._stats_lock:
+            self._stats["database_requests"] += 1
+        n_key = tuple(sorted(n.items())) if isinstance(n, dict) else n
+        key = (self.digest, "database", n_key, seed)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.config.shards == 1:
+            database = self.fitted.sample_database(n, seed=seed)
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
+                database = self.fitted.sample_database(n, seed=seed, map_fn=pool.map)
+        self._cache.put(key, database)
+        return database
 
     # -- full-table sampling (block-sharded) -------------------------------------------
 
@@ -208,6 +319,7 @@ class SynthesisService:
         worker count, so every ``shards`` setting produces the identical
         table.
         """
+        self._require_flat()
         n = self.fitted._resolve_n(n)
         seed = self.fitted.config.seed if seed is None else seed
         with self._stats_lock:
@@ -234,6 +346,7 @@ class SynthesisService:
 
     @property
     def _child_synth(self):
+        self._require_flat()
         if len(self.fitted.synthesizers) != 1:
             raise ServingError(
                 "conditioned row serving needs a single parent/child synthesizer; "

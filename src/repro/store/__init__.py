@@ -42,10 +42,14 @@ _EXPORTS = {
     "load_bundle": "repro.store.bundle",
     "load_fitted_pipeline": "repro.store.bundle",
     "load_great_synthesizer": "repro.store.bundle",
+    "load_multitable": "repro.store.bundle",
+    "load_multitable_pipeline": "repro.store.bundle",
     "load_parent_child": "repro.store.bundle",
     "read_manifest": "repro.store.bundle",
     "save_fitted_pipeline": "repro.store.bundle",
     "save_great_synthesizer": "repro.store.bundle",
+    "save_multitable": "repro.store.bundle",
+    "save_multitable_pipeline": "repro.store.bundle",
     "save_parent_child": "repro.store.bundle",
 }
 

@@ -69,7 +69,8 @@ BUNDLE_FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 
 #: Bundle kinds understood by :func:`load_bundle`.
-BUNDLE_KINDS = ("great_synthesizer", "parent_child_synthesizer", "fitted_pipeline")
+BUNDLE_KINDS = ("great_synthesizer", "parent_child_synthesizer", "fitted_pipeline",
+                "multitable_synthesizer", "multitable_pipeline")
 
 
 # ---------------------------------------------------------------------------
@@ -77,13 +78,21 @@ BUNDLE_KINDS = ("great_synthesizer", "parent_child_synthesizer", "fitted_pipelin
 # ---------------------------------------------------------------------------
 
 class BundleWriter:
-    """Accumulate named parts in memory, then write them atomically."""
+    """Accumulate named parts in memory, then write them atomically.
 
-    def __init__(self, kind: str, meta: dict | None = None):
+    ``compress`` selects the NPZ codec for array parts:
+    ``numpy.savez_compressed`` (smaller, slower) when true,
+    ``numpy.savez`` (larger, fast) when false.  The manifest records the
+    choice; :class:`BundleReader` handles both transparently
+    (``numpy.load`` sniffs the per-entry codec).
+    """
+
+    def __init__(self, kind: str, meta: dict | None = None, compress: bool = False):
         if kind not in BUNDLE_KINDS:
             raise StoreError("unknown bundle kind {!r}".format(kind))
         self.kind = kind
         self.meta = dict(meta or {})
+        self.compress = bool(compress)
         self._parts: dict[str, bytes] = {}
 
     def add_json(self, name: str, value) -> None:
@@ -93,7 +102,10 @@ class BundleWriter:
     def add_arrays(self, name: str, arrays: dict) -> None:
         """Add an NPZ part from a name -> ndarray mapping."""
         buffer = io.BytesIO()
-        np.savez_compressed(buffer, **arrays)
+        if self.compress:
+            np.savez_compressed(buffer, **arrays)
+        else:
+            np.savez(buffer, **arrays)
         self._parts[name + ".npz"] = buffer.getvalue()
 
     def add_table(self, name: str, table) -> None:
@@ -121,6 +133,7 @@ class BundleWriter:
             "format_version": BUNDLE_FORMAT_VERSION,
             "kind": self.kind,
             "digest": digest,
+            "compress": self.compress,
             "parts": {name: len(blob) for name, blob in sorted(self._parts.items())},
             "meta": self.meta,
         }
@@ -174,6 +187,14 @@ class BundleReader:
     def meta(self) -> dict:
         return self.manifest.get("meta", {})
 
+    @property
+    def compress(self) -> bool:
+        """Whether the array parts were written compressed (manifest record).
+
+        Bundles predating the knob were always compressed.
+        """
+        return bool(self.manifest.get("compress", True))
+
     def json(self, name: str):
         return codec.loads(self._part(name + ".json").decode("utf-8"))
 
@@ -219,6 +240,19 @@ def _build_parent_child_config(d: dict) -> ParentChildConfig:
         parent=_build_great_config(d["parent"]),
         child=_build_great_config(d["child"]),
         children_per_parent=d["children_per_parent"],
+        seed=d["seed"],
+    )
+
+
+def _build_multitable_config(d: dict):
+    from repro.schema.inference import InferenceConfig
+    from repro.schema.multitable import MultiTableConfig
+
+    return MultiTableConfig(
+        backbone=_build_great_config(d["backbone"]),
+        children_per_parent=d["children_per_parent"],
+        key_format=d["key_format"],
+        inference=InferenceConfig(**d["inference"]),
         seed=d["seed"],
     )
 
@@ -455,6 +489,68 @@ def _read_parent_child(reader: BundleReader, prefix: str) -> ParentChildSynthesi
 
 
 # ---------------------------------------------------------------------------
+# multi-table synthesizer parts
+# ---------------------------------------------------------------------------
+
+def _add_multitable(writer: BundleWriter, prefix: str, synth) -> None:
+    if not synth.is_fitted:
+        raise StoreError("can only persist a fitted synthesizer")
+    graph = synth.graph
+    writer.add_json(prefix + "graph", graph.to_dict())
+    writer.add_json(prefix + "config", asdict(synth.config))
+    writer.add_json(prefix + "state", {
+        "training_rows": dict(synth._training_rows),
+        "roots": sorted(synth._root_synths),
+        "edges": sorted(synth._edges),
+    })
+    for name in sorted(synth._root_synths):
+        _add_great(writer, "{}root.{}.".format(prefix, name), synth._root_synths[name])
+    for name in sorted(synth._edges):
+        edge = synth._edges[name]
+        edge_prefix = "{}edge.{}.".format(prefix, name)
+        writer.add_json(edge_prefix + "edge_state", {
+            "fk": edge.fk.to_dict(),
+            "children_per_parent": edge.children_per_parent,
+            "parent_features": list(edge._parent_features),
+            "child_features": list(edge._child_features),
+            "prompt_names": dict(edge._prompt_names),
+            "counts": list(edge._children_per_parent_counts),
+        })
+        _add_great(writer, edge_prefix, edge._synth)
+
+
+def _read_multitable(reader: BundleReader, prefix: str):
+    from repro.schema.graph import ForeignKey, SchemaGraph
+    from repro.schema.multitable import EdgeSynthesizer, MultiTableSynthesizer
+
+    graph = SchemaGraph.from_dict(reader.json(prefix + "graph"))
+    config = _build_multitable_config(reader.json(prefix + "config"))
+    state = reader.json(prefix + "state")
+    root_synths = {
+        name: _read_great(reader, "{}root.{}.".format(prefix, name))
+        for name in state["roots"]
+    }
+    edges = {}
+    for name in state["edges"]:
+        edge_prefix = "{}edge.{}.".format(prefix, name)
+        edge_state = reader.json(edge_prefix + "edge_state")
+        edges[name] = EdgeSynthesizer._from_fitted_state(
+            config.backbone,
+            fk=ForeignKey.from_dict(edge_state["fk"]),
+            children_per_parent=edge_state["children_per_parent"],
+            synth=_read_great(reader, edge_prefix),
+            parent_features=edge_state["parent_features"],
+            child_features=edge_state["child_features"],
+            prompt_names=edge_state["prompt_names"],
+            counts=edge_state["counts"],
+        )
+    return MultiTableSynthesizer._from_fitted_state(
+        config, graph, root_synths=root_synths, edges=edges,
+        training_rows=state["training_rows"],
+    )
+
+
+# ---------------------------------------------------------------------------
 # enhancer parts
 # ---------------------------------------------------------------------------
 
@@ -494,11 +590,11 @@ def _engine_meta(fine_tune_engine: str, sampler_engine: str) -> dict:
     }
 
 
-def save_great_synthesizer(synth: GReaTSynthesizer, path) -> str:
+def save_great_synthesizer(synth: GReaTSynthesizer, path, compress: bool = False) -> str:
     """Persist a fitted GReaT synthesizer bundle; returns the digest."""
     if not synth.is_fitted:
         raise StoreError("can only persist a fitted synthesizer")
-    writer = BundleWriter("great_synthesizer", meta={
+    writer = BundleWriter("great_synthesizer", compress=compress, meta={
         "seed": synth.config.seed,
         "columns": synth._training_table.dtypes(),
         **_engine_meta(synth.config.fine_tune.engine, synth.config.sampler.engine),
@@ -515,11 +611,11 @@ def load_great_synthesizer(path) -> GReaTSynthesizer:
     return _read_great(reader, "")
 
 
-def save_parent_child(synth: ParentChildSynthesizer, path) -> str:
+def save_parent_child(synth: ParentChildSynthesizer, path, compress: bool = False) -> str:
     """Persist a fitted parent/child synthesizer bundle; returns the digest."""
     if not synth.is_fitted:
         raise StoreError("can only persist a fitted synthesizer")
-    writer = BundleWriter("parent_child_synthesizer", meta={
+    writer = BundleWriter("parent_child_synthesizer", compress=compress, meta={
         "seed": synth.config.seed,
         "subject_column": synth._subject_column,
         **_engine_meta(synth.config.parent.fine_tune.engine,
@@ -537,9 +633,9 @@ def load_parent_child(path) -> ParentChildSynthesizer:
     return _read_parent_child(reader, "")
 
 
-def save_fitted_pipeline(fitted, path) -> str:
+def save_fitted_pipeline(fitted, path, compress: bool = False) -> str:
     """Persist a :class:`repro.pipelines.base.FittedPipeline`; returns the digest."""
-    writer = BundleWriter("fitted_pipeline", meta={
+    writer = BundleWriter("fitted_pipeline", compress=compress, meta={
         "pipeline": fitted.name,
         "seed": fitted.config.seed,
         "columns": fitted.original_flat.dtypes(),
@@ -594,11 +690,78 @@ def load_fitted_pipeline(path):
     return fitted, reader.digest
 
 
+def save_multitable(synth, path, compress: bool = False) -> str:
+    """Persist a fitted :class:`repro.schema.multitable.MultiTableSynthesizer`."""
+    if not synth.is_fitted:
+        raise StoreError("can only persist a fitted synthesizer")
+    backbone = synth.config.backbone
+    writer = BundleWriter("multitable_synthesizer", compress=compress, meta={
+        "seed": synth.config.seed,
+        "tables": synth.graph.table_names,
+        "foreign_keys": [fk.edge_name for fk in synth.graph.foreign_keys],
+        **_engine_meta(backbone.fine_tune.engine, backbone.sampler.engine),
+    })
+    _add_multitable(writer, "", synth)
+    return writer.write(path)
+
+
+def load_multitable(path):
+    """Load a fitted multi-table synthesizer bundle."""
+    reader = BundleReader(path)
+    if reader.kind != "multitable_synthesizer":
+        raise StoreError("bundle at {} is a {!r}, not a multi-table synthesizer".format(
+            path, reader.kind))
+    return _read_multitable(reader, "")
+
+
+def save_multitable_pipeline(fitted, path, compress: bool = False) -> str:
+    """Persist a :class:`repro.pipelines.multitable.FittedMultiTablePipeline`."""
+    backbone = fitted.synthesizer.config.backbone
+    writer = BundleWriter("multitable_pipeline", compress=compress, meta={
+        "pipeline": fitted.name,
+        "seed": fitted.config.seed,
+        "tables": fitted.graph.table_names,
+        "foreign_keys": [fk.edge_name for fk in fitted.graph.foreign_keys],
+        **_engine_meta(backbone.fine_tune.engine, backbone.sampler.engine),
+    })
+    writer.add_json("pipeline", {"name": fitted.name})
+    writer.add_json("pipeline_config", asdict(fitted.config))
+    _add_multitable(writer, "synth.", fitted.synthesizer)
+    return writer.write(path)
+
+
+def load_multitable_pipeline(path):
+    """Load a fitted multitable-pipeline bundle; returns ``(fitted, digest)``."""
+    from repro.pipelines.multitable import (
+        FittedMultiTablePipeline,
+        MultiTablePipelineConfig,
+    )
+    from repro.schema.inference import InferenceConfig
+
+    reader = BundleReader(path)
+    if reader.kind != "multitable_pipeline":
+        raise StoreError("bundle at {} is a {!r}, not a multitable pipeline".format(
+            path, reader.kind))
+    state = reader.json("pipeline")
+    config_dict = reader.json("pipeline_config")
+    config = MultiTablePipelineConfig(**{
+        **config_dict,
+        "inference": InferenceConfig(**config_dict["inference"]),
+    })
+    fitted = FittedMultiTablePipeline(
+        name=state["name"],
+        config=config,
+        synthesizer=_read_multitable(reader, "synth."),
+    )
+    return fitted, reader.digest
+
+
 def load_bundle(path):
     """Load whatever fitted object the bundle at *path* contains.
 
     Returns the loaded object; for fitted pipelines this is the
-    ``(fitted, digest)`` pair of :func:`load_fitted_pipeline`.
+    ``(fitted, digest)`` pair of :func:`load_fitted_pipeline` /
+    :func:`load_multitable_pipeline`.
     """
     kind = BundleReader(path).kind
     if kind == "great_synthesizer":
@@ -607,4 +770,8 @@ def load_bundle(path):
         return load_parent_child(path)
     if kind == "fitted_pipeline":
         return load_fitted_pipeline(path)
+    if kind == "multitable_synthesizer":
+        return load_multitable(path)
+    if kind == "multitable_pipeline":
+        return load_multitable_pipeline(path)
     raise StoreError("unknown bundle kind {!r}".format(kind))

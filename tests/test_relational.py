@@ -158,6 +158,16 @@ class TestParentChildSynthesizer:
         with pytest.raises(RuntimeError):
             ParentChildSynthesizer(_fast_pc_config()).sample(1)
 
+    def test_duplicate_parent_subjects_rejected(self, parent_child):
+        """A parent table with repeated subjects would silently mis-group the
+        children (last row wins); fit must refuse it loudly instead."""
+        parent, child, subject = parent_child
+        subjects = parent.column(subject).values
+        subjects[0] = subjects[1]
+        duplicated = parent.with_column(subject, subjects)
+        with pytest.raises(ValueError, match="not unique"):
+            ParentChildSynthesizer(_fast_pc_config()).fit(duplicated, child, subject)
+
     def test_missing_subject_column_rejected(self, parent_child):
         parent, child, subject = parent_child
         with pytest.raises(KeyError):

@@ -13,11 +13,13 @@ from repro.pipelines.base import FittedPipeline
 from repro.pipelines.config import PipelineConfig
 from repro.pipelines.derec import DERECPipeline
 from repro.pipelines.greater import GReaTERPipeline
+from repro.frame.table import Table
 from repro.serving import (
     LruCache,
     ServingConfig,
     ServingError,
     SynthesisService,
+    approx_table_bytes,
     derive_seed,
 )
 from repro.store.bundle import load_fitted_pipeline
@@ -112,10 +114,10 @@ class TestPersistenceDeterminism:
 class TestSampleTableSharding:
     def test_shard_counts_are_bit_identical(self, bundle):
         reference = SynthesisService.from_bundle(bundle, ServingConfig(
-            shards=1, block_size=4, cache_size=0)).sample_table(11, seed=9)
+            shards=1, block_size=4, cache_bytes=0)).sample_table(11, seed=9)
         for shards in (2, 3):
             table = SynthesisService.from_bundle(bundle, ServingConfig(
-                shards=shards, block_size=4, cache_size=0)).sample_table(11, seed=9)
+                shards=shards, block_size=4, cache_bytes=0)).sample_table(11, seed=9)
             assert table == reference
 
     def test_blocks_partition_the_request(self, bundle):
@@ -125,7 +127,7 @@ class TestSampleTableSharding:
         assert len({block_seed for _, _, block_seed in blocks}) == 3
 
     def test_result_cache_hits_on_repeat(self, bundle):
-        service = SynthesisService.from_bundle(bundle, ServingConfig(cache_size=8))
+        service = SynthesisService.from_bundle(bundle, ServingConfig(cache_bytes=1 << 20))
         first = service.sample_table(6, seed=1)
         second = service.sample_table(6, seed=1)
         assert first == second
@@ -142,7 +144,7 @@ class TestSampleTableSharding:
 
 class TestCoalescedRows:
     def test_merged_equals_solo(self, bundle):
-        service = SynthesisService.from_bundle(bundle, ServingConfig(cache_size=0))
+        service = SynthesisService.from_bundle(bundle, ServingConfig(cache_bytes=0))
         requests = [
             service._normalize_request(5, {"gender": 1}, 3),
             service._normalize_request(3, None, 4),
@@ -154,7 +156,7 @@ class TestCoalescedRows:
             assert table.num_rows == request.n
 
     def test_conditions_are_respected_in_original_space(self, bundle):
-        service = SynthesisService.from_bundle(bundle, ServingConfig(cache_size=0))
+        service = SynthesisService.from_bundle(bundle, ServingConfig(cache_bytes=0))
         table = service.sample_rows(6, {"gender": 1}, seed=2)
         assert table.column("gender").unique() == [1]
         assert service.fitted.subject_column not in table.column_names
@@ -166,8 +168,8 @@ class TestCoalescedRows:
 
     def test_concurrent_requests_coalesce_and_stay_deterministic(self, bundle):
         service = SynthesisService.from_bundle(bundle, ServingConfig(
-            cache_size=0, batch_window_s=0.02))
-        solo = SynthesisService.from_bundle(bundle, ServingConfig(cache_size=0))
+            cache_bytes=0, batch_window_s=0.02))
+        solo = SynthesisService.from_bundle(bundle, ServingConfig(cache_bytes=0))
         results: dict = {}
 
         def worker(index):
@@ -186,7 +188,7 @@ class TestCoalescedRows:
 
     def test_row_cache_keyed_by_request(self, bundle):
         service = SynthesisService.from_bundle(bundle, ServingConfig(
-            cache_size=8, batch_window_s=0.0))
+            cache_bytes=1 << 20, batch_window_s=0.0))
         first = service.sample_rows(3, {"gender": 1}, seed=7)
         assert service.sample_rows(3, {"gender": 1}, seed=7) == first
         assert service.stats()["cache_hits"] >= 1
@@ -200,7 +202,7 @@ class TestCoalescedRows:
         assert service.sample_table(4, seed=1).num_rows > 0
 
     def test_sample_dispatches_on_conditions(self, bundle):
-        service = SynthesisService.from_bundle(bundle, ServingConfig(cache_size=0))
+        service = SynthesisService.from_bundle(bundle, ServingConfig(cache_bytes=0))
         flat = service.sample(5, seed=2)
         rows = service.sample(3, seed=2, conditions={"gender": 1})
         assert flat.num_rows >= 5  # multiple child rows per subject
@@ -210,19 +212,57 @@ class TestCoalescedRows:
 
 
 class TestLruCache:
-    def test_eviction_order(self):
-        cache = LruCache(2)
+    def test_eviction_order_by_bytes(self):
+        cache = LruCache(200, sizer=lambda value: 100)
         cache.put("a", 1)
         cache.put("b", 2)
         assert cache.get("a") == 1  # refresh a
-        cache.put("c", 3)           # evicts b
+        cache.put("c", 3)           # over budget: evicts b (LRU)
         assert cache.get("b") is None
         assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.bytes_used == 200
+
+    def test_large_entries_evict_more(self):
+        cache = LruCache(100, sizer=lambda value: value)
+        cache.put("a", 30)
+        cache.put("b", 30)
+        cache.put("c", 60)  # 120 > 100: evicts a
+        assert cache.get("a") is None
+        assert cache.get("b") == 30 and cache.get("c") == 60
+        assert cache.bytes_used == 90
+
+    def test_oversized_entry_is_not_cached(self):
+        cache = LruCache(100, sizer=lambda value: value)
+        cache.put("small", 40)
+        cache.put("huge", 500)  # bigger than the whole budget
+        assert cache.get("huge") is None
+        assert cache.get("small") == 40  # untouched by the refused insert
+
+    def test_replacement_updates_bytes(self):
+        cache = LruCache(100, sizer=lambda value: value)
+        cache.put("a", 40)
+        cache.put("a", 10)
+        assert cache.bytes_used == 10
 
     def test_zero_capacity_disables(self):
         cache = LruCache(0)
         cache.put("a", 1)
         assert cache.get("a") is None
+
+    def test_tables_are_sized_approximately(self):
+        table = Table({"a": list(range(1000)), "b": ["x"] * 1000})
+        size = approx_table_bytes(table)
+        assert size >= 8000  # at least the int64 payload
+        cache = LruCache(2 * size)
+        cache.put("t", table)
+        assert cache.get("t") == table
+        assert cache.bytes_used == size
+
+    def test_stats_report_cache_bytes_used(self, bundle):
+        service = SynthesisService.from_bundle(bundle, ServingConfig(cache_bytes=1 << 20))
+        assert service.stats()["cache_bytes_used"] == 0
+        service.sample_table(4, seed=1)
+        assert service.stats()["cache_bytes_used"] > 0
 
 
 class TestCliCommands:

@@ -56,6 +56,54 @@ class TestParseCell:
         assert loaded.column("code").dtype == "str"
 
 
+class TestCompressionKnob:
+    @pytest.fixture(scope="class")
+    def fitted_great(self):
+        table = Table({"color": ["red", "blue"] * 40, "size": list(range(80))})
+        config = GReaTConfig(
+            fine_tune=FineTuneConfig(epochs=2, batches=2, model=ModelConfig(order=4)))
+        return GReaTSynthesizer(config).fit(table)
+
+    def test_manifest_records_compress_choice(self, fitted_great, tmp_path):
+        save_great_synthesizer(fitted_great, tmp_path / "plain")
+        save_great_synthesizer(fitted_great, tmp_path / "small", compress=True)
+        assert read_manifest(tmp_path / "plain")["compress"] is False
+        assert read_manifest(tmp_path / "small")["compress"] is True
+
+    def test_loader_handles_both_codecs(self, fitted_great, tmp_path):
+        expected = fitted_great.sample(6, seed=3)
+        for compress in (False, True):
+            path = tmp_path / "bundle_{}".format(compress)
+            save_great_synthesizer(fitted_great, path, compress=compress)
+            assert load_great_synthesizer(path).sample(6, seed=3) == expected
+
+    def test_compressed_bundle_is_smaller(self, fitted_great, tmp_path):
+        save_great_synthesizer(fitted_great, tmp_path / "plain")
+        save_great_synthesizer(fitted_great, tmp_path / "small", compress=True)
+        assert (tmp_path / "small").stat().st_size < (tmp_path / "plain").stat().st_size
+
+    def test_legacy_manifest_defaults_to_compressed(self, fitted_great, tmp_path):
+        """Bundles written before the knob carry no ``compress`` entry; the
+        reader must report them as compressed (their historical codec)."""
+        import zipfile
+
+        from repro.store.bundle import BundleReader, MANIFEST_NAME
+
+        path = tmp_path / "bundle"
+        save_great_synthesizer(fitted_great, path)
+        with zipfile.ZipFile(path) as archive:
+            parts = {name: archive.read(name) for name in archive.namelist()}
+        manifest = json.loads(parts[MANIFEST_NAME])
+        del manifest["compress"]
+        legacy = tmp_path / "legacy"
+        with zipfile.ZipFile(legacy, "w") as archive:
+            for name, blob in parts.items():
+                if name != MANIFEST_NAME:
+                    archive.writestr(name, blob)
+            archive.writestr(MANIFEST_NAME, json.dumps(manifest))
+        assert BundleReader(legacy).compress is True
+
+
 class TestAtomicWrites:
     def test_write_csv_leaves_no_temp_files(self, tmp_path):
         table = Table({"a": [1, 2, 3]})
