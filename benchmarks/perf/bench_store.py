@@ -11,7 +11,14 @@ Measures the three things the train-once / serve-many split buys:
   ``compiled`` engines;
 * **serving throughput** — block-sharded ``sample_table`` requests through
   :class:`repro.serving.SynthesisService` at 1/2/4 shards, asserting every
-  shard count yields the identical table.
+  shard count yields the identical table;
+* **process-worker scaling** — the same requests through the process
+  executor (``ServingConfig(executor="process", mmap=True)``) at 1/2/4
+  workers: rows/s plus p50/p95 from the serving latency histograms, a
+  sha256 digest of the output per worker count (all must match the serial
+  reference), and the 4-vs-1 worker throughput ratio.  The ratio is only
+  *asserted* (>= ``--scaling-margin``) when the machine actually has >= 4
+  CPU cores — on smaller boxes it is recorded but cannot be meaningful.
 
 Usage::
 
@@ -19,14 +26,17 @@ Usage::
     PYTHONPATH=src python -m benchmarks.perf.bench_store --smoke   # CI-sized
 
 The report lands in ``BENCH_store.json``; the process exits non-zero on any
-load/sample or shard mismatch (CI runs ``--smoke`` and fails on mismatch).
+load/sample, shard or worker mismatch (CI runs ``--smoke`` and fails on
+mismatch, and on a missed scaling margin when enough cores are present).
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import io
 import json
+import os
 import tempfile
 import time
 from pathlib import Path
@@ -44,6 +54,7 @@ from repro.serving import ServingConfig, SynthesisService
 from repro.store.bundle import load_fitted_pipeline
 
 SHARD_COUNTS = (1, 2, 4)
+WORKER_COUNTS = (1, 2, 4)
 
 
 def _trial(n_users: int, seed: int):
@@ -80,7 +91,16 @@ def _csv_bytes(table: Table) -> bytes:
     return buffer.getvalue().encode("utf-8")
 
 
-def run(n_users: int, n_sample: int, requests: int, seed: int = 7) -> dict:
+def _tables_digest(tables: list[Table]) -> str:
+    """One sha256 over the canonical CSV bytes of a sequence of tables."""
+    digest = hashlib.sha256()
+    for table in tables:
+        digest.update(_csv_bytes(table))
+    return digest.hexdigest()
+
+
+def run(n_users: int, n_sample: int, requests: int, seed: int = 7,
+        scaling_margin: float = 2.5) -> dict:
     trial = _trial(n_users, seed)
     workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
     report: dict = {"n_users": n_users, "n_sample": n_sample, "seed": seed,
@@ -172,10 +192,71 @@ def run(n_users: int, n_sample: int, requests: int, seed: int = 7) -> dict:
         "identical_output": all(a == b for a, b in zip(merged, solo)),
     }
 
+    # -- process-worker scaling ---------------------------------------------------------
+    # Each request block-shards across the pool's worker processes; workers
+    # cold-start by loading the bundle themselves (memory-mapped, so the big
+    # count tables share page cache).  Every worker count must reproduce the
+    # serial reference digest; throughput scaling is recorded always but only
+    # meaningful on machines with enough cores.
+    proc_sample = max(n_sample, 16 * max(WORKER_COUNTS))
+    proc_block = max(4, proc_sample // (2 * max(WORKER_COUNTS)))
+    proc_requests = max(2, requests)
+    with SynthesisService.from_bundle(bundle_path, ServingConfig(
+            shards=1, block_size=proc_block, cache_bytes=0)) as serial_service:
+        expected_digest = _tables_digest(
+            [serial_service.sample_table(proc_sample, seed=seed + index)
+             for index in range(proc_requests)])
+    workers_out: list[dict] = []
+    throughput: dict[int, float] = {}
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        service = SynthesisService.from_bundle(bundle_path, ServingConfig(
+            shards=workers, block_size=proc_block, cache_bytes=0,
+            executor="process", mmap=True))
+        startup_s = time.perf_counter() - start
+        try:
+            service.sample_table(proc_sample, seed=seed)  # warm-up pass
+            start = time.perf_counter()
+            tables = [service.sample_table(proc_sample, seed=seed + index)
+                      for index in range(proc_requests)]
+            elapsed = time.perf_counter() - start
+            histogram = service.metrics.histogram("sample_table")
+            p50_s, p95_s = histogram.quantile(0.5), histogram.quantile(0.95)
+        finally:
+            service.close()
+        total_rows = sum(table.num_rows for table in tables)
+        throughput[workers] = total_rows / elapsed if elapsed > 0 else float("inf")
+        workers_out.append({
+            "workers": workers,
+            "startup_s": round(startup_s, 6),
+            "seconds": round(elapsed, 6),
+            "rows_per_s": round(throughput[workers], 1),
+            "p50_s": round(p50_s, 6),
+            "p95_s": round(p95_s, 6),
+            "output_digest": _tables_digest(tables),
+        })
+    cpu_count = os.cpu_count() or 1
+    report["process_serving"] = {
+        "cpu_count": cpu_count,
+        "mmap": True,
+        "sample": proc_sample,
+        "block_size": proc_block,
+        "requests": proc_requests,
+        "expected_digest": expected_digest,
+        "workers": workers_out,
+        "identical_across_workers": all(
+            entry["output_digest"] == expected_digest for entry in workers_out),
+        "scaling_4w_over_1w": round(
+            throughput[max(WORKER_COUNTS)] / throughput[min(WORKER_COUNTS)], 2),
+        "scaling_margin": scaling_margin,
+        "scaling_asserted": cpu_count >= max(WORKER_COUNTS),
+    }
+
     report["all_identical"] = (
         all(entry["identical_output"] for entry in engines.values())
         and all(entry["identical_across_shards"] for entry in serving)
         and report["coalescing"]["identical_output"]
+        and report["process_serving"]["identical_across_workers"]
     )
     return report
 
@@ -193,6 +274,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (8 users, 16 subjects)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scaling-margin", type=float, default=2.5,
+                        help="required 4-worker over 1-worker rows/s ratio, "
+                             "asserted only on machines with >= 4 cores (default 2.5)")
     parser.add_argument("--out", type=Path, default=Path("BENCH_store.json"),
                         help="output JSON path (default ./BENCH_store.json)")
     args = parser.parse_args(argv)
@@ -201,7 +285,8 @@ def main(argv: list[str] | None = None) -> int:
         users, sample, requests = 8, 16, 2
     else:
         users, sample, requests = args.users, args.sample, args.requests
-    report = run(users, sample, requests, seed=args.seed)
+    report = run(users, sample, requests, seed=args.seed,
+                 scaling_margin=args.scaling_margin)
     report["mode"] = "smoke" if args.smoke else "full"
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -218,10 +303,26 @@ def main(argv: list[str] | None = None) -> int:
     print("coalescing {} requests: merged {:.3f}s vs solo {:.3f}s ({}x)  identical={}".format(
         coalescing["requests"], coalescing["merged_s"], coalescing["solo_s"],
         coalescing["coalescing_speedup"], coalescing["identical_output"]))
+    process = report["process_serving"]
+    for entry in process["workers"]:
+        print("process workers={:d}  startup {:>7.3f}s  {:>8.3f}s  {:>8.1f} rows/s  "
+              "p50 {:.3f}s  p95 {:.3f}s".format(
+                  entry["workers"], entry["startup_s"], entry["seconds"],
+                  entry["rows_per_s"], entry["p50_s"], entry["p95_s"]))
+    print("process scaling 4w/1w = {}x on {} cores  identical_across_workers={}".format(
+        process["scaling_4w_over_1w"], process["cpu_count"],
+        process["identical_across_workers"]))
     print("wrote {}".format(args.out))
 
     if not report["all_identical"]:
         print("ERROR: loaded/served output does not match the in-process fit")
+        return 1
+    if (process["scaling_asserted"]
+            and process["scaling_4w_over_1w"] < process["scaling_margin"]):
+        print("ERROR: 4-worker throughput only {}x of 1-worker "
+              "(margin {}x, {} cores)".format(
+                  process["scaling_4w_over_1w"], process["scaling_margin"],
+                  process["cpu_count"]))
         return 1
     return 0
 

@@ -14,7 +14,12 @@ The artifact-store workflow adds subcommands on top of the experiments
   retraining (optionally writing the flat table to CSV);
 * ``greater serve-bench`` — serve repeated sampling requests from a bundle
   through :class:`repro.serving.SynthesisService` at several shard counts,
-  asserting that every shard count produces the identical table.
+  asserting that every shard count produces the identical table;
+* ``greater serve`` — run the asyncio HTTP serving front end on a bundle
+  (thread or process executor, bounded request queue with 429
+  backpressure, ``/stats`` metrics — see :mod:`repro.serving.server`);
+* ``greater client`` — query a running server (table/rows/database
+  sampling, stats, health) and print the rows like every other command.
 
 The relational-schema workflow (see :mod:`repro.schema`) adds:
 
@@ -67,6 +72,8 @@ COMMANDS = {
     "fit": "fit a pipeline on a DIGIX-like trial and save the fitted bundle",
     "sample": "load a fitted bundle and sample synthetic tables (no retraining)",
     "serve-bench": "serve sampling requests from a bundle at several shard counts",
+    "serve": "run the HTTP serving front end on a bundle (thread/process executor)",
+    "client": "query a running 'greater serve' server (table, rows, database, stats)",
     "schema": "infer or show a relational schema graph (actions: infer, show)",
     "run": "fit the multitable pipeline on a directory of CSVs and sample a database",
 }
@@ -166,6 +173,41 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
         parser.add_argument("--seed", type=int, default=7, help="random seed")
         parser.add_argument("--out-dir", default=None,
                             help="write the synthetic tables as CSVs into this directory")
+        return parser
+    if command == "serve":
+        parser.add_argument("--bundle", required=True,
+                            help="bundle path written by 'greater fit'")
+        parser.add_argument("--host", default="127.0.0.1", help="bind address")
+        parser.add_argument("--port", type=int, default=0,
+                            help="bind port (default 0: pick an ephemeral port)")
+        parser.add_argument("--workers", type=int, default=1,
+                            help="sampling workers (shards) behind the server")
+        parser.add_argument("--executor", choices=("thread", "process"), default="thread",
+                            help="where sampling runs: in-process threads or a "
+                                 "bundle-loaded worker-process pool")
+        parser.add_argument("--mmap", action="store_true",
+                            help="memory-map the bundle's count tables on load")
+        parser.add_argument("--block-size", type=int, default=64,
+                            help="synthetic subjects per serving block (default 64)")
+        parser.add_argument("--max-queue", type=int, default=64,
+                            help="in-flight request bound before 429 rejection")
+        parser.add_argument("--ready-file", default=None,
+                            help="write 'host port' here once the socket listens")
+        parser.add_argument("--max-seconds", type=float, default=None,
+                            help="stop after this many seconds (default: run forever)")
+        return parser
+    if command == "client":
+        parser.add_argument("mode", choices=("table", "rows", "database", "stats", "health"),
+                            help="what to request from the server")
+        parser.add_argument("--host", default="127.0.0.1", help="server address")
+        parser.add_argument("--port", type=int, required=True, help="server port")
+        parser.add_argument("--n", type=int, default=None,
+                            help="subjects (table), rows (rows) or rows per root (database)")
+        parser.add_argument("--seed", type=int, default=None, help="sampling seed")
+        parser.add_argument("--conditions", default=None,
+                            help="JSON object of column: value conditions (rows mode)")
+        parser.add_argument("--timeout", type=float, default=120.0,
+                            help="request timeout in seconds (default 120)")
         return parser
     if command == "fit":
         parser.add_argument("--pipeline", choices=_PIPELINES, default="greater",
@@ -308,6 +350,93 @@ def _run_serve_bench(args) -> list[dict]:
     return rows
 
 
+def _run_serve(args) -> list[dict]:
+    from repro.serving import ServingConfig, SynthesisService
+    from repro.serving.server import run_server
+    from repro.store.atomic import atomic_write_text
+
+    config = ServingConfig(shards=args.workers, block_size=args.block_size,
+                           executor=args.executor, mmap=args.mmap)
+    service = SynthesisService.from_bundle(args.bundle, config)
+    started = time.perf_counter()
+
+    def ready(host, port):
+        if args.ready_file:
+            atomic_write_text(args.ready_file, "{} {}\n".format(host, port))
+        print("serving bundle {} on http://{}:{} ({} {} worker{})".format(
+            service.digest[:12], host, port, args.workers, args.executor,
+            "s" if args.workers != 1 else ""), file=sys.stderr, flush=True)
+
+    try:
+        run_server(service, host=args.host, port=args.port,
+                   max_queue=args.max_queue, ready_callback=ready,
+                   max_seconds=args.max_seconds)
+    finally:
+        service.close()
+    stats = service.stats()
+    return [{
+        "command": "serve",
+        "bundle": args.bundle,
+        "digest": service.digest[:12],
+        "executor": args.executor,
+        "workers": args.workers,
+        "uptime_s": round(time.perf_counter() - started, 3),
+        "table_requests": stats["table_requests"],
+        "row_requests": stats["row_requests"],
+        "database_requests": stats["database_requests"],
+    }]
+
+
+def _run_client(args) -> list[dict]:
+    from repro.serving.server import request_json
+
+    def call(method, path, payload=None):
+        try:
+            status, body = request_json(args.host, args.port, method, path,
+                                        payload, timeout=args.timeout)
+        except OSError as error:
+            raise SystemExit("cannot reach {}:{}: {}".format(args.host, args.port, error))
+        if status != 200:
+            raise SystemExit("server returned {}: {}".format(
+                status, (body or {}).get("error", body)))
+        return body
+
+    if args.mode == "health":
+        return [{"command": "client health", **call("GET", "/healthz")}]
+    if args.mode == "stats":
+        stats = call("GET", "/stats")
+        flat = {key: value for key, value in stats.items()
+                if not isinstance(value, dict)}
+        flat.update({"server_" + key: value
+                     for key, value in stats.get("server", {}).items()})
+        for endpoint, histogram in stats.get("latency", {}).items():
+            flat["{}_count".format(endpoint)] = histogram["count"]
+            flat["{}_mean_ms".format(endpoint)] = round(
+                1000.0 * histogram["total_s"] / max(histogram["count"], 1), 3)
+            flat["{}_max_ms".format(endpoint)] = round(1000.0 * histogram["max_s"], 3)
+        return [{"command": "client stats", **flat}]
+    payload = {}
+    if args.n is not None:
+        payload["n"] = args.n
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    if args.mode == "table":
+        return call("POST", "/sample_table", payload)["rows"]
+    if args.mode == "rows":
+        if args.n is None:
+            raise SystemExit("client rows requires --n")
+        if args.conditions:
+            try:
+                payload["conditions"] = json.loads(args.conditions)
+            except json.JSONDecodeError as error:
+                raise SystemExit("--conditions must be a JSON object: {}".format(error))
+        return call("POST", "/sample_rows", payload)["rows"]
+    tables = call("POST", "/sample_database", payload)["tables"]
+    return [{"command": "client database", "table": name,
+             "rows": len(table["rows"]), "columns": len(table["columns"])}
+            for name, table in sorted(tables.items())]
+
+
 def _load_graph_for_show(args):
     from pathlib import Path
 
@@ -393,6 +522,7 @@ def _run_multitable(args) -> list[dict]:
 
 _COMMAND_RUNNERS = {"fit": _run_fit, "sample": _run_sample,
                     "serve-bench": _run_serve_bench,
+                    "serve": _run_serve, "client": _run_client,
                     "schema": _run_schema, "run": _run_multitable}
 
 

@@ -183,16 +183,21 @@ class BatchGenerationEngine:
         width = self._width
         contexts = np.zeros((n_lanes, max(width, 0)), dtype=np.int64)
         lengths = np.zeros(n_lanes, dtype=np.int64)
-        sequences: list[list[int]] = []
+        prefixes: list[list[int]] = []
         for lane in range(n_lanes):
             prefix = [self._bos_id] + ([int(t) for t in prompts[lane]] if prompts else [])
-            sequences.append(prefix[1:])
+            prefixes.append(prefix[1:])
             if width > 0:
                 tail = prefix[-width:]
                 contexts[lane, width - len(tail):] = tail
                 lengths[lane] = len(tail)
         active = np.arange(n_lanes)
         config = self.config
+        # generated tokens accumulate into a preallocated matrix — one fancy
+        # write per step across the surviving lanes instead of a Python
+        # append per lane
+        generated = np.empty((n_lanes, config.max_tokens), dtype=np.int64)
+        n_generated = np.zeros(n_lanes, dtype=np.int64)
         for _ in range(config.max_tokens):
             if active.size == 0:
                 break
@@ -203,23 +208,26 @@ class BatchGenerationEngine:
             alive = tokens != self._eos_id
             kept = active[alive]
             kept_tokens = tokens[alive]
-            for lane, token in zip(kept.tolist(), kept_tokens.tolist()):
-                sequences[lane].append(token)
-            if width > 0 and kept.size:
-                rows = contexts[kept]
-                rows[:, :-1] = rows[:, 1:]
-                rows[:, -1] = kept_tokens
-                contexts[kept] = rows
-                lengths[kept] = np.minimum(lengths[kept] + 1, width)
+            if kept.size:
+                generated[kept, n_generated[kept]] = kept_tokens
+                n_generated[kept] += 1
+                if width > 0:
+                    rows = contexts[kept]
+                    rows[:, :-1] = rows[:, 1:]
+                    rows[:, -1] = kept_tokens
+                    contexts[kept] = rows
+                    lengths[kept] = np.minimum(lengths[kept] + 1, width)
             active = kept
-        return sequences
+        counts = n_generated.tolist()
+        return [prefix + generated[lane, :counts[lane]].tolist()
+                for lane, prefix in enumerate(prefixes)]
 
     def generate_sentences(self, n: int, prompts: Sequence[Sequence[int]] | None = None,
                            seed: int | None = None,
                            rng: np.random.Generator | None = None) -> list[str]:
         """Sample *n* decoded sentences."""
-        return [self.tokenizer.decode(ids)
-                for ids in self.generate_ids_batch(n, prompts=prompts, seed=seed, rng=rng)]
+        return self.tokenizer.decode_batch(
+            self.generate_ids_batch(n, prompts=prompts, seed=seed, rng=rng))
 
     def generate_valid(self, n: int, is_valid: Callable[[str], bool],
                        prompts: Sequence[Sequence[int]] | None = None,
@@ -240,9 +248,10 @@ class BatchGenerationEngine:
                 break
             sub_prompts = [prompts[i] for i in pending] if prompts is not None else None
             batches = self.generate_ids_batch(len(pending), prompts=sub_prompts, rng=rng)
+            sentences = self.tokenizer.decode_batch(batches)
             still_pending: list[int] = []
             for slot, lane in enumerate(pending):
-                sentence = self.tokenizer.decode(batches[slot])
+                sentence = sentences[slot]
                 if is_valid(sentence):
                     results[lane] = sentence
                 else:

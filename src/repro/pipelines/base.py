@@ -170,11 +170,11 @@ class FittedPipeline:
         return save_fitted_pipeline(self, path, compress=compress)
 
     @staticmethod
-    def load(path) -> "FittedPipeline":
+    def load(path, mmap: bool = False) -> "FittedPipeline":
         """Load a fitted pipeline bundle saved by :meth:`save`."""
         from repro.store.bundle import load_fitted_pipeline
 
-        return load_fitted_pipeline(path)[0]
+        return load_fitted_pipeline(path, mmap=mmap)[0]
 
 
 class MultiTablePipeline:

@@ -92,11 +92,11 @@ class FittedMultiTablePipeline:
         return save_multitable_pipeline(self, path, compress=compress)
 
     @staticmethod
-    def load(path) -> "FittedMultiTablePipeline":
+    def load(path, mmap: bool = False) -> "FittedMultiTablePipeline":
         """Load a fitted multitable-pipeline bundle saved by :meth:`save`."""
         from repro.store.bundle import load_multitable_pipeline
 
-        return load_multitable_pipeline(path)[0]
+        return load_multitable_pipeline(path, mmap=mmap)[0]
 
 
 class MultiTableSchemaPipeline:

@@ -8,8 +8,20 @@ into one batched engine pass, whole-database sampling from ``multitable``
 bundles (level-sharded, identical across shard counts), and an LRU result
 cache keyed by ``(bundle digest, request)`` and bounded by approximate
 result bytes.
+
+Around the service sit the scale-out pieces: a process
+:class:`~repro.serving.workers.WorkerPool` that runs the same deterministic
+work units on bundle-loaded worker processes
+(``ServingConfig(executor="process")``), the asyncio HTTP front end
+:class:`~repro.serving.server.SynthesisServer` with bounded-queue
+backpressure, and the :mod:`~repro.serving.metrics` latency histograms both
+read paths report in one schema.
+
+The heavy modules (server, workers) resolve lazily so importing the
+service does not pull in asyncio/multiprocessing plumbing.
 """
 
+from repro.serving.metrics import LATENCY_BUCKETS_S, LatencyHistogram, MetricsRegistry
 from repro.serving.service import (
     LruCache,
     RowRequest,
@@ -21,8 +33,19 @@ from repro.serving.service import (
     derive_seed,
 )
 
-__all__ = [
+_LAZY = {
+    "SynthesisServer": "repro.serving.server",
+    "request_json": "repro.serving.server",
+    "run_server": "repro.serving.server",
+    "table_payload": "repro.serving.server",
+    "WorkerPool": "repro.serving.workers",
+}
+
+__all__ = sorted([
+    "LATENCY_BUCKETS_S",
+    "LatencyHistogram",
     "LruCache",
+    "MetricsRegistry",
     "RowRequest",
     "ServingConfig",
     "ServingError",
@@ -30,4 +53,14 @@ __all__ = [
     "approx_result_bytes",
     "approx_table_bytes",
     "derive_seed",
-]
+] + list(_LAZY))
+
+
+def __getattr__(name):
+    try:
+        module_name = _LAZY[name]
+    except KeyError:
+        raise AttributeError("module {!r} has no attribute {!r}".format(__name__, name))
+    from importlib import import_module
+
+    return getattr(import_module(module_name), name)

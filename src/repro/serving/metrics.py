@@ -1,0 +1,119 @@
+"""Serving metrics: monotonic counters and fixed-bucket latency histograms.
+
+One :class:`LatencyHistogram` per endpoint records every observed request
+duration as ``count / total_s / max_s`` plus a fixed-bucket cumulative
+histogram — the schema is identical whether it is read in-process through
+:meth:`SynthesisService.stats` or over the wire from the server's
+``/stats`` endpoint, so dashboards need a single decoder.  Buckets are
+upper bounds in seconds; each observation lands in the first bucket whose
+bound is >= the duration (the last bucket is unbounded), Prometheus-style
+cumulative counts.
+
+Everything here is thread-safe and append-only: recorders never reset, so
+deltas between two snapshots are always meaningful.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+#: Upper bucket bounds in seconds; the implicit final bucket is +inf.
+LATENCY_BUCKETS_S = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                     0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+class LatencyHistogram:
+    """Monotonic latency accumulator with fixed buckets."""
+
+    def __init__(self, buckets=LATENCY_BUCKETS_S):
+        self.buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total_s = 0.0
+        self.max_s = 0.0
+        self._bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(float(seconds), 0.0)
+        index = len(self.buckets)
+        for position, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                index = position
+                break
+        with self._lock:
+            self.count += 1
+            self.total_s += seconds
+            if seconds > self.max_s:
+                self.max_s = seconds
+            self._bucket_counts[index] += 1
+
+    @contextmanager
+    def time(self):
+        """Context manager recording the elapsed wall time of the block."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - started)
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the bucket counts (bucket upper bound).
+
+        Returns the upper bound of the bucket the *q*-quantile observation
+        falls in (the largest finite bound for the overflow bucket), or 0.0
+        before any observation.
+        """
+        with self._lock:
+            total = self.count
+            counts = list(self._bucket_counts)
+        if total == 0:
+            return 0.0
+        rank = max(1, int(q * total + 0.5))
+        seen = 0
+        for position, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= rank:
+                if position < len(self.buckets):
+                    return self.buckets[position]
+                return self.max_s
+        return self.max_s
+
+    def snapshot(self) -> dict:
+        """The wire schema: count/total/max plus cumulative bucket counts."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+            out = {
+                "count": self.count,
+                "total_s": self.total_s,
+                "max_s": self.max_s,
+            }
+        cumulative = []
+        seen = 0
+        for bucket_count in counts:
+            seen += bucket_count
+            cumulative.append(seen)
+        out["buckets_s"] = list(self.buckets)
+        out["cumulative_counts"] = cumulative
+        return out
+
+
+class MetricsRegistry:
+    """Named latency histograms, created on first use."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = LatencyHistogram()
+            return histogram
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            items = list(self._histograms.items())
+        return {name: histogram.snapshot() for name, histogram in items}

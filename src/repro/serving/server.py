@@ -1,0 +1,297 @@
+"""Asyncio HTTP front end for :class:`SynthesisService`.
+
+A small stdlib-only JSON-over-HTTP server: the asyncio event loop accepts
+connections and parses requests, sampling itself runs on a thread pool so
+the loop never blocks — and because several requests are in those threads
+at once, concurrent conditioned ``sample_rows`` calls from *different
+connections* fall into the service's existing leader/follower coalescing
+and are served by one merged engine pass.
+
+Backpressure is explicit: at most ``max_queue`` requests may be in flight
+(queued or executing); request number ``max_queue + 1`` is rejected
+immediately with **429 Too Many Requests** and a JSON error body instead
+of being buffered without bound.  The high-water mark of the in-flight
+count is tracked so operators can see how close traffic comes to the
+limit before rejections start.
+
+Endpoints (all JSON):
+
+* ``POST /sample_table``    ``{"n": int?, "seed": int?}``
+* ``POST /sample_rows``     ``{"n": int, "conditions": {...}?, "seed": int?}``
+* ``POST /sample_database`` ``{"n": int | {table: int}?, "seed": int?}``
+* ``GET  /stats``           service counters + latency histograms + server section
+* ``GET  /healthz``         liveness and the served bundle digest
+
+Tables come back as ``{"columns": [...], "rows": [{col: value}, ...]}``;
+databases as ``{"tables": {name: table}}``.  The ``/stats`` payload embeds
+:meth:`SynthesisService.stats` unchanged (same schema as in-process) plus
+a ``server`` section with accept/reject counters and queue watermarks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.serving.service import ServingError, SynthesisService
+
+#: Default bound on in-flight requests before 429 rejection.
+DEFAULT_MAX_QUEUE = 64
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 64 * 2**20
+
+
+def _jsonable(value):
+    """Coerce numpy scalars (and anything with ``.item()``) to JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def table_payload(table) -> dict:
+    """The wire shape of one table: column order plus row records."""
+    columns = list(table.column_names)
+    rows = [{name: _jsonable(value) for name, value in record.items()}
+            for record in table.to_records()]
+    return {"columns": columns, "rows": rows}
+
+
+class SynthesisServer:
+    """Serve one :class:`SynthesisService` over HTTP with bounded queueing."""
+
+    def __init__(self, service: SynthesisService, host: str = "127.0.0.1",
+                 port: int = 0, max_queue: int = DEFAULT_MAX_QUEUE):
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_queue = max_queue
+        self._server: asyncio.AbstractServer | None = None
+        # sampling threads: enough for the whole admission window so queued
+        # requests coalesce in the service instead of serializing here
+        self._executor = ThreadPoolExecutor(max_workers=max_queue,
+                                            thread_name_prefix="serve")
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._counters = {"accepted": 0, "rejected": 0, "http_errors": 0,
+                          "queue_high_water": 0}
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._executor.shutdown(wait=False)
+
+    # -- admission control -------------------------------------------------------------
+
+    def _admit(self) -> bool:
+        with self._lock:
+            if self._in_flight >= self.max_queue:
+                self._counters["rejected"] += 1
+                return False
+            self._in_flight += 1
+            self._counters["accepted"] += 1
+            if self._in_flight > self._counters["queue_high_water"]:
+                self._counters["queue_high_water"] = self._in_flight
+            return True
+
+    def _release(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: service stats plus the server section."""
+        out = self.service.stats()
+        with self._lock:
+            server = dict(self._counters)
+            server["in_flight"] = self._in_flight
+        server["max_queue"] = self.max_queue
+        out["server"] = server
+        return out
+
+    # -- request handling --------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, body = request
+                status, payload = await self._dispatch(method, path, body)
+                if not await self._respond(writer, status, payload):
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        try:
+            header = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        if len(header) > _MAX_HEADER_BYTES:
+            return None
+        lines = header.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       payload: dict) -> bool:
+        reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 429: "Too Many Requests",
+                   500: "Internal Server Error"}
+        body = json.dumps(payload).encode("utf-8")
+        head = ("HTTP/1.1 {} {}\r\n"
+                "Content-Type: application/json\r\n"
+                "Content-Length: {}\r\n"
+                "\r\n").format(status, reasons.get(status, "OK"), len(body))
+        try:
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return False
+        return True
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, {"ok": True, "digest": self.service.digest}
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self.stats()
+        if path not in ("/sample_table", "/sample_rows", "/sample_database"):
+            return 404, {"error": "unknown path {!r}".format(path)}
+        if method != "POST":
+            return 405, {"error": "use POST"}
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": "invalid JSON body: {}".format(error)}
+        if not isinstance(request, dict):
+            return 400, {"error": "request body must be a JSON object"}
+        if not self._admit():
+            with self._lock:
+                rejected = self._counters["rejected"]
+            return 429, {"error": "request queue is full",
+                         "max_queue": self.max_queue, "rejected_total": rejected}
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                self._executor, self._execute, path, request)
+        finally:
+            self._release()
+
+    def _execute(self, path: str, request: dict):
+        """Run one sampling request on an executor thread."""
+        try:
+            seed = request.get("seed")
+            if path == "/sample_table":
+                table = self.service.sample_table(request.get("n"), seed=seed)
+                return 200, table_payload(table)
+            if path == "/sample_rows":
+                if "n" not in request:
+                    return 400, {"error": "sample_rows requires n"}
+                table = self.service.sample_rows(
+                    int(request["n"]), conditions=request.get("conditions"), seed=seed)
+                return 200, table_payload(table)
+            database = self.service.sample_database(request.get("n"), seed=seed)
+            return 200, {"tables": {name: table_payload(table)
+                                    for name, table in database.items()}}
+        except (ServingError, ValueError, TypeError) as error:
+            with self._lock:
+                self._counters["http_errors"] += 1
+            return 400, {"error": str(error)}
+        except Exception as error:  # a bug, not a bad request — keep serving
+            with self._lock:
+                self._counters["http_errors"] += 1
+            return 500, {"error": "{}: {}".format(type(error).__name__, error)}
+
+
+def request_json(host: str, port: int, method: str, path: str,
+                 payload: dict | None = None, timeout: float = 60.0):
+    """Blocking JSON client helper; returns ``(status, decoded body)``."""
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        connection.request(method, path, body=body,
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        raw = response.read().decode("utf-8")
+        return response.status, (json.loads(raw) if raw else None)
+    finally:
+        connection.close()
+
+
+def run_server(service: SynthesisService, host: str = "127.0.0.1", port: int = 0,
+               max_queue: int = DEFAULT_MAX_QUEUE, ready_callback=None,
+               max_seconds: float | None = None) -> None:
+    """Run the server until interrupted (or for *max_seconds*).
+
+    *ready_callback* (if given) is called with the bound ``(host, port)``
+    once the socket is listening — the CLI uses it to publish the
+    ephemeral port to scripts and tests.
+    """
+
+    async def _main():
+        server = SynthesisServer(service, host=host, port=port, max_queue=max_queue)
+        await server.start()
+        if ready_callback is not None:
+            ready_callback(server.host, server.port)
+        try:
+            if max_seconds is None:
+                await server.serve_forever()
+            else:
+                async with server._server:
+                    await asyncio.sleep(max_seconds)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass

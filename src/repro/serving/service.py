@@ -45,6 +45,7 @@ from repro.frame.table import Table
 from repro.llm.engine import _choose_indices, derive_seed
 from repro.pipelines.base import FittedPipeline
 from repro.pipelines.multitable import FittedMultiTablePipeline
+from repro.serving.metrics import MetricsRegistry
 
 
 class ServingError(RuntimeError):
@@ -103,12 +104,22 @@ class ServingConfig:
     approximate byte budget of the LRU result cache (0 disables caching);
     ``batch_window_s`` how long a coalescing leader waits for followers
     before draining the queue.
+
+    ``executor`` picks where the sampling work runs: ``"thread"`` shards
+    across a thread pool in-process (GIL-bound — identical output, little
+    speedup), ``"process"`` across a :class:`repro.serving.workers`
+    worker-process pool of ``shards`` bundle-loaded workers (requires
+    loading the service from a bundle path).  ``mmap`` makes bundle loads
+    memory-map the n-gram count tables instead of copying them — with
+    process workers the tables then share one page-cache copy.
     """
 
     shards: int = 1
     block_size: int = 256
     cache_bytes: int = 64 * 2**20
     batch_window_s: float = 0.002
+    executor: str = "thread"
+    mmap: bool = False
 
     def __post_init__(self):
         if self.shards < 1:
@@ -119,6 +130,8 @@ class ServingConfig:
             raise ValueError("cache_bytes must be non-negative")
         if self.batch_window_s < 0:
             raise ValueError("batch_window_s must be non-negative")
+        if self.executor not in ("thread", "process"):
+            raise ValueError('executor must be "thread" or "process"')
 
 
 @dataclass(frozen=True)
@@ -201,12 +214,20 @@ class SynthesisService:
 
     def __init__(self, fitted: FittedPipeline | FittedMultiTablePipeline,
                  config: ServingConfig | None = None,
-                 digest: str | None = None):
+                 digest: str | None = None,
+                 pool=None):
         self.fitted = fitted
         self.config = config or ServingConfig()
+        if self.config.executor == "process" and pool is None:
+            raise ServingError(
+                "the process executor needs bundle-loaded workers; build the "
+                "service with SynthesisService.from_bundle")
         #: cache namespace; bundle-loaded services use the content digest so
         #: equal artifacts share keys, in-memory ones get a unique token
         self.digest = digest or "unsaved-{:x}".format(id(fitted))
+        #: the process worker pool when ``executor == "process"`` (else None)
+        self.pool = pool
+        self.metrics = MetricsRegistry()
         self._cache = LruCache(self.config.cache_bytes)
         self._stats_lock = threading.Lock()
         self._stats = {"table_requests": 0, "row_requests": 0, "database_requests": 0,
@@ -217,18 +238,42 @@ class SynthesisService:
 
     @classmethod
     def from_bundle(cls, path, config: ServingConfig | None = None) -> "SynthesisService":
-        """Load a fitted-pipeline bundle (flat or multitable) once and serve from it."""
+        """Load a fitted-pipeline bundle (flat or multitable) once and serve from it.
+
+        With ``config.executor == "process"`` this also cold-starts a
+        :class:`~repro.serving.workers.WorkerPool` of ``config.shards``
+        worker processes from the same bundle path, each verifying the
+        content digest before the service accepts requests.
+        """
         from repro.store.bundle import (
-            BundleReader,
             load_fitted_pipeline,
             load_multitable_pipeline,
+            read_manifest,
         )
 
-        if BundleReader(path).kind == "multitable_pipeline":
-            fitted, digest = load_multitable_pipeline(path)
+        config = config or ServingConfig()
+        if read_manifest(path)["kind"] == "multitable_pipeline":
+            fitted, digest = load_multitable_pipeline(path, mmap=config.mmap)
         else:
-            fitted, digest = load_fitted_pipeline(path)
-        return cls(fitted, config=config, digest=digest)
+            fitted, digest = load_fitted_pipeline(path, mmap=config.mmap)
+        pool = None
+        if config.executor == "process":
+            from repro.serving.workers import WorkerPool
+
+            pool = WorkerPool(path, workers=config.shards, mmap=config.mmap,
+                              block_size=config.block_size, expected_digest=digest)
+        return cls(fitted, config=config, digest=digest, pool=pool)
+
+    def close(self) -> None:
+        """Release the process worker pool (no-op for thread executors)."""
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "SynthesisService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     @property
     def is_multitable(self) -> bool:
@@ -263,12 +308,23 @@ class SynthesisService:
         return self.sample_table(n, seed=seed)
 
     def stats(self) -> dict:
-        """Serving counters plus cache hit/miss totals and bytes held."""
+        """Serving counters, cache hit/miss totals and per-endpoint latency.
+
+        ``latency`` maps each endpoint to the
+        :meth:`~repro.serving.metrics.LatencyHistogram.snapshot` schema
+        (``count``/``total_s``/``max_s`` plus cumulative bucket counts) —
+        the same shape the HTTP server reports under ``/stats``, so both
+        read paths share one decoder.
+        """
         with self._stats_lock:
             out = dict(self._stats)
         out["cache_hits"] = self._cache.hits
         out["cache_misses"] = self._cache.misses
         out["cache_bytes_used"] = self._cache.bytes_used
+        out["executor"] = self.config.executor
+        out["latency"] = self.metrics.snapshot()
+        if self.pool is not None:
+            out["worker_restarts"] = self.pool.restarts
         return out
 
     # -- whole-database sampling (multitable bundles) ----------------------------------
@@ -287,20 +343,23 @@ class SynthesisService:
         seed = self.fitted.config.seed if seed is None else seed
         with self._stats_lock:
             self._stats["database_requests"] += 1
-        n_key = tuple(sorted(n.items())) if isinstance(n, dict) else n
-        key = (self.digest, "database", n_key, seed)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        if self.config.shards == 1:
-            database = self.fitted.sample_database(n, seed=seed)
-        else:
-            from concurrent.futures import ThreadPoolExecutor
+        with self.metrics.histogram("sample_database").time():
+            n_key = tuple(sorted(n.items())) if isinstance(n, dict) else n
+            key = (self.digest, "database", n_key, seed)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+            if self.pool is not None:
+                database = self.pool.sample_database(n, seed)
+            elif self.config.shards == 1:
+                database = self.fitted.sample_database(n, seed=seed)
+            else:
+                from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
-                database = self.fitted.sample_database(n, seed=seed, map_fn=pool.map)
-        self._cache.put(key, database)
-        return database
+                with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
+                    database = self.fitted.sample_database(n, seed=seed, map_fn=pool.map)
+            self._cache.put(key, database)
+            return database
 
     # -- full-table sampling (block-sharded) -------------------------------------------
 
@@ -324,23 +383,26 @@ class SynthesisService:
         seed = self.fitted.config.seed if seed is None else seed
         with self._stats_lock:
             self._stats["table_requests"] += 1
-        key = (self.digest, "table", n, seed, self.config.block_size)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        blocks = self._blocks(n, seed)
-        if self.config.shards == 1 or len(blocks) == 1:
-            parts = [self.fitted.sample_block(start, count, block_seed)
-                     for start, count, block_seed in blocks]
-        else:
-            from concurrent.futures import ThreadPoolExecutor
+        with self.metrics.histogram("sample_table").time():
+            key = (self.digest, "table", n, seed, self.config.block_size)
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached
+            blocks = self._blocks(n, seed)
+            if self.pool is not None:
+                parts = self.pool.sample_blocks(blocks)
+            elif self.config.shards == 1 or len(blocks) == 1:
+                parts = [self.fitted.sample_block(start, count, block_seed)
+                         for start, count, block_seed in blocks]
+            else:
+                from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
-                parts = list(pool.map(
-                    lambda block: self.fitted.sample_block(*block), blocks))
-        table = concat_rows(parts)
-        self._cache.put(key, table)
-        return table
+                with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
+                    parts = list(pool.map(
+                        lambda block: self.fitted.sample_block(*block), blocks))
+            table = concat_rows(parts)
+            self._cache.put(key, table)
+            return table
 
     # -- conditioned row sampling (coalesced) ------------------------------------------
 
@@ -389,6 +451,11 @@ class SynthesisService:
         Concurrent callers are coalesced into one batched engine pass; the
         result only depends on ``(bundle, n, conditions, seed)``.
         """
+        with self.metrics.histogram("sample_rows").time():
+            return self._sample_rows_timed(n, conditions, seed)
+
+    def _sample_rows_timed(self, n: int, conditions: dict | None,
+                           seed: int | None) -> Table:
         request = self._normalize_request(n, conditions, seed)
         key = (self.digest, "rows", request)
         cached = self._cache.get(key)
@@ -438,6 +505,10 @@ class SynthesisService:
             self._stats["coalesced_batches"] += 1
             self._stats["coalesced_requests_max"] = max(
                 self._stats["coalesced_requests_max"], len(requests))
+        if self.pool is not None:
+            # the whole coalesced batch goes to ONE worker so it still runs
+            # as a single merged engine pass per column
+            return self.pool.sample_rows_many(requests)
         synth = self._child_synth
         engine = synth._engine
         temperature = synth.config.sampler.temperature

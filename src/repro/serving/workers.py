@@ -1,0 +1,315 @@
+"""Process worker pool for CPU-parallel sampling.
+
+Thread sharding cannot speed up the sampling hot path — it is pure
+Python/NumPy under the GIL — so this pool runs the same deterministic work
+units (:meth:`FittedPipeline.sample_block` blocks, coalesced row batches,
+whole databases) in worker *processes*.  Each worker cold-starts by
+loading the bundle from its digest-addressed path (optionally memory-mapped
+so the n-gram count tables share page cache across workers) and verifies
+the content digest before reporting ready.  Because every work unit's seed
+is ``SeedSequence``-derived from the request seed alone, results are
+bit-identical for any worker count and identical to the thread-sharded and
+serial paths.
+
+Transport stays in the repo's pickle-free spirit: tables cross the process
+boundary as NPZ bytes through :mod:`repro.store.tablefmt`, requests as
+plain tuples of primitives.
+
+Failure model: a worker that dies (OOM kill, hard crash) fails the tasks
+assigned to it — each with a :class:`ServingError` naming the worker and
+its exit code — while every other worker keeps serving; the pool
+immediately respawns a replacement so capacity recovers without
+intervention.
+"""
+
+from __future__ import annotations
+
+import io
+import multiprocessing
+import os
+import threading
+import time
+from multiprocessing.connection import wait as connection_wait
+
+import numpy as np
+
+from repro.serving.service import RowRequest, ServingConfig, ServingError, SynthesisService
+from repro.store.tablefmt import arrays_to_table, table_to_arrays
+
+#: Seconds a worker gets to load the bundle and report ready.
+_READY_TIMEOUT_S = 60.0
+_JOIN_TIMEOUT_S = 5.0
+
+
+def encode_table(table) -> bytes:
+    """Serialize a table to NPZ bytes (the columnar wire format)."""
+    buffer = io.BytesIO()
+    np.savez(buffer, **table_to_arrays(table))
+    return buffer.getvalue()
+
+
+def decode_table(blob: bytes):
+    """Inverse of :func:`encode_table`."""
+    with np.load(io.BytesIO(blob)) as data:
+        return arrays_to_table({key: data[key] for key in data.files})
+
+
+def _execute(service: SynthesisService, method: str, payload):
+    """Run one task against the worker-local service; returns wire payload."""
+    if method == "sample_block":
+        start, count, seed = payload
+        return encode_table(service.fitted.sample_block(start, count, seed))
+    if method == "sample_rows_many":
+        requests = [RowRequest(n=n, conditions=conditions, seed=seed)
+                    for n, conditions, seed in payload]
+        return [encode_table(table) for table in service.sample_rows_many(requests)]
+    if method == "sample_database":
+        n, seed = payload
+        database = service.fitted.sample_database(n, seed=seed)
+        return {name: encode_table(table) for name, table in database.items()}
+    if method == "ping":
+        return None
+    if method == "crash":  # test hook: die without cleanup, like an OOM kill
+        os._exit(3)
+    raise ServingError("unknown worker method {!r}".format(method))
+
+
+def _worker_main(worker_index: int, bundle_path: str, mmap: bool, block_size: int,
+                 tasks, results) -> None:
+    """Worker process entry point: cold-start from the bundle, then serve."""
+    try:
+        config = ServingConfig(shards=1, block_size=block_size, cache_bytes=0,
+                               batch_window_s=0.0, mmap=mmap)
+        service = SynthesisService.from_bundle(bundle_path, config=config)
+    except BaseException as error:
+        results.put(("failed", None, worker_index, repr(error)))
+        return
+    results.put(("ready", None, worker_index, service.digest))
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        task_id, method, payload = item
+        try:
+            outcome = _execute(service, method, payload)
+        except BaseException as error:
+            results.put(("error", task_id, worker_index, repr(error)))
+        else:
+            results.put(("done", task_id, worker_index, outcome))
+
+
+class _Task:
+    """A submitted work unit awaiting its result."""
+
+    __slots__ = ("task_id", "method", "event", "value", "error", "worker_index")
+
+    def __init__(self, task_id: int, method: str):
+        self.task_id = task_id
+        self.method = method
+        self.event = threading.Event()
+        self.value = None
+        self.error: Exception | None = None
+        self.worker_index: int | None = None
+
+    def result(self, timeout: float | None = None):
+        if not self.event.wait(timeout):
+            raise ServingError("timed out waiting for worker task {!r}".format(self.method))
+        if self.error is not None:
+            raise self.error
+        return self.value
+
+
+class WorkerPool:
+    """A fixed-size pool of bundle-loaded sampling processes.
+
+    Tasks are dispatched round-robin onto per-worker queues; a collector
+    thread resolves results and a monitor thread watches process sentinels
+    so a crashed worker fails only its in-flight tasks and is respawned.
+    """
+
+    def __init__(self, bundle_path, workers: int = 1, mmap: bool = False,
+                 block_size: int = 256, expected_digest: str | None = None,
+                 start_method: str | None = None):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.bundle_path = str(bundle_path)
+        self.workers = workers
+        self.mmap = bool(mmap)
+        self.block_size = block_size
+        methods = multiprocessing.get_all_start_methods()
+        if start_method is None:
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+        self._results = self._context.Queue()
+        self._task_queues = [self._context.Queue() for _ in range(workers)]
+        self._lock = threading.Lock()
+        self._tasks: dict[int, _Task] = {}
+        self._next_task_id = 0
+        self._next_worker = 0
+        self._closing = False
+        self.digest: str | None = None
+        self.restarts = 0
+
+        self._processes = [self._spawn(index) for index in range(workers)]
+        self._await_ready(range(workers), expected_digest)
+        self._collector = threading.Thread(target=self._collect, daemon=True,
+                                           name="workerpool-collector")
+        self._collector.start()
+        self._monitor = threading.Thread(target=self._watch, daemon=True,
+                                         name="workerpool-monitor")
+        self._monitor.start()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def _spawn(self, index: int):
+        process = self._context.Process(
+            target=_worker_main,
+            args=(index, self.bundle_path, self.mmap, self.block_size,
+                  self._task_queues[index], self._results),
+            daemon=True,
+            name="repro-worker-{}".format(index),
+        )
+        process.start()
+        return process
+
+    def _await_ready(self, indices, expected_digest: str | None) -> None:
+        """Block until every listed worker reports a verified cold start."""
+        pending = set(indices)
+        while pending:
+            try:
+                kind, _, worker_index, payload = self._results.get(timeout=_READY_TIMEOUT_S)
+            except Exception:
+                self.close()
+                raise ServingError("workers {} never reported ready".format(sorted(pending)))
+            if kind == "failed":
+                self.close()
+                raise ServingError("worker {} failed to load bundle: {}".format(
+                    worker_index, payload))
+            if kind != "ready":
+                continue
+            if expected_digest is not None and payload != expected_digest:
+                self.close()
+                raise ServingError(
+                    "worker {} loaded digest {} but the pool serves {}".format(
+                        worker_index, payload, expected_digest))
+            if self.digest is None:
+                self.digest = payload
+            pending.discard(worker_index)
+
+    def close(self) -> None:
+        """Stop every worker and fail whatever is still in flight."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            leftovers = list(self._tasks.values())
+            self._tasks.clear()
+        for task in leftovers:
+            task.error = ServingError("worker pool closed")
+            task.event.set()
+        for queue in self._task_queues:
+            try:
+                queue.put(None)
+            except Exception:
+                pass
+        for process in self._processes:
+            process.join(timeout=_JOIN_TIMEOUT_S)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=_JOIN_TIMEOUT_S)
+        self._results.put(None)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------------------
+
+    def submit(self, method: str, payload) -> _Task:
+        with self._lock:
+            if self._closing:
+                raise ServingError("worker pool is closed")
+            task = _Task(self._next_task_id, method)
+            self._next_task_id += 1
+            # the parent assigns work at submit time, so it always knows which
+            # worker owns a task — a worker that dies without managing to send
+            # anything still fails exactly its own tasks
+            task.worker_index = self._next_worker
+            self._next_worker = (self._next_worker + 1) % self.workers
+            self._tasks[task.task_id] = task
+        self._task_queues[task.worker_index].put((task.task_id, method, payload))
+        return task
+
+    def _collect(self) -> None:
+        while True:
+            item = self._results.get()
+            if item is None:
+                return
+            kind, task_id, worker_index, payload = item
+            if kind == "ready":  # a respawned worker came up
+                continue
+            with self._lock:
+                task = self._tasks.pop(task_id, None)
+                if task is None:
+                    continue
+            if kind == "done":
+                task.value = payload
+            else:
+                task.error = ServingError("worker {} failed {}: {}".format(
+                    worker_index, task.method, payload))
+            task.event.set()
+
+    def _watch(self) -> None:
+        """Fail in-flight tasks of dead workers and respawn replacements."""
+        while True:
+            with self._lock:
+                if self._closing:
+                    return
+                sentinels = {process.sentinel: index
+                             for index, process in enumerate(self._processes)
+                             if process.is_alive()}
+            if not sentinels:
+                return
+            fired = connection_wait(list(sentinels), timeout=0.2)
+            for sentinel in fired:
+                index = sentinels[sentinel]
+                process = self._processes[index]
+                process.join(timeout=_JOIN_TIMEOUT_S)
+                # give the collector a beat to drain "picked"/"done" messages
+                # the worker managed to send before dying, so finished tasks
+                # are not failed retroactively
+                time.sleep(0.1)
+                with self._lock:
+                    if self._closing:
+                        return
+                    orphans = [task for task in self._tasks.values()
+                               if task.worker_index == index]
+                    for task in orphans:
+                        del self._tasks[task.task_id]
+                    self.restarts += 1
+                    self._processes[index] = self._spawn(index)
+                for task in orphans:
+                    task.error = ServingError(
+                        "worker {} died (exit code {}) while serving {}".format(
+                            index, process.exitcode, task.method))
+                    task.event.set()
+
+    # -- typed helpers -----------------------------------------------------------------
+
+    def sample_blocks(self, blocks) -> list:
+        """Run ``sample_block`` tasks for every ``(start, count, seed)`` block."""
+        tasks = [self.submit("sample_block", tuple(block)) for block in blocks]
+        return [decode_table(task.result()) for task in tasks]
+
+    def sample_rows_many(self, requests) -> list:
+        """Ship one coalesced row batch to a single worker (one merged pass)."""
+        payload = [(request.n, tuple(request.conditions), request.seed)
+                   for request in requests]
+        task = self.submit("sample_rows_many", payload)
+        return [decode_table(blob) for blob in task.result()]
+
+    def sample_database(self, n, seed) -> dict:
+        task = self.submit("sample_database", (n, seed))
+        return {name: decode_table(blob) for name, blob in task.result().items()}

@@ -52,6 +52,7 @@ from repro.llm.tokenizer import Vocabulary, WordTokenizer
 from repro.llm.training import ArrayTrainedNGramModel, CorpusCounts, resolve_training_engine
 from repro.relational.parent_child import ParentChildConfig, ParentChildSynthesizer
 import repro.store.codec as codec
+import repro.store.npymap as npymap
 from repro.store.atomic import atomic_path
 from repro.store.codec import StoreError
 from repro.store.tablefmt import (
@@ -147,15 +148,37 @@ class BundleWriter:
 
 
 class BundleReader:
-    """Read parts of a bundle archive written by :class:`BundleWriter`."""
+    """Read parts of a bundle archive written by :class:`BundleWriter`.
 
-    def __init__(self, path):
+    With ``mmap=True`` the NPZ parts are not copied into memory: their byte
+    ranges are recorded and :meth:`arrays` hands out read-only
+    ``np.memmap`` views of the bundle file (:mod:`repro.store.npymap`), so
+    the n-gram count tables are backed by shared page cache instead of
+    per-process heap copies.  Entries that cannot be mapped — the deflated
+    NPZ entries of compressed bundles, object-dtype arrays — fall back to
+    the eager read transparently; the manifest records nothing about the
+    knob, it is purely a reader-side choice.
+    """
+
+    def __init__(self, path, mmap: bool = False):
         self.path = Path(path)
+        self.mmap = bool(mmap)
         if not self.path.is_file():
             raise StoreError("no bundle at {}".format(self.path))
+        self._npz_spans: dict[str, tuple[int, int]] = {}
         try:
             with zipfile.ZipFile(self.path) as archive:
-                self._parts = {name: archive.read(name) for name in archive.namelist()}
+                if self.mmap:
+                    self._parts = {}
+                    for info in archive.infolist():
+                        stored = info.compress_type == zipfile.ZIP_STORED
+                        if stored and info.filename.endswith(".npz"):
+                            self._npz_spans[info.filename] = (info.header_offset,
+                                                              info.file_size)
+                        else:
+                            self._parts[info.filename] = archive.read(info.filename)
+                else:
+                    self._parts = {name: archive.read(name) for name in archive.namelist()}
         except zipfile.BadZipFile as error:
             raise StoreError("not a bundle archive: {} ({})".format(self.path, error)) from None
         if MANIFEST_NAME not in self._parts:
@@ -199,11 +222,20 @@ class BundleReader:
         return codec.loads(self._part(name + ".json").decode("utf-8"))
 
     def arrays(self, name: str) -> dict:
+        span = self._npz_spans.get(name + ".npz")
+        if span is not None:
+            return npymap.map_npz(self.path, *span)
         with np.load(io.BytesIO(self._part(name + ".npz"))) as data:
             return {key: data[key] for key in data.files}
 
     def table(self, name: str):
-        return arrays_to_table(self.arrays(name))
+        arrays = self.arrays(name)
+        if self.mmap:
+            # tables feed column backends that expect ordinary writable
+            # arrays; only the count tables stay mapped
+            arrays = {key: np.array(value) if isinstance(value, np.memmap) else value
+                      for key, value in arrays.items()}
+        return arrays_to_table(arrays)
 
 
 def read_manifest(path) -> dict:
@@ -603,8 +635,8 @@ def save_great_synthesizer(synth: GReaTSynthesizer, path, compress: bool = False
     return writer.write(path)
 
 
-def load_great_synthesizer(path) -> GReaTSynthesizer:
-    reader = BundleReader(path)
+def load_great_synthesizer(path, mmap: bool = False) -> GReaTSynthesizer:
+    reader = BundleReader(path, mmap=mmap)
     if reader.kind != "great_synthesizer":
         raise StoreError("bundle at {} is a {!r}, not a GReaT synthesizer".format(
             path, reader.kind))
@@ -625,8 +657,8 @@ def save_parent_child(synth: ParentChildSynthesizer, path, compress: bool = Fals
     return writer.write(path)
 
 
-def load_parent_child(path) -> ParentChildSynthesizer:
-    reader = BundleReader(path)
+def load_parent_child(path, mmap: bool = False) -> ParentChildSynthesizer:
+    reader = BundleReader(path, mmap=mmap)
     if reader.kind != "parent_child_synthesizer":
         raise StoreError("bundle at {} is a {!r}, not a parent/child synthesizer".format(
             path, reader.kind))
@@ -656,13 +688,13 @@ def save_fitted_pipeline(fitted, path, compress: bool = False) -> str:
     return writer.write(path)
 
 
-def load_fitted_pipeline(path):
+def load_fitted_pipeline(path, mmap: bool = False):
     """Load a fitted pipeline bundle; returns ``(fitted, digest)``."""
     from repro.connecting.connector import ConnectorConfig
     from repro.pipelines.base import FittedPipeline
     from repro.pipelines.config import PipelineConfig
 
-    reader = BundleReader(path)
+    reader = BundleReader(path, mmap=mmap)
     if reader.kind != "fitted_pipeline":
         raise StoreError("bundle at {} is a {!r}, not a fitted pipeline".format(
             path, reader.kind))
@@ -705,9 +737,9 @@ def save_multitable(synth, path, compress: bool = False) -> str:
     return writer.write(path)
 
 
-def load_multitable(path):
+def load_multitable(path, mmap: bool = False):
     """Load a fitted multi-table synthesizer bundle."""
-    reader = BundleReader(path)
+    reader = BundleReader(path, mmap=mmap)
     if reader.kind != "multitable_synthesizer":
         raise StoreError("bundle at {} is a {!r}, not a multi-table synthesizer".format(
             path, reader.kind))
@@ -730,7 +762,7 @@ def save_multitable_pipeline(fitted, path, compress: bool = False) -> str:
     return writer.write(path)
 
 
-def load_multitable_pipeline(path):
+def load_multitable_pipeline(path, mmap: bool = False):
     """Load a fitted multitable-pipeline bundle; returns ``(fitted, digest)``."""
     from repro.pipelines.multitable import (
         FittedMultiTablePipeline,
@@ -738,7 +770,7 @@ def load_multitable_pipeline(path):
     )
     from repro.schema.inference import InferenceConfig
 
-    reader = BundleReader(path)
+    reader = BundleReader(path, mmap=mmap)
     if reader.kind != "multitable_pipeline":
         raise StoreError("bundle at {} is a {!r}, not a multitable pipeline".format(
             path, reader.kind))
@@ -756,22 +788,22 @@ def load_multitable_pipeline(path):
     return fitted, reader.digest
 
 
-def load_bundle(path):
+def load_bundle(path, mmap: bool = False):
     """Load whatever fitted object the bundle at *path* contains.
 
     Returns the loaded object; for fitted pipelines this is the
     ``(fitted, digest)`` pair of :func:`load_fitted_pipeline` /
     :func:`load_multitable_pipeline`.
     """
-    kind = BundleReader(path).kind
+    kind = read_manifest(path)["kind"]
     if kind == "great_synthesizer":
-        return load_great_synthesizer(path)
+        return load_great_synthesizer(path, mmap=mmap)
     if kind == "parent_child_synthesizer":
-        return load_parent_child(path)
+        return load_parent_child(path, mmap=mmap)
     if kind == "fitted_pipeline":
-        return load_fitted_pipeline(path)
+        return load_fitted_pipeline(path, mmap=mmap)
     if kind == "multitable_synthesizer":
-        return load_multitable(path)
+        return load_multitable(path, mmap=mmap)
     if kind == "multitable_pipeline":
-        return load_multitable_pipeline(path)
+        return load_multitable_pipeline(path, mmap=mmap)
     raise StoreError("unknown bundle kind {!r}".format(kind))

@@ -1,0 +1,150 @@
+"""Memory-mapped views of NPZ parts inside bundle archives.
+
+Bundle archives are written ``ZIP_STORED`` at the outer level and — when the
+``compress`` knob is off — ``numpy.savez`` keeps the inner ``.npy`` entries
+stored too.  Uncompressed bytes inside a stored zip sit contiguously on
+disk, so an array can be mapped straight out of the bundle file with
+:class:`numpy.memmap` instead of being copied into anonymous memory: the
+kernel page cache then shares one physical copy of the n-gram count tables
+across every process serving the same bundle.
+
+The helpers here locate those byte ranges.  A zip local file header is 30
+bytes plus a variable-length name and extra field, so the payload of entry
+*e* starts at ``e.header_offset + 30 + len(name) + len(extra)`` — the extra
+field length in the *local* header can differ from the central directory's
+copy, so it is read from the local header itself.  Inside the payload, the
+``.npy`` header (magic, version, dtype/shape dict) is parsed with
+:mod:`numpy.lib.format` and the array body mapped from the position the
+parser stops at.
+
+Anything that cannot be mapped — deflated entries (compressed bundles),
+object-dtype arrays, empty arrays — falls back to the ordinary eager read,
+so :func:`map_npz` always succeeds and simply maps as much as it can.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zipfile
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+from repro.store.codec import StoreError
+
+#: Fixed-size prefix of a zip local file header (APPNOTE 4.3.7).
+_LOCAL_HEADER = struct.Struct("<4s5H3I2H")
+_LOCAL_SIGNATURE = b"PK\x03\x04"
+
+
+class _FileWindow(io.RawIOBase):
+    """Read-only file-like view of a byte range of an open file.
+
+    ``zipfile.ZipFile`` needs a seekable stream; this presents the payload
+    of one outer archive entry as a standalone file so the inner NPZ
+    archive can be walked without copying it out.
+    """
+
+    def __init__(self, stream, start: int, size: int):
+        self._stream = stream
+        self._start = start
+        self._size = size
+        self._pos = 0
+
+    def readable(self) -> bool:
+        return True
+
+    def seekable(self) -> bool:
+        return True
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        if whence == io.SEEK_SET:
+            self._pos = offset
+        elif whence == io.SEEK_CUR:
+            self._pos += offset
+        elif whence == io.SEEK_END:
+            self._pos = self._size + offset
+        else:
+            raise ValueError("unsupported whence {!r}".format(whence))
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def read(self, size: int = -1):
+        remaining = max(self._size - self._pos, 0)
+        if size is None or size < 0 or size > remaining:
+            size = remaining
+        self._stream.seek(self._start + self._pos)
+        data = self._stream.read(size)
+        self._pos += len(data)
+        return data
+
+
+def data_offset(stream, header_offset: int, base: int = 0) -> int:
+    """Absolute file offset of the payload of a stored zip entry.
+
+    *header_offset* is the entry's local-header offset relative to *base*
+    (the archive's own start within *stream*).
+    """
+    stream.seek(base + header_offset)
+    header = stream.read(_LOCAL_HEADER.size)
+    if len(header) != _LOCAL_HEADER.size:
+        raise StoreError("truncated zip local header at offset {}".format(base + header_offset))
+    fields = _LOCAL_HEADER.unpack(header)
+    if fields[0] != _LOCAL_SIGNATURE:
+        raise StoreError("bad zip local header at offset {}".format(base + header_offset))
+    name_length, extra_length = fields[-2], fields[-1]
+    return base + header_offset + _LOCAL_HEADER.size + name_length + extra_length
+
+
+def _map_entry(path, stream, start: int):
+    """Memory-map one stored ``.npy`` payload, or ``None`` when not mappable."""
+    stream.seek(start)
+    try:
+        version = npy_format.read_magic(stream)
+        if version == (1, 0):
+            shape, fortran, dtype = npy_format.read_array_header_1_0(stream)
+        elif version == (2, 0):
+            shape, fortran, dtype = npy_format.read_array_header_2_0(stream)
+        else:
+            return None
+    except ValueError:
+        return None
+    if dtype.hasobject or dtype.itemsize == 0:
+        return None
+    order = "F" if fortran else "C"
+    if 0 in shape:
+        return np.empty(shape, dtype=dtype, order=order)
+    return np.memmap(path, dtype=dtype, mode="r", offset=stream.tell(),
+                     shape=shape, order=order)
+
+
+def map_npz(path, header_offset: int, size: int) -> dict:
+    """Load the NPZ part stored at *header_offset* of the bundle at *path*.
+
+    Returns a ``name -> ndarray`` mapping like ``BundleReader.arrays``.
+    Stored plain-dtype entries come back as read-only ``np.memmap`` views
+    of the bundle file; everything else (deflated entries of compressed
+    bundles, object dtypes) is read eagerly.
+    """
+    arrays: dict = {}
+    with open(path, "rb") as stream:
+        start = data_offset(stream, header_offset)
+        with zipfile.ZipFile(_FileWindow(stream, start, size)) as inner:
+            for info in inner.infolist():
+                name = info.filename
+                if not name.endswith(".npy"):
+                    continue
+                key = name[: -len(".npy")]
+                mapped = None
+                if info.compress_type == zipfile.ZIP_STORED:
+                    mapped = _map_entry(path, stream,
+                                        data_offset(stream, info.header_offset, base=start))
+                if mapped is None:
+                    with inner.open(name) as entry:
+                        mapped = npy_format.read_array(io.BytesIO(entry.read()),
+                                                       allow_pickle=False)
+                arrays[key] = mapped
+    return arrays

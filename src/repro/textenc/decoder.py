@@ -42,6 +42,10 @@ class TextualDecoder:
             + re.escape(key_value_separator.strip() or ":") + r")|$)",
             re.DOTALL,
         )
+        # the validity filter decodes each candidate sentence in full; the
+        # last successful decode is memoised so the accept-then-decode
+        # pattern (is_valid followed by decode_row) parses only once
+        self._row_memo: tuple[str, dict] | None = None
 
     @classmethod
     def for_table(cls, table: Table, **kwargs) -> "TextualDecoder":
@@ -93,6 +97,10 @@ class TextualDecoder:
         Raises :class:`DecodeError` when columns are missing (and
         *require_all* is true) or a value cannot be coerced.
         """
+        if require_all:
+            memo = self._row_memo
+            if memo is not None and memo[0] == sentence:
+                return dict(memo[1])
         pairs = self.parse_pairs(sentence)
         row: dict = {}
         for column in self.columns:
@@ -102,6 +110,8 @@ class TextualDecoder:
                 row[column] = None
                 continue
             row[column] = self.coerce(column, pairs[column])
+        if require_all:
+            self._row_memo = (sentence, dict(row))
         return row
 
     def is_valid(self, sentence: str) -> bool:
