@@ -18,7 +18,15 @@ Measures the three things the train-once / serve-many split buys:
   sha256 digest of the output per worker count (all must match the serial
   reference), and the 4-vs-1 worker throughput ratio.  The ratio is only
   *asserted* (>= ``--scaling-margin``) when the machine actually has >= 4
-  CPU cores — on smaller boxes it is recorded but cannot be meaningful.
+  CPU cores — on smaller boxes it is recorded but cannot be meaningful;
+* **out-of-core streaming** — a table >= 10x the chunk budget streamed
+  through :class:`repro.store.stream.CsvTableSink` on both engines: the
+  streamed CSV must be sha256-identical to the in-memory materialization
+  of the same blocks, and the tracemalloc allocation peak of the chunked
+  walk must stay O(chunk), not O(table) — asserted by streaming 4x the
+  rows and requiring the peak to grow by at most ``--stream-growth-bound``
+  (in-memory peaks grow with the table; streamed peaks must not).
+  Process peak RSS is recorded alongside.
 
 Usage::
 
@@ -39,6 +47,7 @@ import json
 import os
 import tempfile
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -46,12 +55,15 @@ import numpy as np
 from repro.connecting.connector import ConnectorConfig
 from repro.datasets.digix import DigixConfig, generate_digix_like
 from repro.enhancement.enhancer import EnhancerConfig
+from repro.frame.io import write_csv
+from repro.frame.ops import concat_rows
 from repro.frame.table import Table
 from repro.pipelines.base import FittedPipeline
 from repro.pipelines.config import PipelineConfig
 from repro.pipelines.greater import GReaTERPipeline
-from repro.serving import ServingConfig, SynthesisService
+from repro.serving import ServingConfig, SynthesisService, process_peak_rss_bytes
 from repro.store.bundle import load_fitted_pipeline
+from repro.store.stream import CsvTableSink
 
 SHARD_COUNTS = (1, 2, 4)
 WORKER_COUNTS = (1, 2, 4)
@@ -99,8 +111,12 @@ def _tables_digest(tables: list[Table]) -> str:
     return digest.hexdigest()
 
 
+def _sha256_file(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
 def run(n_users: int, n_sample: int, requests: int, seed: int = 7,
-        scaling_margin: float = 2.5) -> dict:
+        scaling_margin: float = 2.5, stream_growth_bound: float = 1.5) -> dict:
     trial = _trial(n_users, seed)
     workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
     report: dict = {"n_users": n_users, "n_sample": n_sample, "seed": seed,
@@ -252,11 +268,83 @@ def run(n_users: int, n_sample: int, requests: int, seed: int = 7,
         "scaling_asserted": cpu_count >= max(WORKER_COUNTS),
     }
 
+    # -- out-of-core streaming: O(chunk) memory, byte-identical CSV ---------------------
+    # A table >= 10x the chunk budget is streamed block by block through the
+    # CSV sink; the in-memory path materializes the identical blocks first,
+    # so the two CSVs must be sha256-identical.  The memory gate runs on
+    # tracemalloc peaks (process peak RSS is monotonic over the whole
+    # benchmark, so it is recorded for the report only): streaming 4x the
+    # rows must not grow the streamed peak meaningfully — the signature of
+    # O(chunk) rather than O(table) memory.
+    chunk_rows = max(4, n_sample // 8)
+    n_stream = 12 * chunk_rows
+    stream_engines: dict[str, dict] = {}
+
+    def _streamed(fitted, path: Path, n: int) -> tuple[int, float, int, int]:
+        tracemalloc.start()
+        start = time.perf_counter()
+        with CsvTableSink(path) as sink:
+            sink.write_all(fitted.iter_sample_flat(
+                n_subjects=n, seed=seed + 2, chunk_rows=chunk_rows))
+            rows, chunks = sink.rows_written, sink.chunks_written
+        elapsed = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak, elapsed, rows, chunks
+
+    for engine in ("object", "compiled"):
+        fitted, _ = load_fitted_pipeline(workdir / "bundle_{}".format(engine))
+
+        whole_path = workdir / "whole_{}.csv".format(engine)
+        tracemalloc.start()
+        start = time.perf_counter()
+        whole = concat_rows(list(fitted.iter_sample_flat(
+            n_subjects=n_stream, seed=seed + 2, chunk_rows=chunk_rows)))
+        write_csv(whole, whole_path)
+        in_memory_s = time.perf_counter() - start
+        _, full_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+        stream_path = workdir / "stream_{}.csv".format(engine)
+        stream_peak, streamed_s, rows_written, chunks_written = _streamed(
+            fitted, stream_path, n_stream)
+        big_peak, _, big_rows, _ = _streamed(
+            fitted, workdir / "stream4x_{}.csv".format(engine), 4 * n_stream)
+
+        stream_engines[engine] = {
+            "rows": rows_written,
+            "chunks": chunks_written,
+            "in_memory_s": round(in_memory_s, 6),
+            "streamed_s": round(streamed_s, 6),
+            "in_memory_peak_bytes": full_peak,
+            "streamed_peak_bytes": stream_peak,
+            "peak_ratio": round(stream_peak / full_peak, 4) if full_peak else None,
+            "rows_4x": big_rows,
+            "streamed_peak_bytes_4x": big_peak,
+            "peak_growth_4x": round(big_peak / stream_peak, 4) if stream_peak else None,
+            "identical_output": _sha256_file(stream_path) == _sha256_file(whole_path),
+        }
+    report["streaming"] = {
+        "chunk_rows": chunk_rows,
+        "n_subjects": n_stream,
+        "chunks_over_budget": n_stream // chunk_rows,
+        "growth_bound": stream_growth_bound,
+        "peak_rss_bytes": process_peak_rss_bytes(),
+        "engines": stream_engines,
+        "identical_output": all(
+            entry["identical_output"] for entry in stream_engines.values()),
+        "within_memory_bound": all(
+            entry["peak_growth_4x"] is not None
+            and entry["peak_growth_4x"] <= stream_growth_bound
+            for entry in stream_engines.values()),
+    }
+
     report["all_identical"] = (
         all(entry["identical_output"] for entry in engines.values())
         and all(entry["identical_across_shards"] for entry in serving)
         and report["coalescing"]["identical_output"]
         and report["process_serving"]["identical_across_workers"]
+        and report["streaming"]["identical_output"]
     )
     return report
 
@@ -277,6 +365,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scaling-margin", type=float, default=2.5,
                         help="required 4-worker over 1-worker rows/s ratio, "
                              "asserted only on machines with >= 4 cores (default 2.5)")
+    parser.add_argument("--stream-growth-bound", type=float, default=1.5,
+                        help="max allowed growth of the streaming allocation "
+                             "peak when the table grows 4x (default 1.5)")
     parser.add_argument("--out", type=Path, default=Path("BENCH_store.json"),
                         help="output JSON path (default ./BENCH_store.json)")
     args = parser.parse_args(argv)
@@ -286,7 +377,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         users, sample, requests = args.users, args.sample, args.requests
     report = run(users, sample, requests, seed=args.seed,
-                 scaling_margin=args.scaling_margin)
+                 scaling_margin=args.scaling_margin,
+                 stream_growth_bound=args.stream_growth_bound)
     report["mode"] = "smoke" if args.smoke else "full"
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -312,6 +404,15 @@ def main(argv: list[str] | None = None) -> int:
     print("process scaling 4w/1w = {}x on {} cores  identical_across_workers={}".format(
         process["scaling_4w_over_1w"], process["cpu_count"],
         process["identical_across_workers"]))
+    streaming = report["streaming"]
+    for engine, entry in streaming["engines"].items():
+        print("streaming {:9s} {:d} rows in {:d} chunks of {:d}  "
+              "peak {:.0f} KiB (in-memory {:.0f} KiB)  "
+              "4x rows -> peak x{:.2f}  identical={}".format(
+                  engine, entry["rows"], entry["chunks"], streaming["chunk_rows"],
+                  entry["streamed_peak_bytes"] / 1024,
+                  entry["in_memory_peak_bytes"] / 1024,
+                  entry["peak_growth_4x"], entry["identical_output"]))
     print("wrote {}".format(args.out))
 
     if not report["all_identical"]:
@@ -323,6 +424,13 @@ def main(argv: list[str] | None = None) -> int:
               "(margin {}x, {} cores)".format(
                   process["scaling_4w_over_1w"], process["scaling_margin"],
                   process["cpu_count"]))
+        return 1
+    if not streaming["within_memory_bound"]:
+        print("ERROR: streaming allocation peak grew more than {}x on a 4x "
+              "larger table: {}".format(
+                  streaming["growth_bound"],
+                  {engine: entry["peak_growth_4x"]
+                   for engine, entry in streaming["engines"].items()}))
         return 1
     return 0
 

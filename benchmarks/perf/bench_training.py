@@ -112,12 +112,19 @@ def bench_fit_trace(engine: str, rows: int, seed: int):
 
 
 def bench_encode(engine: str, rows: int, seed: int):
-    """Vocabulary fit + corpus encode: two passes + per-sentence loop vs the
-    shared one-scan ``fit_encode_corpus`` path."""
-    corpus = _corpus(rows, seed)
+    """Table -> corpus -> token ids: per-row sentence formatting plus a
+    per-sentence tokenizer loop vs the factorize-gather ``encode_table`` path
+    plus the shared one-scan ``fit_encode_corpus`` path."""
+    table = _training_table(rows, seed)
 
     if engine == "object":
         def body():
+            encoder = TextualEncoder(EncoderConfig(seed=seed))
+            names = table.column_names
+            corpus = [encoder.encode_row(table.row(i), columns=names, permute=False)
+                      for i in range(table.num_rows)]
+            corpus.extend(encoder.encode_row(table.row(i), columns=names)
+                          for i in range(table.num_rows))
             tokenizer = WordTokenizer().fit(corpus)
             flat: list[int] = []
             for sentence in corpus:
@@ -125,6 +132,9 @@ def bench_encode(engine: str, rows: int, seed: int):
             return dict(tokenizer.vocabulary.token_to_id), flat
     else:
         def body():
+            encoder = TextualEncoder(EncoderConfig(seed=seed))
+            builder = CorpusBuilder(encoder=encoder, permutation_passes=2)
+            corpus, _ = builder.build(table)
             tokenizer = WordTokenizer()
             encoded = tokenizer.fit_encode_corpus(corpus)
             return dict(tokenizer.vocabulary.token_to_id), encoded.ids

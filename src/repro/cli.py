@@ -173,6 +173,10 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
         parser.add_argument("--seed", type=int, default=7, help="random seed")
         parser.add_argument("--out-dir", default=None,
                             help="write the synthetic tables as CSVs into this directory")
+        parser.add_argument("--chunk-rows", type=int, default=None,
+                            help="stream each table to --out-dir in chunks of this many "
+                                 "rows, spilling completed tables to disk so at most one "
+                                 "table is in RAM (requires --out-dir)")
         return parser
     if command == "serve":
         parser.add_argument("--bundle", required=True,
@@ -206,6 +210,9 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
         parser.add_argument("--seed", type=int, default=None, help="sampling seed")
         parser.add_argument("--conditions", default=None,
                             help="JSON object of column: value conditions (rows mode)")
+        parser.add_argument("--stream", action="store_true",
+                            help="table mode: request a chunked ndjson stream instead "
+                                 "of one JSON body")
         parser.add_argument("--timeout", type=float, default=120.0,
                             help="request timeout in seconds (default 120)")
         return parser
@@ -232,6 +239,9 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
     if command == "sample":
         parser.add_argument("--out", default=None,
                             help="optionally write the synthetic flat table to this CSV path")
+        parser.add_argument("--chunk-rows", type=int, default=None,
+                            help="stream the table to --out in blocks of this many "
+                                 "subjects instead of materializing it (requires --out)")
     if command == "serve-bench":
         parser.add_argument("--requests", type=int, default=4,
                             help="sampling requests per shard count (default 4)")
@@ -282,26 +292,36 @@ def _run_fit(args) -> list[dict]:
 def _run_sample(args) -> list[dict]:
     from repro.frame.io import write_csv
     from repro.store.bundle import load_fitted_pipeline
+    from repro.store.stream import CsvTableSink
 
+    if args.chunk_rows is not None and not args.out:
+        raise SystemExit("sample --chunk-rows requires --out")
     start = time.perf_counter()
     fitted, digest = load_fitted_pipeline(args.bundle)
     load_s = time.perf_counter() - start
-    start = time.perf_counter()
-    result = fitted.sample(n_subjects=args.n, seed=args.seed)
-    sample_s = time.perf_counter() - start
     row = {
         "command": "sample",
         "pipeline": fitted.name,
         "digest": digest[:12],
-        "rows": result.synthetic_flat.num_rows,
-        "columns": result.synthetic_flat.num_columns,
         "seed": fitted.config.seed if args.seed is None else args.seed,
         "load_s": round(load_s, 4),
-        "sample_s": round(sample_s, 4),
     }
-    if args.out:
-        write_csv(result.synthetic_flat, args.out)
-        row["out"] = args.out
+    start = time.perf_counter()
+    if args.chunk_rows is not None:
+        with CsvTableSink(args.out) as sink:
+            sink.write_all(fitted.iter_sample_flat(
+                n_subjects=args.n, seed=args.seed, chunk_rows=args.chunk_rows))
+            rows_written, chunks_written = sink.rows_written, sink.chunks_written
+        row.update(rows=rows_written, chunks=chunks_written,
+                   chunk_rows=args.chunk_rows, out=args.out)
+    else:
+        result = fitted.sample(n_subjects=args.n, seed=args.seed)
+        row.update(rows=result.synthetic_flat.num_rows,
+                   columns=result.synthetic_flat.num_columns)
+        if args.out:
+            write_csv(result.synthetic_flat, args.out)
+            row["out"] = args.out
+    row["sample_s"] = round(time.perf_counter() - start, 4)
     return [row]
 
 
@@ -421,6 +441,22 @@ def _run_client(args) -> list[dict]:
     if args.seed is not None:
         payload["seed"] = args.seed
     if args.mode == "table":
+        if args.stream:
+            from repro.serving.server import request_json_stream
+
+            try:
+                status, lines = request_json_stream(args.host, args.port, payload,
+                                                    timeout=args.timeout)
+            except OSError as error:
+                raise SystemExit("cannot reach {}:{}: {}".format(
+                    args.host, args.port, error))
+            if status != 200:
+                raise SystemExit("server returned {}: {}".format(
+                    status, (lines or {}).get("error", lines)))
+            # the final line is the {"done": ..., "chunks": ..., "rows": N}
+            # summary; every other line is a block payload with row records
+            return [row for line in lines if not line.get("done")
+                    for row in line.get("rows", [])]
         return call("POST", "/sample_table", payload)["rows"]
     if args.mode == "rows":
         if args.n is None:
@@ -479,6 +515,7 @@ def _run_schema(args) -> list[dict]:
 
 
 def _run_multitable(args) -> list[dict]:
+    import tempfile
     from pathlib import Path
 
     from repro.frame.io import write_csv
@@ -487,7 +524,10 @@ def _run_multitable(args) -> list[dict]:
         MultiTableSchemaPipeline,
     )
     from repro.schema import SchemaGraph, load_tables
+    from repro.store.stream import CsvTableSink, SpoolingSink
 
+    if args.chunk_rows is not None and not args.out_dir:
+        raise SystemExit("run --chunk-rows requires --out-dir")
     tables = load_tables(args.data_dir)
     graph = SchemaGraph.from_json(Path(args.schema).read_text()) if args.schema else None
     config = MultiTablePipelineConfig(seed=args.seed)
@@ -495,21 +535,41 @@ def _run_multitable(args) -> list[dict]:
     fitted = MultiTableSchemaPipeline(config).fit(tables, graph)
     fit_s = time.perf_counter() - start
     digest = fitted.save(args.bundle, compress=args.compress) if args.bundle else None
+
     start = time.perf_counter()
-    database = fitted.sample_database(args.n, seed=args.seed)
+    if args.chunk_rows is not None:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        synthetic_rows, out_paths = {}, {}
+        with tempfile.TemporaryDirectory(prefix="greater-spool-") as spool:
+            for name, table in fitted.iter_sample_database(
+                    args.n, seed=args.seed, spool=Path(spool)):
+                out_paths[name] = out_dir / "{}.csv".format(name)
+                with SpoolingSink(CsvTableSink(out_paths[name]),
+                                  args.chunk_rows) as sink:
+                    sink.write(table)
+                    synthetic_rows[name] = table.num_rows
+        database = None
+    else:
+        database = fitted.sample_database(args.n, seed=args.seed)
     sample_s = time.perf_counter() - start
 
     rows = []
     for describe_row in fitted.graph.describe():
         name = describe_row["table"]
-        table = database[name]
-        row = {"command": "run", "pipeline": args.pipeline, **describe_row,
-               "synthetic_rows": table.num_rows}
-        if args.out_dir:
-            out_path = Path(args.out_dir) / "{}.csv".format(name)
-            out_path.parent.mkdir(parents=True, exist_ok=True)
-            write_csv(table, out_path)
-            row["out"] = str(out_path)
+        row = {"command": "run", "pipeline": args.pipeline, **describe_row}
+        if database is None:
+            row["synthetic_rows"] = synthetic_rows[name]
+            row["out"] = str(out_paths[name])
+            row["chunk_rows"] = args.chunk_rows
+        else:
+            table = database[name]
+            row["synthetic_rows"] = table.num_rows
+            if args.out_dir:
+                out_path = Path(args.out_dir) / "{}.csv".format(name)
+                out_path.parent.mkdir(parents=True, exist_ok=True)
+                write_csv(table, out_path)
+                row["out"] = str(out_path)
         rows.append(row)
     rows[0]["seed"] = args.seed
     rows[0]["fit_s"] = round(fit_s, 4)

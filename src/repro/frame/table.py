@@ -367,12 +367,18 @@ class Table:
         groups: "OrderedDict[object, list[int]]" = OrderedDict()
         if column.is_vectorized and self.num_rows:
             codes, keys = column._codes_with_missing()
-            order = np.argsort(codes, kind="stable").tolist()
-            bounds = np.bincount(codes, minlength=len(keys)).cumsum().tolist()
-            start = 0
-            for key, stop in zip(keys, bounds):
-                groups[key] = order[start:stop]
-                start = stop
+            # numpy's radix sort is ~8x faster on 16-bit keys, and group
+            # cardinality rarely exceeds the uint16 range
+            sort_codes = codes.astype(np.uint16) if len(keys) <= 0xFFFF else codes
+            order = np.argsort(sort_codes, kind="stable")
+            # every key occurs at least once and codes are first-seen
+            # ordered, so the sorted codes split into len(keys) runs whose
+            # boundaries np.unique hands back directly
+            starts = np.unique(codes[order], return_index=True)[1]
+            flat = order.tolist()
+            bounds = starts.tolist() + [len(flat)]
+            for index, key in enumerate(keys):
+                groups[key] = flat[bounds[index]:bounds[index + 1]]
             return groups
         for i, value in enumerate(column):
             groups.setdefault(value, []).append(i)

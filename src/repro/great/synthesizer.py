@@ -9,8 +9,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.frame.ops import concat_rows
 from repro.frame.table import Table
-from repro.llm.engine import SEED_MASK, BatchGenerationEngine
+from repro.llm.engine import SEED_MASK, BatchGenerationEngine, derive_seed
 from repro.llm.finetune import FineTuneConfig, FineTuner
 from repro.llm.ngram_model import NGramLanguageModel
 from repro.llm.sampler import SamplerConfig, TemperatureSampler
@@ -40,6 +41,13 @@ SAMPLING_STRATEGIES = ("guided", "free")
 #: separate from the other consumers (encoder permutations, fallback rows)
 #: that derive state from the same pipeline seed.
 _GUIDED_STREAM = 2
+
+#: Sub-stream namespace for chunked streaming synthesis: each emitted chunk
+#: draws from ``derive_seed(seed, _CHUNK_STREAM, chunk_index)`` so chunks are
+#: independent of chunk size *boundaries chosen downstream* only through the
+#: (size, index) pair — the same scheme as the serving layer's per-block
+#: seeds.
+_CHUNK_STREAM = 5
 
 
 @dataclass(frozen=True)
@@ -382,6 +390,38 @@ class GReaTSynthesizer:
         seed = self.config.seed if seed is None else seed
         records = self._sample_rows_batch([None] * n, seed)
         return Table.from_records(records, columns=self._training_table.column_names)
+
+    def iter_sample(self, n: int, seed: int | None = None,
+                    chunk_rows: int | None = None):
+        """Yield *n* unconditioned rows as fixed-size table chunks.
+
+        Each chunk of ``chunk_rows`` rows samples under its own derived seed
+        (``derive_seed(seed, _CHUNK_STREAM, index)``), so the concatenation is
+        a pure function of ``(seed, chunk_rows)`` — :meth:`sample_chunked`
+        materializes exactly that table in memory — and only one chunk of
+        rows is alive at a time.  Validation is eager.
+        """
+        self._require_fitted()
+        if n <= 0:
+            raise ValueError("n must be positive")
+        seed = self.config.seed if seed is None else seed
+        chunk_rows = n if chunk_rows is None else int(chunk_rows)
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        columns = self._training_table.column_names
+
+        def chunks():
+            for index, start in enumerate(range(0, n, chunk_rows)):
+                count = min(chunk_rows, n - start)
+                chunk_seed = derive_seed(seed, _CHUNK_STREAM, index)
+                records = self._sample_rows_batch([None] * count, chunk_seed)
+                yield Table.from_records(records, columns=columns)
+        return chunks()
+
+    def sample_chunked(self, n: int, seed: int | None = None,
+                       chunk_rows: int | None = None) -> Table:
+        """The in-memory table equal to concatenating :meth:`iter_sample`."""
+        return concat_rows(list(self.iter_sample(n, seed=seed, chunk_rows=chunk_rows)))
 
     def sample_conditional(self, prompts: list[dict], seed: int | None = None) -> Table:
         """Sample one row per prompt dict, conditioned on the prompt columns."""

@@ -166,18 +166,36 @@ class BatchGenerationEngine:
         Lanes retire individually when they sample ``<eos>``; every step draws
         one uniform vector across the still-active lanes.
         """
+        sequences: list[list[int]] = []
+        for chunk in self.iter_generate_ids_batch(n, prompts=prompts, seed=seed, rng=rng):
+            sequences.extend(chunk)
+        return sequences
+
+    def iter_generate_ids_batch(self, n: int, prompts: Sequence[Sequence[int]] | None = None,
+                                seed: int | None = None,
+                                rng: np.random.Generator | None = None):
+        """Yield the sequences of :meth:`generate_ids_batch` one engine batch
+        at a time.
+
+        Lanes retire per batch of ``config.batch_lanes``, so concatenating the
+        yielded chunks reproduces ``generate_ids_batch`` exactly — the shared
+        RNG advances identically — while only one batch of sequences is alive
+        at a time.  Arguments are validated eagerly (before the first chunk is
+        requested).
+        """
         if n <= 0:
             raise ValueError("n must be positive")
         if prompts is not None and len(prompts) != n:
             raise ValueError("prompts must have one entry per requested sequence")
         rng = seeded_rng(seed) if rng is None else rng
-        sequences: list[list[int]] = []
         batch = max(1, self.config.batch_lanes)
-        for start in range(0, n, batch):
-            stop = min(start + batch, n)
-            chunk = prompts[start:stop] if prompts is not None else None
-            sequences.extend(self._generate_chunk(stop - start, chunk, rng))
-        return sequences
+
+        def chunks():
+            for start in range(0, n, batch):
+                stop = min(start + batch, n)
+                chunk = prompts[start:stop] if prompts is not None else None
+                yield self._generate_chunk(stop - start, chunk, rng)
+        return chunks()
 
     def _generate_chunk(self, n_lanes: int, prompts, rng: np.random.Generator) -> list[list[int]]:
         width = self._width

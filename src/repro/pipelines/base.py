@@ -26,6 +26,7 @@ from repro.connecting.preprocessing import DIGIX_NOISY_COLUMNS
 from repro.enhancement.enhancer import DataSemanticEnhancer
 from repro.frame.ops import inner_join, left_join
 from repro.frame.table import Table
+from repro.llm.engine import derive_seed
 from repro.pipelines.config import PipelineConfig, SynthesisResult
 from repro.relational.contextual import (
     ContextualVariableDetector,
@@ -44,6 +45,32 @@ class PreparedTables:
     second_child: Table
     original_flat: Table
     subject_column: str
+
+
+#: Sub-stream namespace for per-block seeds of one flat-table request.  The
+#: serving layer has always derived its shard seeds from this stream; the
+#: streaming path yields the very same blocks, which is what makes a
+#: streamed CSV byte-identical to the in-memory ``sample_table`` result.
+TABLE_BLOCK_STREAM = 11
+
+
+def block_plan(n: int, seed: int, block_size: int) -> list[tuple[int, int, int]]:
+    """Partition an *n*-row request into ``(start, count, block_seed)`` blocks.
+
+    Block seeds come from ``derive_seed(seed, TABLE_BLOCK_STREAM, index)``,
+    so the plan is a pure function of ``(n, seed, block_size)`` — any
+    consumer (thread shards, worker processes, streaming writers) that
+    samples these blocks and concatenates them in order reproduces the same
+    table bit for bit.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    return [
+        (start, min(block_size, n - start), derive_seed(seed, TABLE_BLOCK_STREAM, index))
+        for index, start in enumerate(range(0, n, block_size))
+    ]
 
 
 @dataclass
@@ -160,6 +187,25 @@ class FittedPipeline:
         if self.subject_column in flat.column_names:
             flat = flat.drop(self.subject_column)
         return flat
+
+    def iter_sample_flat(self, n_subjects: int | None = None, seed: int | None = None,
+                         chunk_rows: int = 256):
+        """Yield the synthetic flat view in independently seeded blocks.
+
+        Blocks follow :func:`block_plan`, i.e. the serving layer's sharding
+        scheme, so concatenating the yielded tables equals
+        ``SynthesisService.sample_table(n, seed)`` at ``block_size ==
+        chunk_rows`` — while holding only one block in memory.  Validation
+        is eager.
+        """
+        n = self._resolve_n(n_subjects)
+        seed = self.config.seed if seed is None else seed
+        plan = block_plan(n, seed, chunk_rows)
+
+        def blocks():
+            for start, count, block_seed in plan:
+                yield self.sample_block(start, count, block_seed)
+        return blocks()
 
     # -- persistence ----------------------------------------------------------------
 

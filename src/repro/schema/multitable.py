@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.frame.ops import value_counts
 from repro.frame.table import Table
@@ -188,6 +189,67 @@ class EdgeSynthesizer:
                 for row in generated.iter_rows()]
 
 
+class _SampledStore:
+    """Accessor for the already-sampled tables of one database walk.
+
+    In-memory mode (``spool=None``) keeps the tables in a dict — the
+    historical behaviour.  Spill mode writes each completed table as an
+    uncompressed NPZ part directory under *spool* and re-reads only the
+    columns a downstream table actually needs (foreign keys, parent
+    features), memory-mapped via :func:`repro.store.stream.
+    part_table_column` — so a database walk holds at most one full table
+    in RAM.  Both modes return identical values: the part round trip is
+    lossless by construction.
+    """
+
+    def __init__(self, spool=None):
+        self.spool = Path(spool) if spool is not None else None
+        self._tables: dict[str, Table] = {}
+        if self.spool is not None:
+            self.spool.mkdir(parents=True, exist_ok=True)
+
+    def put(self, name: str, table: Table) -> None:
+        if self.spool is None:
+            self._tables[name] = table
+            return
+        from repro.store.stream import PartTableSink
+
+        with PartTableSink(self.spool / name) as sink:
+            sink.write(table)
+
+    def table(self, name: str) -> Table:
+        if self.spool is None:
+            return self._tables[name]
+        from repro.store.stream import read_part_table
+
+        return read_part_table(self.spool / name)
+
+    def num_rows(self, name: str) -> int:
+        if self.spool is None:
+            return self._tables[name].num_rows
+        from repro.store.stream import part_table_num_rows
+
+        return part_table_num_rows(self.spool / name)
+
+    def column_values(self, name: str, column: str) -> list:
+        if self.spool is None:
+            return self._tables[name].column(column).values
+        from repro.store.stream import part_table_column
+
+        return part_table_column(self.spool / name, column)
+
+    def feature_rows(self, name: str, features: list[str]) -> list[dict]:
+        """One dict per row holding just *features* (conditioning prompts)."""
+        if not features:
+            return [{} for _ in range(self.num_rows(name))]
+        if self.spool is None:
+            table = self._tables[name]
+            return [{feature: row[feature] for feature in features}
+                    for row in table.iter_rows()]
+        values = [self.column_values(name, feature) for feature in features]
+        return [dict(zip(features, row)) for row in zip(*values)]
+
+
 class MultiTableSynthesizer:
     """Fit on a whole database; sample a whole coherent synthetic database."""
 
@@ -283,7 +345,7 @@ class MultiTableSynthesizer:
     def _surrogate_keys(self, name: str, n: int) -> list[str]:
         return [self.config.key_format.format(table=name, index=i) for i in range(n)]
 
-    def _sample_table(self, name: str, table_seed: int, sampled: dict[str, Table],
+    def _sample_table(self, name: str, table_seed: int, sampled: _SampledStore,
                       n: int | dict | None) -> Table:
         """One table's synthetic rows given its (already sampled) parents."""
         graph = self._graph
@@ -300,18 +362,14 @@ class MultiTableSynthesizer:
                 columns[feature] = generated.column(feature).values
         else:
             edge = self._edges[name]
-            parent_table = sampled[fk.parent_table]
             parent_features = graph.feature_columns(fk.parent_table)
-            parent_rows = [
-                {feature: row[feature] for feature in parent_features}
-                for row in parent_table.iter_rows()
-            ]
+            parent_rows = sampled.feature_rows(fk.parent_table, parent_features)
             counts = edge.draw_counts(
                 len(parent_rows), random.Random(derive_seed(table_seed, _COUNTS_STREAM)))
             child_rows = edge.sample_children(
                 parent_rows, counts, seed=derive_seed(table_seed, _VALUES_STREAM))
             n_rows = len(child_rows)
-            parent_keys = parent_table.column(fk.parent_column).values
+            parent_keys = sampled.column_values(fk.parent_table, fk.parent_column)
             columns[fk.column] = [key for key, count in zip(parent_keys, counts)
                                   for _ in range(count)]
             for feature in features:
@@ -327,7 +385,7 @@ class MultiTableSynthesizer:
                      if fk is None or other != fk]
         for index, other in enumerate(secondary):
             rng = random.Random(derive_seed(table_seed, _SECONDARY_STREAM, index))
-            keys = sampled[other.parent_table].column(other.parent_column).values
+            keys = sampled.column_values(other.parent_table, other.parent_column)
             columns[other.column] = [rng.choice(keys) for _ in range(n_rows)]
 
         return Table({name_: columns[name_] for name_ in schema.columns})
@@ -350,15 +408,44 @@ class MultiTableSynthesizer:
         table_seeds = {name: derive_seed(seed, _TABLE_STREAM, index)
                        for index, name in enumerate(order)}
         run = map_fn or map
-        sampled: dict[str, Table] = {}
+        sampled = _SampledStore()
         for level in self._graph.depth_levels():
             parts = list(run(
                 lambda name: (name, self._sample_table(name, table_seeds[name],
                                                        sampled, n)),
                 level,
             ))
-            sampled.update(dict(parts))
-        return {name: sampled[name] for name in self._graph.table_names}
+            for name, table in parts:
+                sampled.put(name, table)
+        return {name: sampled.table(name) for name in self._graph.table_names}
+
+    def iter_sample_database(self, n: int | dict | None = None,
+                             seed: int | None = None, spool=None):
+        """Yield ``(name, table)`` pairs of :meth:`sample_database` level by level.
+
+        With *spool* (a fresh directory path), each completed table is
+        spilled to disk as uncompressed NPZ parts and immediately dropped
+        from RAM; downstream tables re-read the foreign keys and parent
+        features they condition on via memory-mapped column reads.  The walk
+        then holds at most one table in memory, and
+        ``dict(iter_sample_database(n, seed))`` equals
+        ``sample_database(n, seed)`` exactly — spilled or not, the per-table
+        seeds are the same named streams.  Validation is eager.
+        """
+        self._require_fitted()
+        seed = self.config.seed if seed is None else seed
+        order = self._graph.topological_order()
+        table_seeds = {name: derive_seed(seed, _TABLE_STREAM, index)
+                       for index, name in enumerate(order)}
+        sampled = _SampledStore(spool)
+
+        def tables():
+            for level in self._graph.depth_levels():
+                for name in level:
+                    table = self._sample_table(name, table_seeds[name], sampled, n)
+                    sampled.put(name, table)
+                    yield name, table
+        return tables()
 
     # -- persistence ------------------------------------------------------------------
 

@@ -31,11 +31,13 @@ from repro.serving.service import (
     approx_result_bytes,
     approx_table_bytes,
     derive_seed,
+    process_peak_rss_bytes,
 )
 
 _LAZY = {
     "SynthesisServer": "repro.serving.server",
     "request_json": "repro.serving.server",
+    "request_json_stream": "repro.serving.server",
     "run_server": "repro.serving.server",
     "table_payload": "repro.serving.server",
     "WorkerPool": "repro.serving.workers",
@@ -53,6 +55,7 @@ __all__ = sorted([
     "approx_result_bytes",
     "approx_table_bytes",
     "derive_seed",
+    "process_peak_rss_bytes",
 ] + list(_LAZY))
 
 

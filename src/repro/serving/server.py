@@ -16,7 +16,7 @@ limit before rejections start.
 
 Endpoints (all JSON):
 
-* ``POST /sample_table``    ``{"n": int?, "seed": int?}``
+* ``POST /sample_table``    ``{"n": int?, "seed": int?, "stream": bool?}``
 * ``POST /sample_rows``     ``{"n": int, "conditions": {...}?, "seed": int?}``
 * ``POST /sample_database`` ``{"n": int | {table: int}?, "seed": int?}``
 * ``GET  /stats``           service counters + latency histograms + server section
@@ -26,6 +26,14 @@ Tables come back as ``{"columns": [...], "rows": [{col: value}, ...]}``;
 databases as ``{"tables": {name: table}}``.  The ``/stats`` payload embeds
 :meth:`SynthesisService.stats` unchanged (same schema as in-process) plus
 a ``server`` section with accept/reject counters and queue watermarks.
+
+``"stream": true`` turns the ``/sample_table`` response into a chunked
+transfer of newline-delimited JSON: one ``{"columns", "rows"}`` object per
+serving block followed by a ``{"done": true, ...}`` summary line.  The
+first block is sampled *before* the headers go out, so validation errors
+still come back as ordinary JSON error responses; rows never accumulate
+server-side, which is the point — a table larger than the server's RAM can
+be streamed to the client.
 """
 
 from __future__ import annotations
@@ -139,6 +147,11 @@ class SynthesisServer:
                 if request is None:
                     break
                 method, path, body = request
+                streamed = self._stream_request(method, path, body)
+                if streamed is not None:
+                    if not await self._respond_stream(writer, streamed):
+                        break
+                    continue
                 status, payload = await self._dispatch(method, path, body)
                 if not await self._respond(writer, status, payload):
                     break
@@ -192,6 +205,77 @@ class SynthesisServer:
         except (ConnectionError, OSError):
             return False
         return True
+
+    def _stream_request(self, method: str, path: str, body: bytes) -> dict | None:
+        """The parsed request iff this is a ``stream: true`` table request."""
+        if method != "POST" or path != "/sample_table" or not body:
+            return None
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None  # let _dispatch produce the 400
+        if isinstance(request, dict) and request.get("stream"):
+            return request
+        return None
+
+    def _count_http_error(self) -> None:
+        with self._lock:
+            self._counters["http_errors"] += 1
+
+    async def _respond_stream(self, writer: asyncio.StreamWriter, request: dict) -> bool:
+        """Stream one block-chunked ``/sample_table`` response (ndjson over
+        chunked transfer encoding)."""
+        if not self._admit():
+            with self._lock:
+                rejected = self._counters["rejected"]
+            return await self._respond(writer, 429, {
+                "error": "request queue is full",
+                "max_queue": self.max_queue, "rejected_total": rejected})
+        loop = asyncio.get_running_loop()
+        try:
+            try:
+                chunks = await loop.run_in_executor(
+                    self._executor,
+                    lambda: self.service.iter_sample_table(request.get("n"),
+                                                           seed=request.get("seed")))
+                # pull the first block before committing to a 200: request
+                # validation errors surface here and still get a JSON body
+                first = await loop.run_in_executor(self._executor, next, chunks, None)
+            except (ServingError, ValueError, TypeError) as error:
+                self._count_http_error()
+                return await self._respond(writer, 400, {"error": str(error)})
+            except Exception as error:  # a bug, not a bad request — keep serving
+                self._count_http_error()
+                return await self._respond(writer, 500, {
+                    "error": "{}: {}".format(type(error).__name__, error)})
+            head = ("HTTP/1.1 200 OK\r\n"
+                    "Content-Type: application/x-ndjson\r\n"
+                    "Transfer-Encoding: chunked\r\n"
+                    "\r\n")
+            try:
+                writer.write(head.encode("latin-1"))
+                total_rows = 0
+                total_chunks = 0
+                block = first
+                while block is not None:
+                    data = (json.dumps(table_payload(block)) + "\n").encode("utf-8")
+                    writer.write(b"%x\r\n" % len(data) + data + b"\r\n")
+                    await writer.drain()
+                    total_rows += block.num_rows
+                    total_chunks += 1
+                    block = await loop.run_in_executor(self._executor, next, chunks, None)
+                summary = {"done": True, "chunks": total_chunks, "rows": total_rows}
+                data = (json.dumps(summary) + "\n").encode("utf-8")
+                writer.write(b"%x\r\n" % len(data) + data + b"\r\n" + b"0\r\n\r\n")
+                await writer.drain()
+            except (ConnectionError, OSError):
+                return False
+            except Exception:  # mid-stream failure: the 200 is already out,
+                self._count_http_error()  # so drop the connection short of its
+                return False              # terminating chunk — unambiguous to clients
+            return True
+        finally:
+            self._release()
 
     async def _dispatch(self, method: str, path: str, body: bytes):
         if path == "/healthz":
@@ -261,6 +345,30 @@ def request_json(host: str, port: int, method: str, path: str,
         response = connection.getresponse()
         raw = response.read().decode("utf-8")
         return response.status, (json.loads(raw) if raw else None)
+    finally:
+        connection.close()
+
+
+def request_json_stream(host: str, port: int, payload: dict | None = None,
+                        timeout: float = 60.0):
+    """Blocking client for the streamed ``/sample_table`` endpoint.
+
+    Returns ``(status, lines)`` where *lines* on success is the decoded
+    ndjson sequence: one ``{"columns", "rows"}`` object per streamed block
+    plus the trailing ``{"done": true, ...}`` summary.  On an error status
+    the second element is the JSON error body, like :func:`request_json`.
+    ``http.client`` undoes the chunked transfer encoding transparently.
+    """
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        body = json.dumps(dict(payload or {}, stream=True)).encode("utf-8")
+        connection.request("POST", "/sample_table", body=body,
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        raw = response.read().decode("utf-8")
+        if response.status != 200:
+            return response.status, (json.loads(raw) if raw else None)
+        return 200, [json.loads(line) for line in raw.splitlines() if line]
     finally:
         connection.close()
 

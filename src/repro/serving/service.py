@@ -33,6 +33,7 @@ silently pin the memory a thousand small results would fit in.
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
 from collections import OrderedDict
@@ -43,7 +44,7 @@ import numpy as np
 from repro.frame.ops import concat_rows
 from repro.frame.table import Table
 from repro.llm.engine import _choose_indices, derive_seed
-from repro.pipelines.base import FittedPipeline
+from repro.pipelines.base import TABLE_BLOCK_STREAM, FittedPipeline, block_plan
 from repro.pipelines.multitable import FittedMultiTablePipeline
 from repro.serving.metrics import MetricsRegistry
 
@@ -53,9 +54,28 @@ class ServingError(RuntimeError):
 
 
 #: Named sub-streams of the request seed (table blocks vs row requests), so
-#: the two request shapes never share RNG state.
-_TABLE_STREAM = 11
+#: the two request shapes never share RNG state.  Table blocks use the
+#: pipeline layer's shared stream so streaming writers reproduce served
+#: tables exactly.
+_TABLE_STREAM = TABLE_BLOCK_STREAM
 _ROWS_STREAM = 13
+
+
+def process_peak_rss_bytes() -> int | None:
+    """This process's peak resident set size in bytes (``None`` if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; other platforms
+    report whatever the libc says, so only the two known unit conventions
+    are trusted.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - exercised on macOS only
+        return int(peak)
+    return int(peak) * 1024
 
 
 def approx_table_bytes(table: Table) -> int:
@@ -231,7 +251,8 @@ class SynthesisService:
         self._cache = LruCache(self.config.cache_bytes)
         self._stats_lock = threading.Lock()
         self._stats = {"table_requests": 0, "row_requests": 0, "database_requests": 0,
-                       "coalesced_batches": 0, "coalesced_requests_max": 0}
+                       "coalesced_batches": 0, "coalesced_requests_max": 0,
+                       "streamed_requests": 0, "streamed_chunks": 0, "streamed_rows": 0}
         self._batch_lock = threading.Lock()
         self._pending: list[_PendingRequest] = []
         self._draining = False
@@ -323,6 +344,7 @@ class SynthesisService:
         out["cache_bytes_used"] = self._cache.bytes_used
         out["executor"] = self.config.executor
         out["latency"] = self.metrics.snapshot()
+        out["peak_rss_bytes"] = process_peak_rss_bytes()
         if self.pool is not None:
             out["worker_restarts"] = self.pool.restarts
         return out
@@ -364,11 +386,7 @@ class SynthesisService:
     # -- full-table sampling (block-sharded) -------------------------------------------
 
     def _blocks(self, n: int, seed: int) -> list[tuple[int, int, int]]:
-        size = self.config.block_size
-        return [
-            (start, min(size, n - start), derive_seed(seed, _TABLE_STREAM, index))
-            for index, start in enumerate(range(0, n, size))
-        ]
+        return block_plan(n, seed, self.config.block_size)
 
     def sample_table(self, n: int | None = None, seed: int | None = None) -> Table:
         """The synthetic flat table for *n* subjects (defaults as in the pipeline).
@@ -403,6 +421,35 @@ class SynthesisService:
             table = concat_rows(parts)
             self._cache.put(key, table)
             return table
+
+    def iter_sample_table(self, n: int | None = None, seed: int | None = None):
+        """Yield the table of :meth:`sample_table` one block at a time.
+
+        Blocks are the exact ``block_size`` partition that :meth:`sample_table`
+        concatenates (same :func:`~repro.pipelines.base.block_plan`), so
+        writing the yielded chunks in order reproduces the served table bit
+        for bit while holding one block in memory.  The streaming path
+        bypasses the result cache — its point is not to materialize the
+        table.  Validation is eager.
+        """
+        self._require_flat()
+        n = self.fitted._resolve_n(n)
+        seed = self.fitted.config.seed if seed is None else seed
+        blocks = self._blocks(n, seed)
+        with self._stats_lock:
+            self._stats["streamed_requests"] += 1
+
+        def chunks():
+            for block in blocks:
+                if self.pool is not None:
+                    part = self.pool.sample_blocks([block])[0]
+                else:
+                    part = self.fitted.sample_block(*block)
+                with self._stats_lock:
+                    self._stats["streamed_chunks"] += 1
+                    self._stats["streamed_rows"] += part.num_rows
+                yield part
+        return chunks()
 
     # -- conditioned row sampling (coalesced) ------------------------------------------
 

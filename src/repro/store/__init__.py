@@ -10,6 +10,8 @@ fitted object in the synthesis path.  This package provides both:
 * :mod:`repro.store.bundle` — versioned single-file bundle archives for
   fitted synthesizers and whole fitted pipelines, with a manifest (format
   version, engines, seed, schema) and a content digest;
+* :mod:`repro.store.stream` — streaming table sinks (chunked CSV and
+  NPZ part directories) for the bounded-memory synthesis path;
 * :mod:`repro.store.atomic` — write-then-rename helpers shared by every
   artifact write (and by :func:`repro.frame.io.write_csv`);
 * :mod:`repro.store.codec` — the typed JSON envelope that keeps the
@@ -51,6 +53,17 @@ _EXPORTS = {
     "save_multitable": "repro.store.bundle",
     "save_multitable_pipeline": "repro.store.bundle",
     "save_parent_child": "repro.store.bundle",
+    "PARTS_FORMAT_VERSION": "repro.store.stream",
+    "TableSink": "repro.store.stream",
+    "CsvTableSink": "repro.store.stream",
+    "PartTableSink": "repro.store.stream",
+    "SpoolingSink": "repro.store.stream",
+    "MemorySink": "repro.store.stream",
+    "iter_part_tables": "repro.store.stream",
+    "read_part_table": "repro.store.stream",
+    "part_table_column": "repro.store.stream",
+    "part_table_num_rows": "repro.store.stream",
+    "map_npz_file": "repro.store.npymap",
 }
 
 __all__ = sorted(_EXPORTS)

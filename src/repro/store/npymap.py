@@ -121,6 +121,34 @@ def _map_entry(path, stream, start: int):
                      shape=shape, order=order)
 
 
+def map_npz_file(path) -> dict:
+    """Load a standalone ``.npz`` file, memory-mapping what it can.
+
+    The spill-file counterpart of :func:`map_npz`: stored plain-dtype
+    entries come back as read-only ``np.memmap`` views of the file (one
+    page-cache copy however many readers), deflated or object entries are
+    read eagerly.  Written for the streaming path's FK-key re-reads, where
+    spilled tables may dwarf RAM.
+    """
+    arrays: dict = {}
+    with open(path, "rb") as stream:
+        with zipfile.ZipFile(stream) as archive:
+            for info in archive.infolist():
+                name = info.filename
+                if not name.endswith(".npy"):
+                    continue
+                key = name[: -len(".npy")]
+                mapped = None
+                if info.compress_type == zipfile.ZIP_STORED:
+                    mapped = _map_entry(path, stream, data_offset(stream, info.header_offset))
+                if mapped is None:
+                    with archive.open(name) as entry:
+                        mapped = npy_format.read_array(io.BytesIO(entry.read()),
+                                                       allow_pickle=False)
+                arrays[key] = mapped
+    return arrays
+
+
 def map_npz(path, header_offset: int, size: int) -> dict:
     """Load the NPZ part stored at *header_offset* of the bundle at *path*.
 

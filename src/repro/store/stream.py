@@ -1,0 +1,342 @@
+"""Streaming table writers: bounded-memory sinks for chunked synthesis.
+
+The generators grown in this PR (`BatchGenerationEngine.iter_generate_ids_batch`,
+``GReaTSynthesizer.iter_sample``, ``FittedPipeline.iter_sample_flat``,
+``SynthesisService.iter_sample_table``, ``MultiTableSynthesizer.
+iter_sample_database``) emit completed row chunks instead of one monolithic
+table.  This module is where those chunks go: a small :class:`TableSink`
+interface with two concrete on-disk formats —
+
+* :class:`CsvTableSink` — one growing CSV file, cell formatting identical to
+  :func:`repro.frame.io.write_csv`, published atomically (the rows land in a
+  temporary sibling which is renamed over the target on :meth:`~TableSink.
+  close`, so readers never observe a torn file);
+* :class:`PartTableSink` — a directory of numbered NPZ part files in the
+  lossless :mod:`repro.store.tablefmt` layout plus a ``manifest.json``
+  written last, so a spill directory is either complete or clearly absent.
+  Parts default to uncompressed so :func:`part_table_column` can hand back
+  memory-mapped column values without materializing the table.
+
+:class:`SpoolingSink` re-chunks any upstream chunk size to a fixed number of
+rows, and :class:`MemorySink` collects chunks in memory (the test/bench
+reference).  All sinks check column consistency across chunks and support
+``with``-statement use: the payload publishes on clean exit and is discarded
+when the block raises.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame.ops import concat_rows
+from repro.frame.table import Table
+from repro.store.atomic import atomic_path, atomic_write_text
+from repro.store.codec import StoreError
+from repro.store.npymap import map_npz_file
+from repro.store.tablefmt import arrays_to_table, read_table, write_table
+
+#: Version of the part-directory layout; bumped on incompatible changes.
+PARTS_FORMAT_VERSION = 1
+
+_MANIFEST_NAME = "manifest.json"
+
+
+class TableSink:
+    """Write a table as a sequence of row chunks.
+
+    Subclasses implement :meth:`_write_chunk`, :meth:`_publish` and
+    :meth:`_discard`.  The base class enforces the chunk protocol: all
+    chunks carry the same columns, nothing is written after :meth:`close`,
+    and either :meth:`close` (publish) or :meth:`abort` (discard) runs
+    exactly once.
+    """
+
+    def __init__(self):
+        self._columns: list[str] | None = None
+        self._closed = False
+        self.rows_written = 0
+        self.chunks_written = 0
+
+    def write(self, chunk: Table) -> None:
+        """Append one chunk of rows."""
+        if self._closed:
+            raise StoreError("cannot write to a closed sink")
+        if self._columns is None:
+            self._columns = list(chunk.column_names)
+        elif list(chunk.column_names) != self._columns:
+            raise StoreError(
+                "chunk columns {} do not match the sink's columns {}".format(
+                    list(chunk.column_names), self._columns))
+        self._write_chunk(chunk)
+        self.rows_written += chunk.num_rows
+        self.chunks_written += 1
+
+    def write_all(self, chunks) -> "TableSink":
+        """Drain an iterable of chunks into the sink (sink left open)."""
+        for chunk in chunks:
+            self.write(chunk)
+        return self
+
+    def close(self) -> None:
+        """Publish the written rows; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._publish()
+
+    def abort(self) -> None:
+        """Discard everything written so far; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._discard()
+
+    def __enter__(self) -> "TableSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    # -- subclass hooks -----------------------------------------------------------
+
+    def _write_chunk(self, chunk: Table) -> None:
+        raise NotImplementedError
+
+    def _publish(self) -> None:
+        raise NotImplementedError
+
+    def _discard(self) -> None:
+        raise NotImplementedError
+
+
+class CsvTableSink(TableSink):
+    """Stream chunks into one CSV file, published atomically on close.
+
+    Cell formatting matches :func:`repro.frame.io.write_csv` exactly
+    (``csv.writer`` defaults, ``None`` as the empty cell), so streaming a
+    table chunk by chunk produces the identical bytes as writing it whole.
+    """
+
+    def __init__(self, path):
+        super().__init__()
+        self.path = Path(path)
+        self._ctx = atomic_path(self.path)
+        self._tmp = self._ctx.__enter__()
+        self._handle = self._tmp.open("w", newline="")
+        self._writer = csv.writer(self._handle)
+
+    def _write_chunk(self, chunk: Table) -> None:
+        if self.chunks_written == 0:
+            self._writer.writerow(self._columns)
+        columns = [chunk.column(name).values for name in self._columns]
+        for row in zip(*columns):
+            self._writer.writerow(["" if cell is None else cell for cell in row])
+
+    def _publish(self) -> None:
+        if self._columns is not None and self.chunks_written == 0:
+            self._writer.writerow(self._columns)
+        self._handle.close()
+        self._ctx.__exit__(None, None, None)
+
+    def _discard(self) -> None:
+        self._handle.close()
+        # handing atomic_path an exception makes it unlink the temp file
+        # instead of renaming; it re-raises the sentinel, which ends here
+        try:
+            self._ctx.__exit__(StoreError, StoreError("sink aborted"), None)
+        except StoreError:
+            pass
+
+
+class PartTableSink(TableSink):
+    """Spill chunks as numbered NPZ part files plus a trailing manifest.
+
+    Each chunk lands as ``part-00000.npz``, ``part-00001.npz``, … in the
+    lossless :mod:`repro.store.tablefmt` encoding; ``manifest.json`` is
+    written (atomically) only on :meth:`close`, so the presence of a
+    manifest certifies a complete spill.  With ``compress=False`` (the
+    default) the parts stay memory-mappable through
+    :func:`part_table_column`.
+    """
+
+    def __init__(self, directory, compress: bool = False):
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        manifest = self.directory / _MANIFEST_NAME
+        if manifest.exists():
+            raise StoreError("{} already holds a completed part table".format(self.directory))
+        self.compress = compress
+        self._row_counts: list[int] = []
+
+    def _part_path(self, index: int) -> Path:
+        return self.directory / "part-{:05d}.npz".format(index)
+
+    def _write_chunk(self, chunk: Table) -> None:
+        write_table(chunk, self._part_path(self.chunks_written), compress=self.compress)
+        self._row_counts.append(chunk.num_rows)
+
+    def _publish(self) -> None:
+        manifest = {
+            "format_version": PARTS_FORMAT_VERSION,
+            "columns": self._columns or [],
+            "num_rows": self.rows_written,
+            "parts": [
+                {"name": self._part_path(i).name, "num_rows": count}
+                for i, count in enumerate(self._row_counts)
+            ],
+        }
+        atomic_write_text(self.directory / _MANIFEST_NAME,
+                          json.dumps(manifest, indent=2, sort_keys=True))
+
+    def _discard(self) -> None:
+        for index in range(self.chunks_written):
+            self._part_path(index).unlink(missing_ok=True)
+
+
+class SpoolingSink(TableSink):
+    """Re-chunk an upstream chunk stream to a fixed ``chunk_rows`` size.
+
+    Producers emit whatever chunk size falls out of their batching (engine
+    lanes, serving blocks); consumers may want a different granularity on
+    disk.  This sink buffers rows and forwards exact ``chunk_rows``-sized
+    chunks to the wrapped sink (final partial chunk on close), owning the
+    wrapped sink's lifecycle.
+    """
+
+    def __init__(self, sink: TableSink, chunk_rows: int):
+        super().__init__()
+        if chunk_rows <= 0:
+            raise ValueError("chunk_rows must be positive")
+        self.sink = sink
+        self.chunk_rows = chunk_rows
+        self._buffer: list[Table] = []
+        self._buffered_rows = 0
+
+    def _flush(self, final: bool) -> None:
+        target = 1 if final else self.chunk_rows
+        while self._buffered_rows >= target and self._buffered_rows > 0:
+            merged = self._buffer[0] if len(self._buffer) == 1 else concat_rows(self._buffer)
+            take = min(self.chunk_rows, merged.num_rows)
+            self.sink.write(merged.take(list(range(take))))
+            rest = merged.take(list(range(take, merged.num_rows)))
+            self._buffer = [rest] if rest.num_rows else []
+            self._buffered_rows = rest.num_rows
+
+    def _write_chunk(self, chunk: Table) -> None:
+        self._buffer.append(chunk)
+        self._buffered_rows += chunk.num_rows
+        self._flush(final=False)
+
+    def _publish(self) -> None:
+        self._flush(final=True)
+        self.sink.close()
+
+    def _discard(self) -> None:
+        self.sink.abort()
+
+
+class MemorySink(TableSink):
+    """Collect chunks in memory — the identity reference for tests/benches."""
+
+    def __init__(self):
+        super().__init__()
+        self.chunks: list[Table] = []
+
+    def _write_chunk(self, chunk: Table) -> None:
+        self.chunks.append(chunk)
+
+    def _publish(self) -> None:
+        pass
+
+    def _discard(self) -> None:
+        self.chunks = []
+
+    def table(self) -> Table:
+        """The concatenation of every chunk written so far."""
+        if not self.chunks:
+            return Table({name: [] for name in (self._columns or [])})
+        return concat_rows(self.chunks)
+
+
+# ---------------------------------------------------------------------------
+# part-directory readers
+# ---------------------------------------------------------------------------
+
+def _read_manifest(directory: Path) -> dict:
+    manifest_path = Path(directory) / _MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StoreError("{} has no part-table manifest (incomplete spill?)".format(directory))
+    manifest = json.loads(manifest_path.read_text())
+    version = manifest.get("format_version")
+    if version is None or version > PARTS_FORMAT_VERSION:
+        raise StoreError(
+            "part table format version {} is newer than supported version {}".format(
+                version, PARTS_FORMAT_VERSION))
+    return manifest
+
+
+def iter_part_tables(directory):
+    """Yield the part tables of a completed :class:`PartTableSink` spill in order."""
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    for part in manifest["parts"]:
+        yield read_table(directory / part["name"])
+
+
+def read_part_table(directory) -> Table:
+    """Reassemble a completed spill directory into one in-memory table."""
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    parts = list(iter_part_tables(directory))
+    if not parts:
+        return Table({name: [] for name in manifest["columns"]})
+    table = concat_rows(parts)
+    if table.num_rows != manifest["num_rows"]:
+        raise StoreError(
+            "part table at {} reassembled to {} rows, manifest says {}".format(
+                directory, table.num_rows, manifest["num_rows"]))
+    return table
+
+
+def part_table_num_rows(directory) -> int:
+    """Total row count of a completed spill directory (manifest only, no data read)."""
+    return int(_read_manifest(Path(directory))["num_rows"])
+
+
+def part_table_column(directory, name: str) -> list:
+    """The values of one column of a spilled table, via memory-mapped parts.
+
+    Reads only the arrays belonging to *name* out of each part (memory-mapped
+    when the part is uncompressed), so pulling FK keys back out of a spill
+    touches a fraction of the spilled bytes.  Returns plain Python values in
+    row order, like ``table.column(name).values``.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    values: list = []
+    for part in manifest["parts"]:
+        arrays = map_npz_file(directory / part["name"])
+        schema = json.loads(bytes(arrays["__schema__"]).decode("utf-8"))
+        index = next((i for i, meta in enumerate(schema["columns"])
+                      if meta["name"] == name), None)
+        if index is None:
+            raise StoreError("column {!r} not present in spilled table at {}".format(
+                name, directory))
+        # re-key the one column's arrays into a dense c0_ namespace with a
+        # matching single-column schema and reuse the normal decoder
+        prefix = "c{}_".format(index)
+        reduced = {key.replace(prefix, "c0_", 1): value
+                   for key, value in arrays.items() if key.startswith(prefix)}
+        sub_schema = dict(schema, columns=[schema["columns"][index]])
+        reduced["__schema__"] = np.frombuffer(
+            json.dumps(sub_schema).encode("utf-8"), dtype=np.uint8)
+        values.extend(arrays_to_table(reduced).column(name).values)
+    return values

@@ -200,12 +200,19 @@ def arrays_to_table(arrays: dict) -> Table:
 # file round trip
 # ---------------------------------------------------------------------------
 
-def write_table(table: Table, path) -> Path:
-    """Atomically persist *table* as a single NPZ artifact and return the path."""
+def write_table(table: Table, path, compress: bool = True) -> Path:
+    """Atomically persist *table* as a single NPZ artifact and return the path.
+
+    ``compress=False`` keeps the inner ``.npy`` entries stored (uncompressed),
+    which is what lets :func:`repro.store.npymap.map_npz_file` hand back
+    memory-mapped views instead of copies — the spill files of the streaming
+    path are written this way.
+    """
     path = Path(path)
+    save = np.savez_compressed if compress else np.savez
     with atomic_path(path) as tmp:
         with open(tmp, "wb") as handle:
-            np.savez_compressed(handle, **table_to_arrays(table))
+            save(handle, **table_to_arrays(table))
     return path
 
 

@@ -6,6 +6,8 @@ import random
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.frame.table import Table
 
 
@@ -66,26 +68,37 @@ class TextualEncoder:
         ]
         return self.config.pair_separator.join(pairs)
 
+    def _column_pairs(self, table: Table, name: str) -> list[str]:
+        """Per-row ``'name: value'`` strings for one column.
+
+        Each distinct value is rendered once (categories come back in
+        first-seen order from ``factorize``) and the per-row strings are a
+        single object-array gather; code ``-1`` lands on the trailing
+        missing-token slot.
+        """
+        column = table.column(name)
+        prefix = name + self.config.key_value_separator
+        codes, categories = column.factorize()
+        rendered = np.asarray(
+            [prefix + self.encode_value(value) for value in categories]
+            + [prefix + self.config.missing_token],
+            dtype=object,
+        )
+        return rendered[codes].tolist()
+
     def encode_table(self, table: Table, permute: bool | None = None) -> list[str]:
         """Encode every row of a table; one sentence per row.
 
         Works column-wise: each column's ``'name: value'`` pair strings are
-        rendered once from its value list (no per-row dict materialisation),
-        then joined per row — permuted rows draw the same shuffle sequence
-        from the encoder RNG as the per-row path, so output is unchanged.
+        rendered once per distinct value (via ``factorize``) and gathered per
+        row, then joined — permuted rows draw the same shuffle sequence from
+        the encoder RNG as the per-row path, so output is unchanged.
         """
         names = table.column_names
         if not names:
             return ["" for _ in range(table.num_rows)]
         separator = self.config.pair_separator
-        pairs_by_column = {
-            name: [
-                "{}{}{}".format(name, self.config.key_value_separator,
-                                self.encode_value(value))
-                for value in table.column(name).values
-            ]
-            for name in names
-        }
+        pairs_by_column = {name: self._column_pairs(table, name) for name in names}
         do_permute = self.config.permute_features if permute is None else permute
         if not do_permute:
             return [separator.join(row_pairs)
