@@ -26,7 +26,15 @@ Measures the three things the train-once / serve-many split buys:
   walk must stay O(chunk), not O(table) — asserted by streaming 4x the
   rows and requiring the peak to grow by at most ``--stream-growth-bound``
   (in-memory peaks grow with the table; streamed peaks must not).
-  Process peak RSS is recorded alongside.
+  Process peak RSS is recorded alongside;
+* **resilience under a crash storm** — the same deterministic workload
+  through a 4-worker process pool with the :mod:`repro.faults` harness
+  killing a worker every 25th task (``worker_crash%25``): a single
+  1000-block ``sample_table`` must complete with retries enabled and be
+  CSV byte-identical to the fault-free serial reference, and a storm of
+  smaller requests must reach a 100% success rate with retries on (the
+  retries-off failure rate and the p95 latency overhead versus a
+  fault-free pool are recorded alongside).
 
 Usage::
 
@@ -34,8 +42,10 @@ Usage::
     PYTHONPATH=src python -m benchmarks.perf.bench_store --smoke   # CI-sized
 
 The report lands in ``BENCH_store.json``; the process exits non-zero on any
-load/sample, shard or worker mismatch (CI runs ``--smoke`` and fails on
-mismatch, and on a missed scaling margin when enough cores are present).
+load/sample, shard or worker mismatch, on a chaos-run failure or digest
+mismatch, and on a sub-100% retries-on storm success rate (CI runs
+``--smoke`` and fails on mismatch, and on a missed scaling margin when
+enough cores are present).
 """
 
 from __future__ import annotations
@@ -339,6 +349,96 @@ def run(n_users: int, n_sample: int, requests: int, seed: int = 7,
             for entry in stream_engines.values()),
     }
 
+    # -- resilience: availability under a worker-crash storm ----------------------------
+    # The fault plan kills a worker on every 25th task of each worker life;
+    # retries re-dispatch the dead worker's orphaned blocks.  Because every
+    # block's seed derives from the request seed alone, a retried block is
+    # bit-identical to a first-try block — asserted by comparing CSV digests
+    # against a fault-free serial reference.
+    resil_workers = 4
+    resil_faults = "worker_crash%25"
+    resil_retries = 3
+    resil_blocks = 1000
+    storm_requests, storm_blocks = 24, 25
+    chaos_kwargs = dict(shards=resil_workers, block_size=1, cache_bytes=0,
+                        executor="process", mmap=True, breaker_threshold=0,
+                        retry_backoff_s=0.01)
+
+    with SynthesisService.from_bundle(bundle_path, ServingConfig(
+            shards=1, block_size=1, cache_bytes=0)) as serial_service:
+        reference_digest = _tables_digest(
+            [serial_service.sample_table(resil_blocks, seed=seed + 31)])
+        storm_reference = _tables_digest(
+            [serial_service.sample_table(storm_blocks, seed=seed + 200 + index)
+             for index in range(storm_requests)])
+
+    with SynthesisService.from_bundle(bundle_path, ServingConfig(
+            retries=resil_retries, faults=resil_faults, **chaos_kwargs)) as service:
+        start = time.perf_counter()
+        try:
+            table = service.sample_table(resil_blocks, seed=seed + 31)
+            single_success = True
+            single_digest_equal = _tables_digest([table]) == reference_digest
+        except Exception as error:  # noqa: BLE001 - the failure IS the measurement
+            single_success, single_digest_equal = False, False
+            print("chaos single request failed: {}".format(error))
+        chaos_s = time.perf_counter() - start
+        pool_stats = service.pool.stats()
+
+    def _storm(retries: int, faults: str | None) -> dict:
+        with SynthesisService.from_bundle(bundle_path, ServingConfig(
+                retries=retries, faults=faults, **chaos_kwargs)) as service:
+            tables: list[Table | None] = []
+            start = time.perf_counter()
+            for index in range(storm_requests):
+                try:
+                    tables.append(service.sample_table(
+                        storm_blocks, seed=seed + 200 + index))
+                except Exception:  # noqa: BLE001 - failed requests are counted
+                    tables.append(None)
+            elapsed = time.perf_counter() - start
+            histogram = service.metrics.histogram("sample_table")
+            stats = service.pool.stats()
+        succeeded = [entry for entry in tables if entry is not None]
+        return {
+            "success_rate": round(len(succeeded) / storm_requests, 4),
+            "failed": storm_requests - len(succeeded),
+            "seconds": round(elapsed, 6),
+            "p95_s": round(histogram.quantile(0.95), 6),
+            "digest_equal": (len(succeeded) == storm_requests
+                             and _tables_digest(succeeded) == storm_reference),
+            "worker_restarts": stats["restarts"],
+            "tasks_retried": stats["tasks_retried"],
+            "retries_exhausted": stats["retries_exhausted"],
+        }
+
+    fault_free = _storm(retries=0, faults=None)
+    with_retries = _storm(retries=resil_retries, faults=resil_faults)
+    without_retries = _storm(retries=0, faults=resil_faults)
+    report["resilience"] = {
+        "workers": resil_workers,
+        "faults": resil_faults,
+        "retries": resil_retries,
+        "single_request": {
+            "blocks": resil_blocks,
+            "success": single_success,
+            "digest_equal": single_digest_equal,
+            "seconds": round(chaos_s, 6),
+            "worker_restarts": pool_stats["restarts"],
+            "tasks_retried": pool_stats["tasks_retried"],
+            "retries_exhausted": pool_stats["retries_exhausted"],
+        },
+        "storm": {
+            "requests": storm_requests,
+            "blocks_per_request": storm_blocks,
+            "fault_free": fault_free,
+            "with_retries": with_retries,
+            "without_retries": without_retries,
+            "p95_overhead": (round(with_retries["p95_s"] / fault_free["p95_s"], 2)
+                             if fault_free["p95_s"] > 0 else None),
+        },
+    }
+
     report["all_identical"] = (
         all(entry["identical_output"] for entry in engines.values())
         and all(entry["identical_across_shards"] for entry in serving)
@@ -413,6 +513,23 @@ def main(argv: list[str] | None = None) -> int:
                   entry["streamed_peak_bytes"] / 1024,
                   entry["in_memory_peak_bytes"] / 1024,
                   entry["peak_growth_4x"], entry["identical_output"]))
+    resilience = report["resilience"]
+    single = resilience["single_request"]
+    storm = resilience["storm"]
+    print("chaos single request: {} blocks under {} in {:.3f}s  "
+          "restarts={} retried={}  success={} digest_equal={}".format(
+              single["blocks"], resilience["faults"], single["seconds"],
+              single["worker_restarts"], single["tasks_retried"],
+              single["success"], single["digest_equal"]))
+    print("chaos storm ({} x {} blocks): retries-on success {:.0%} "
+          "(digest_equal={})  retries-off success {:.0%}  "
+          "p95 {:.3f}s vs fault-free {:.3f}s ({}x)".format(
+              storm["requests"], storm["blocks_per_request"],
+              storm["with_retries"]["success_rate"],
+              storm["with_retries"]["digest_equal"],
+              storm["without_retries"]["success_rate"],
+              storm["with_retries"]["p95_s"], storm["fault_free"]["p95_s"],
+              storm["p95_overhead"]))
     print("wrote {}".format(args.out))
 
     if not report["all_identical"]:
@@ -431,6 +548,17 @@ def main(argv: list[str] | None = None) -> int:
                   streaming["growth_bound"],
                   {engine: entry["peak_growth_4x"]
                    for engine, entry in streaming["engines"].items()}))
+        return 1
+    if not (single["success"] and single["digest_equal"]):
+        print("ERROR: the chaos single request must survive the crash storm "
+              "with a byte-identical table (success={}, digest_equal={})".format(
+                  single["success"], single["digest_equal"]))
+        return 1
+    if storm["with_retries"]["success_rate"] < 1.0 or not storm["with_retries"]["digest_equal"]:
+        print("ERROR: the retries-on crash storm must reach 100% success with "
+              "byte-identical output (success_rate={}, digest_equal={})".format(
+                  storm["with_retries"]["success_rate"],
+                  storm["with_retries"]["digest_equal"]))
         return 1
     return 0
 

@@ -177,6 +177,14 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
                             help="stream each table to --out-dir in chunks of this many "
                                  "rows, spilling completed tables to disk so at most one "
                                  "table is in RAM (requires --out-dir)")
+        parser.add_argument("--spool", default=None,
+                            help="spill completed tables into this directory instead of "
+                                 "a temporary one (requires --chunk-rows; keeps parts "
+                                 "on disk so an interrupted run can --resume)")
+        parser.add_argument("--resume", action="store_true",
+                            help="resume an interrupted spill in --spool: tables whose "
+                                 "spill completed are reused, the rest regenerate "
+                                 "byte-identically (requires --spool)")
         return parser
     if command == "serve":
         parser.add_argument("--bundle", required=True,
@@ -199,9 +207,30 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
                             help="write 'host port' here once the socket listens")
         parser.add_argument("--max-seconds", type=float, default=None,
                             help="stop after this many seconds (default: run forever)")
+        parser.add_argument("--timeout-s", type=float, default=None,
+                            help="default per-request deadline in seconds (requests "
+                                 "may override with their own timeout_s)")
+        parser.add_argument("--retries", type=int, default=2,
+                            help="re-dispatches of a task orphaned by a worker "
+                                 "crash before the request fails (default 2)")
+        parser.add_argument("--breaker-threshold", type=int, default=5,
+                            help="worker deaths within the breaker window that trip "
+                                 "the crash-loop breaker (0 disables; default 5)")
+        parser.add_argument("--degraded-mode", choices=("serial", "fail_fast"),
+                            default="serial",
+                            help="while the breaker is open: sample serially "
+                                 "in-process, or fail fast with 503 (default serial)")
+        parser.add_argument("--faults", default=None,
+                            help="fault-injection plan, e.g. 'worker_crash%%25' "
+                                 "(see repro.faults; for chaos testing)")
+        parser.add_argument("--drain-timeout-s", type=float, default=30.0,
+                            help="seconds SIGTERM waits for in-flight requests "
+                                 "before exiting (default 30)")
         return parser
     if command == "client":
-        parser.add_argument("mode", choices=("table", "rows", "database", "stats", "health"),
+        parser.add_argument("mode",
+                            choices=("table", "rows", "database", "stats", "health",
+                                     "ready"),
                             help="what to request from the server")
         parser.add_argument("--host", default="127.0.0.1", help="server address")
         parser.add_argument("--port", type=int, required=True, help="server port")
@@ -215,6 +244,9 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
                                  "of one JSON body")
         parser.add_argument("--timeout", type=float, default=120.0,
                             help="request timeout in seconds (default 120)")
+        parser.add_argument("--deadline-s", type=float, default=None,
+                            help="server-side deadline for this request (sent as "
+                                 "timeout_s; the server answers 503 when missed)")
         return parser
     if command == "fit":
         parser.add_argument("--pipeline", choices=_PIPELINES, default="greater",
@@ -376,7 +408,10 @@ def _run_serve(args) -> list[dict]:
     from repro.store.atomic import atomic_write_text
 
     config = ServingConfig(shards=args.workers, block_size=args.block_size,
-                           executor=args.executor, mmap=args.mmap)
+                           executor=args.executor, mmap=args.mmap,
+                           timeout_s=args.timeout_s, retries=args.retries,
+                           breaker_threshold=args.breaker_threshold,
+                           degraded_mode=args.degraded_mode, faults=args.faults)
     service = SynthesisService.from_bundle(args.bundle, config)
     started = time.perf_counter()
 
@@ -390,7 +425,8 @@ def _run_serve(args) -> list[dict]:
     try:
         run_server(service, host=args.host, port=args.port,
                    max_queue=args.max_queue, ready_callback=ready,
-                   max_seconds=args.max_seconds)
+                   max_seconds=args.max_seconds,
+                   drain_timeout_s=args.drain_timeout_s)
     finally:
         service.close()
     stats = service.stats()
@@ -423,6 +459,15 @@ def _run_client(args) -> list[dict]:
 
     if args.mode == "health":
         return [{"command": "client health", **call("GET", "/healthz")}]
+    if args.mode == "ready":
+        # 503 is a meaningful readiness answer (draining / degraded), not a
+        # failure of the client — report the body either way
+        try:
+            status, body = request_json(args.host, args.port, "GET", "/readyz",
+                                        timeout=args.timeout)
+        except OSError as error:
+            raise SystemExit("cannot reach {}:{}: {}".format(args.host, args.port, error))
+        return [{"command": "client ready", "status": status, **(body or {})}]
     if args.mode == "stats":
         stats = call("GET", "/stats")
         flat = {key: value for key, value in stats.items()
@@ -440,13 +485,18 @@ def _run_client(args) -> list[dict]:
         payload["n"] = args.n
     if args.seed is not None:
         payload["seed"] = args.seed
+    if args.deadline_s is not None:
+        payload["timeout_s"] = args.deadline_s
     if args.mode == "table":
         if args.stream:
-            from repro.serving.server import request_json_stream
+            from repro.serving.server import IncompleteStream, request_json_stream
 
             try:
                 status, lines = request_json_stream(args.host, args.port, payload,
                                                     timeout=args.timeout)
+            except IncompleteStream as error:
+                raise SystemExit("stream dropped mid-transfer ({}); the partial "
+                                 "table is NOT complete".format(error))
             except OSError as error:
                 raise SystemExit("cannot reach {}:{}: {}".format(
                     args.host, args.port, error))
@@ -515,6 +565,7 @@ def _run_schema(args) -> list[dict]:
 
 
 def _run_multitable(args) -> list[dict]:
+    import contextlib
     import tempfile
     from pathlib import Path
 
@@ -528,6 +579,10 @@ def _run_multitable(args) -> list[dict]:
 
     if args.chunk_rows is not None and not args.out_dir:
         raise SystemExit("run --chunk-rows requires --out-dir")
+    if args.spool and args.chunk_rows is None:
+        raise SystemExit("run --spool requires --chunk-rows")
+    if args.resume and not args.spool:
+        raise SystemExit("run --resume requires --spool")
     tables = load_tables(args.data_dir)
     graph = SchemaGraph.from_json(Path(args.schema).read_text()) if args.schema else None
     config = MultiTablePipelineConfig(seed=args.seed)
@@ -541,9 +596,14 @@ def _run_multitable(args) -> list[dict]:
         out_dir = Path(args.out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         synthetic_rows, out_paths = {}, {}
-        with tempfile.TemporaryDirectory(prefix="greater-spool-") as spool:
+        if args.spool:
+            Path(args.spool).mkdir(parents=True, exist_ok=True)
+            spool_context = contextlib.nullcontext(args.spool)
+        else:
+            spool_context = tempfile.TemporaryDirectory(prefix="greater-spool-")
+        with spool_context as spool:
             for name, table in fitted.iter_sample_database(
-                    args.n, seed=args.seed, spool=Path(spool)):
+                    args.n, seed=args.seed, spool=Path(spool), resume=args.resume):
                 out_paths[name] = out_dir / "{}.csv".format(name)
                 with SpoolingSink(CsvTableSink(out_paths[name]),
                                   args.chunk_rows) as sink:

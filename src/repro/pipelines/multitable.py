@@ -84,16 +84,19 @@ class FittedMultiTablePipeline:
         return self.sample_database(n, seed=seed)
 
     def iter_sample_database(self, n: int | dict | None = None,
-                             seed: int | None = None, spool=None):
+                             seed: int | None = None, spool=None,
+                             resume: bool = False):
         """Yield ``(name, table)`` pairs level by level, optionally spilling
         completed tables to *spool* so at most one table is in RAM (see
         :meth:`repro.schema.multitable.MultiTableSynthesizer.iter_sample_database`).
-        Defaults as in :meth:`sample_database`.
+        ``resume=True`` restarts an interrupted spill, skipping tables whose
+        spill already completed.  Defaults as in :meth:`sample_database`.
         """
         if n is None:
             n = self.config.n_root_rows
         seed = self.config.seed if seed is None else seed
-        return self.synthesizer.iter_sample_database(n, seed=seed, spool=spool)
+        return self.synthesizer.iter_sample_database(n, seed=seed, spool=spool,
+                                                     resume=resume)
 
     # -- persistence ----------------------------------------------------------------
 

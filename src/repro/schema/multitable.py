@@ -202,11 +202,20 @@ class _SampledStore:
     lossless by construction.
     """
 
-    def __init__(self, spool=None):
+    def __init__(self, spool=None, resume: bool = False):
         self.spool = Path(spool) if spool is not None else None
+        self.resume = bool(resume) and self.spool is not None
         self._tables: dict[str, Table] = {}
         if self.spool is not None:
             self.spool.mkdir(parents=True, exist_ok=True)
+
+    def is_complete(self, name: str) -> bool:
+        """Whether *name* already holds a completed (manifest-certified) spill."""
+        if self.spool is None:
+            return False
+        from repro.store.stream import part_table_is_complete
+
+        return part_table_is_complete(self.spool / name)
 
     def put(self, name: str, table: Table) -> None:
         if self.spool is None:
@@ -214,7 +223,14 @@ class _SampledStore:
             return
         from repro.store.stream import PartTableSink
 
-        with PartTableSink(self.spool / name) as sink:
+        directory = self.spool / name
+        if self.resume and directory.exists():
+            # a crash mid-write can leave manifest-less part files; the table
+            # regenerates deterministically from its own seed, so the safe
+            # resume is to clear the torn remains and rewrite whole
+            for stray in sorted(directory.glob("part-*.npz")):
+                stray.unlink()
+        with PartTableSink(directory) as sink:
             sink.write(table)
 
     def table(self, name: str) -> Table:
@@ -420,7 +436,8 @@ class MultiTableSynthesizer:
         return {name: sampled.table(name) for name in self._graph.table_names}
 
     def iter_sample_database(self, n: int | dict | None = None,
-                             seed: int | None = None, spool=None):
+                             seed: int | None = None, spool=None,
+                             resume: bool = False):
         """Yield ``(name, table)`` pairs of :meth:`sample_database` level by level.
 
         With *spool* (a fresh directory path), each completed table is
@@ -431,17 +448,31 @@ class MultiTableSynthesizer:
         ``dict(iter_sample_database(n, seed))`` equals
         ``sample_database(n, seed)`` exactly — spilled or not, the per-table
         seeds are the same named streams.  Validation is eager.
+
+        ``resume=True`` (requires *spool*) restarts an interrupted spill:
+        tables whose spill completed (manifest present) are **not**
+        regenerated — they are read back from disk and yielded as-is — and
+        only the missing suffix of the walk is sampled.  Each table's seed
+        is derived from ``(seed, its topological position)`` alone and
+        conditioning reads parent rows from the spool, so the resumed run's
+        spill directory is byte-identical to an uninterrupted one with the
+        same arguments.
         """
         self._require_fitted()
+        if resume and spool is None:
+            raise ValueError("resume=True requires a spool directory")
         seed = self.config.seed if seed is None else seed
         order = self._graph.topological_order()
         table_seeds = {name: derive_seed(seed, _TABLE_STREAM, index)
                        for index, name in enumerate(order)}
-        sampled = _SampledStore(spool)
+        sampled = _SampledStore(spool, resume=resume)
 
         def tables():
             for level in self._graph.depth_levels():
                 for name in level:
+                    if sampled.resume and sampled.is_complete(name):
+                        yield name, sampled.table(name)
+                        continue
                     table = self._sample_table(name, table_seeds[name], sampled, n)
                     sampled.put(name, table)
                     yield name, table

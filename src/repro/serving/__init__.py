@@ -23,7 +23,9 @@ service does not pull in asyncio/multiprocessing plumbing.
 
 from repro.serving.metrics import LATENCY_BUCKETS_S, LatencyHistogram, MetricsRegistry
 from repro.serving.service import (
+    DeadlineExceeded,
     LruCache,
+    PoolDegraded,
     RowRequest,
     ServingConfig,
     ServingError,
@@ -35,6 +37,7 @@ from repro.serving.service import (
 )
 
 _LAZY = {
+    "IncompleteStream": "repro.serving.server",
     "SynthesisServer": "repro.serving.server",
     "request_json": "repro.serving.server",
     "request_json_stream": "repro.serving.server",
@@ -47,7 +50,9 @@ __all__ = sorted([
     "LATENCY_BUCKETS_S",
     "LatencyHistogram",
     "LruCache",
+    "DeadlineExceeded",
     "MetricsRegistry",
+    "PoolDegraded",
     "RowRequest",
     "ServingConfig",
     "ServingError",

@@ -24,6 +24,31 @@ LATENCY_BUCKETS_S = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
                      0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
 
 
+class Counter:
+    """A thread-safe monotonic counter.
+
+    Bare ``int += 1`` from multiple threads happens to survive under the
+    GIL today, but the resilience counters (restarts, retries, deadline
+    kills, breaker trips) are incremented from collector, monitor, and
+    request threads at once — this makes the increment explicit and safe.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
 class LatencyHistogram:
     """Monotonic latency accumulator with fixed buckets."""
 

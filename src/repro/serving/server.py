@@ -16,11 +16,13 @@ limit before rejections start.
 
 Endpoints (all JSON):
 
-* ``POST /sample_table``    ``{"n": int?, "seed": int?, "stream": bool?}``
-* ``POST /sample_rows``     ``{"n": int, "conditions": {...}?, "seed": int?}``
-* ``POST /sample_database`` ``{"n": int | {table: int}?, "seed": int?}``
+* ``POST /sample_table``    ``{"n": int?, "seed": int?, "stream": bool?, "timeout_s": float?}``
+* ``POST /sample_rows``     ``{"n": int, "conditions": {...}?, "seed": int?, "timeout_s": float?}``
+* ``POST /sample_database`` ``{"n": int | {table: int}?, "seed": int?, "timeout_s": float?}``
 * ``GET  /stats``           service counters + latency histograms + server section
 * ``GET  /healthz``         liveness and the served bundle digest
+* ``GET  /readyz``          readiness — 503 while draining or while the worker
+  pool's crash-loop breaker holds the service degraded in fail-fast mode
 
 Tables come back as ``{"columns": [...], "rows": [{col: value}, ...]}``;
 databases as ``{"tables": {name: table}}``.  The ``/stats`` payload embeds
@@ -34,6 +36,15 @@ first block is sampled *before* the headers go out, so validation errors
 still come back as ordinary JSON error responses; rows never accumulate
 server-side, which is the point — a table larger than the server's RAM can
 be streamed to the client.
+
+Failure semantics (see the README's "Failure model & operations"): a
+request that misses its ``timeout_s`` deadline or hits a degraded worker
+pool answers **503 Service Unavailable** with a structured
+``{"error", "type"}`` body (``type`` is ``"deadline"`` or ``"degraded"``)
+— retryable by contract, unlike a 400.  ``SIGTERM`` (or
+:meth:`SynthesisServer.begin_drain`) starts a graceful drain: new sampling
+requests get 503 + ``Retry-After`` while in-flight work finishes, then the
+process flushes final stats and exits.
 """
 
 from __future__ import annotations
@@ -41,16 +52,45 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import signal
+import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.serving.service import ServingError, SynthesisService
+from repro import faults
+from repro.serving.service import (DeadlineExceeded, PoolDegraded, ServingError,
+                                   SynthesisService)
 
 #: Default bound on in-flight requests before 429 rejection.
 DEFAULT_MAX_QUEUE = 64
 
+#: ``Retry-After`` seconds suggested on 503 responses (drain / degraded).
+RETRY_AFTER_S = 5
+
 _MAX_HEADER_BYTES = 64 * 1024
+_MAX_START_LINE_BYTES = 8 * 1024
 _MAX_BODY_BYTES = 64 * 2**20
+
+
+class IncompleteStream(RuntimeError):
+    """A streamed response ended before its terminating summary line.
+
+    ``lines`` holds the decoded ndjson records received before the drop,
+    so callers can tell how far the stream got.
+    """
+
+    def __init__(self, message: str, lines: list):
+        super().__init__(message)
+        self.lines = lines
+
+
+class _BadRequest(Exception):
+    """A malformed HTTP request the server answers with 400 and closes."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
 
 
 def _jsonable(value):
@@ -89,8 +129,10 @@ class SynthesisServer:
                                             thread_name_prefix="serve")
         self._lock = threading.Lock()
         self._in_flight = 0
+        self._draining = False
         self._counters = {"accepted": 0, "rejected": 0, "http_errors": 0,
-                          "queue_high_water": 0}
+                          "queue_high_water": 0, "malformed_requests": 0,
+                          "deadline_errors": 0}
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -110,7 +152,7 @@ class SynthesisServer:
             await self._server.wait_closed()
         self._executor.shutdown(wait=False)
 
-    # -- admission control -------------------------------------------------------------
+    # -- admission control and drain ---------------------------------------------------
 
     def _admit(self) -> bool:
         with self._lock:
@@ -127,12 +169,43 @@ class SynthesisServer:
         with self._lock:
             self._in_flight -= 1
 
+    def begin_drain(self) -> None:
+        """Stop admitting sampling work (503 + ``Retry-After``); GET
+        endpoints keep answering so orchestrators can watch the drain."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    async def drain(self, timeout_s: float = 30.0) -> bool:
+        """Begin draining and wait for in-flight work; True if it hit zero."""
+        self.begin_drain()
+        deadline = time.monotonic() + max(timeout_s, 0.0)
+        while True:
+            with self._lock:
+                if self._in_flight == 0:
+                    return True
+            if time.monotonic() >= deadline:
+                with self._lock:
+                    return self._in_flight == 0
+            await asyncio.sleep(0.05)
+
+    def _drain_response(self):
+        with self._lock:
+            self._counters["rejected"] += 1
+        return 503, {"error": "server is draining; no new work accepted",
+                     "retry_after_s": RETRY_AFTER_S}, {"Retry-After": str(RETRY_AFTER_S)}
+
     def stats(self) -> dict:
         """The ``/stats`` payload: service stats plus the server section."""
         out = self.service.stats()
         with self._lock:
             server = dict(self._counters)
             server["in_flight"] = self._in_flight
+            server["draining"] = self._draining
         server["max_queue"] = self.max_queue
         out["server"] = server
         return out
@@ -143,7 +216,15 @@ class SynthesisServer:
                       writer: asyncio.StreamWriter) -> None:
         try:
             while True:
-                request = await self._read_request(reader)
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as error:
+                    with self._lock:
+                        self._counters["malformed_requests"] += 1
+                    await self._respond(writer, 400,
+                                        {"error": "malformed request: {}".format(error.reason)},
+                                        close=True)
+                    break
                 if request is None:
                     break
                 method, path, body = request
@@ -152,8 +233,10 @@ class SynthesisServer:
                     if not await self._respond_stream(writer, streamed):
                         break
                     continue
-                status, payload = await self._dispatch(method, path, body)
-                if not await self._respond(writer, status, payload):
+                result = await self._dispatch(method, path, body)
+                status, payload = result[0], result[1]
+                headers = result[2] if len(result) > 2 else None
+                if not await self._respond(writer, status, payload, headers):
                     break
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
             pass
@@ -161,50 +244,73 @@ class SynthesisServer:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+            except (ConnectionError, OSError, RuntimeError):
+                pass  # RuntimeError: the event loop already shut down
 
     async def _read_request(self, reader: asyncio.StreamReader):
+        """Parse one request head + body; ``None`` on clean connection end.
+
+        Malformed requests raise :class:`_BadRequest` so the caller can
+        answer 400 and count them, instead of silently dropping the
+        connection: oversized heads or start lines, unparseable request
+        lines, and duplicate or invalid ``Content-Length`` headers (the
+        classic request-smuggling vector) are all rejected explicitly.
+        """
         try:
             header = await reader.readuntil(b"\r\n\r\n")
-        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
-            return None
+        except asyncio.IncompleteReadError:
+            return None  # peer closed (cleanly or mid-head) — nobody to answer
+        except asyncio.LimitOverrunError:
+            raise _BadRequest("request head exceeds the stream limit")
         if len(header) > _MAX_HEADER_BYTES:
-            return None
+            raise _BadRequest("request head exceeds {} bytes".format(_MAX_HEADER_BYTES))
         lines = header.decode("latin-1").split("\r\n")
+        if len(lines[0]) > _MAX_START_LINE_BYTES:
+            raise _BadRequest("start line exceeds {} bytes".format(_MAX_START_LINE_BYTES))
         parts = lines[0].split(" ")
         if len(parts) != 3:
-            return None
+            raise _BadRequest("unparseable request line")
         method, path = parts[0].upper(), parts[1]
-        length = 0
+        lengths = []
         for line in lines[1:]:
             name, _, value = line.partition(":")
             if name.strip().lower() == "content-length":
                 try:
-                    length = int(value.strip())
+                    lengths.append(int(value.strip()))
                 except ValueError:
-                    return None
-        if length < 0 or length > _MAX_BODY_BYTES:
-            return None
+                    raise _BadRequest("invalid Content-Length {!r}".format(value.strip()))
+        if len(lengths) > 1:
+            raise _BadRequest("{} Content-Length headers in one request".format(len(lengths)))
+        length = lengths[0] if lengths else 0
+        if length < 0:
+            raise _BadRequest("negative Content-Length")
+        if length > _MAX_BODY_BYTES:
+            raise _BadRequest("body of {} bytes exceeds the {} byte limit".format(
+                length, _MAX_BODY_BYTES))
         body = await reader.readexactly(length) if length else b""
         return method, path, body
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
-                       payload: dict) -> bool:
+                       payload: dict, extra_headers: dict | None = None,
+                       close: bool = False) -> bool:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 429: "Too Many Requests",
-                   500: "Internal Server Error"}
+                   500: "Internal Server Error", 503: "Service Unavailable"}
         body = json.dumps(payload).encode("utf-8")
-        head = ("HTTP/1.1 {} {}\r\n"
-                "Content-Type: application/json\r\n"
-                "Content-Length: {}\r\n"
-                "\r\n").format(status, reasons.get(status, "OK"), len(body))
+        head_lines = ["HTTP/1.1 {} {}".format(status, reasons.get(status, "OK")),
+                      "Content-Type: application/json",
+                      "Content-Length: {}".format(len(body))]
+        for name, value in (extra_headers or {}).items():
+            head_lines.append("{}: {}".format(name, value))
+        if close:
+            head_lines.append("Connection: close")
+        head = "\r\n".join(head_lines) + "\r\n\r\n"
         try:
             writer.write(head.encode("latin-1") + body)
             await writer.drain()
         except (ConnectionError, OSError):
             return False
-        return True
+        return not close
 
     def _stream_request(self, method: str, path: str, body: bytes) -> dict | None:
         """The parsed request iff this is a ``stream: true`` table request."""
@@ -218,13 +324,37 @@ class SynthesisServer:
             return request
         return None
 
-    def _count_http_error(self) -> None:
+    def _count(self, counter: str) -> None:
         with self._lock:
-            self._counters["http_errors"] += 1
+            self._counters[counter] += 1
+
+    @staticmethod
+    def _parse_timeout(request: dict) -> float | None:
+        """The request's ``timeout_s`` as a positive float (``ValueError`` else)."""
+        value = request.get("timeout_s")
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            raise ValueError("timeout_s must be a positive number")
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            raise ValueError("timeout_s must be a positive number")
+        if value <= 0:
+            raise ValueError("timeout_s must be a positive number")
+        return value
 
     async def _respond_stream(self, writer: asyncio.StreamWriter, request: dict) -> bool:
         """Stream one block-chunked ``/sample_table`` response (ndjson over
         chunked transfer encoding)."""
+        if self.draining:
+            status, payload, headers = self._drain_response()
+            return await self._respond(writer, status, payload, headers)
+        try:
+            timeout_s = self._parse_timeout(request)
+        except ValueError as error:
+            self._count_http_error()
+            return await self._respond(writer, 400, {"error": str(error)})
         if not self._admit():
             with self._lock:
                 rejected = self._counters["rejected"]
@@ -237,10 +367,20 @@ class SynthesisServer:
                 chunks = await loop.run_in_executor(
                     self._executor,
                     lambda: self.service.iter_sample_table(request.get("n"),
-                                                           seed=request.get("seed")))
+                                                           seed=request.get("seed"),
+                                                           timeout_s=timeout_s))
                 # pull the first block before committing to a 200: request
                 # validation errors surface here and still get a JSON body
                 first = await loop.run_in_executor(self._executor, next, chunks, None)
+            except DeadlineExceeded as error:
+                self._count("deadline_errors")
+                return await self._respond(writer, 503,
+                                           {"error": str(error), "type": "deadline"})
+            except PoolDegraded as error:
+                self._count_http_error()
+                return await self._respond(writer, 503,
+                                           {"error": str(error), "type": "degraded"},
+                                           {"Retry-After": str(RETRY_AFTER_S)})
             except (ServingError, ValueError, TypeError) as error:
                 self._count_http_error()
                 return await self._respond(writer, 400, {"error": str(error)})
@@ -263,6 +403,11 @@ class SynthesisServer:
                     await writer.drain()
                     total_rows += block.num_rows
                     total_chunks += 1
+                    if faults.check("stream_drop") is not None:
+                        # chaos hook: hard-drop the connection short of the
+                        # terminating chunk, as a mid-transfer network failure
+                        writer.transport.abort()
+                        return False
                     block = await loop.run_in_executor(self._executor, next, chunks, None)
                 summary = {"done": True, "chunks": total_chunks, "rows": total_rows}
                 data = (json.dumps(summary) + "\n").encode("utf-8")
@@ -277,11 +422,25 @@ class SynthesisServer:
         finally:
             self._release()
 
+    def _count_http_error(self) -> None:
+        self._count("http_errors")
+
     async def _dispatch(self, method: str, path: str, body: bytes):
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET"}
             return 200, {"ok": True, "digest": self.service.digest}
+        if path == "/readyz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            ready, info = self.service.readiness()
+            payload = dict(info, ready=ready, digest=self.service.digest)
+            if self.draining:
+                payload["ready"] = False
+                payload["reason"] = "draining"
+            if payload["ready"]:
+                return 200, payload
+            return 503, payload, {"Retry-After": str(RETRY_AFTER_S)}
         if path == "/stats":
             if method != "GET":
                 return 405, {"error": "use GET"}
@@ -296,6 +455,12 @@ class SynthesisServer:
             return 400, {"error": "invalid JSON body: {}".format(error)}
         if not isinstance(request, dict):
             return 400, {"error": "request body must be a JSON object"}
+        try:
+            timeout_s = self._parse_timeout(request)
+        except ValueError as error:
+            return 400, {"error": str(error)}
+        if self.draining:
+            return self._drain_response()
         if not self._admit():
             with self._lock:
                 rejected = self._counters["rejected"]
@@ -303,34 +468,55 @@ class SynthesisServer:
                          "max_queue": self.max_queue, "rejected_total": rejected}
         loop = asyncio.get_running_loop()
         try:
-            return await loop.run_in_executor(
-                self._executor, self._execute, path, request)
+            future = loop.run_in_executor(
+                self._executor, self._execute, path, request, timeout_s)
+            effective = (timeout_s if timeout_s is not None
+                         else self.service.config.timeout_s)
+            if effective is not None and self.service.pool is None:
+                # thread executors cannot kill a running thread: enforce the
+                # deadline at the await; the orphaned thread runs to completion
+                # but its queue slot frees and the client gets its 503 now
+                try:
+                    return await asyncio.wait_for(future, effective)
+                except asyncio.TimeoutError:
+                    self._count("deadline_errors")
+                    return 503, {"error": "request missed its {}s deadline".format(effective),
+                                 "type": "deadline"}
+            return await future
         finally:
             self._release()
 
-    def _execute(self, path: str, request: dict):
+    def _execute(self, path: str, request: dict, timeout_s: float | None = None):
         """Run one sampling request on an executor thread."""
         try:
             seed = request.get("seed")
             if path == "/sample_table":
-                table = self.service.sample_table(request.get("n"), seed=seed)
+                table = self.service.sample_table(request.get("n"), seed=seed,
+                                                  timeout_s=timeout_s)
                 return 200, table_payload(table)
             if path == "/sample_rows":
                 if "n" not in request:
                     return 400, {"error": "sample_rows requires n"}
                 table = self.service.sample_rows(
-                    int(request["n"]), conditions=request.get("conditions"), seed=seed)
+                    int(request["n"]), conditions=request.get("conditions"), seed=seed,
+                    timeout_s=timeout_s)
                 return 200, table_payload(table)
-            database = self.service.sample_database(request.get("n"), seed=seed)
+            database = self.service.sample_database(request.get("n"), seed=seed,
+                                                    timeout_s=timeout_s)
             return 200, {"tables": {name: table_payload(table)
                                     for name, table in database.items()}}
+        except DeadlineExceeded as error:
+            self._count("deadline_errors")
+            return 503, {"error": str(error), "type": "deadline"}
+        except PoolDegraded as error:
+            self._count_http_error()
+            return 503, {"error": str(error), "type": "degraded"}, \
+                {"Retry-After": str(RETRY_AFTER_S)}
         except (ServingError, ValueError, TypeError) as error:
-            with self._lock:
-                self._counters["http_errors"] += 1
+            self._count_http_error()
             return 400, {"error": str(error)}
         except Exception as error:  # a bug, not a bad request — keep serving
-            with self._lock:
-                self._counters["http_errors"] += 1
+            self._count_http_error()
             return 500, {"error": "{}: {}".format(type(error).__name__, error)}
 
 
@@ -357,7 +543,13 @@ def request_json_stream(host: str, port: int, payload: dict | None = None,
     ndjson sequence: one ``{"columns", "rows"}`` object per streamed block
     plus the trailing ``{"done": true, ...}`` summary.  On an error status
     the second element is the JSON error body, like :func:`request_json`.
-    ``http.client`` undoes the chunked transfer encoding transparently.
+
+    The response is consumed line by line — the client holds one chunk at
+    a time, O(chunk) like the server, so a table larger than RAM streams
+    through.  A connection that drops before the ``done`` summary raises
+    :class:`IncompleteStream` (partial lines on the exception) instead of
+    silently returning a truncated table.  ``http.client`` undoes the
+    chunked transfer encoding transparently.
     """
     connection = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
@@ -365,22 +557,50 @@ def request_json_stream(host: str, port: int, payload: dict | None = None,
         connection.request("POST", "/sample_table", body=body,
                            headers={"Content-Type": "application/json"})
         response = connection.getresponse()
-        raw = response.read().decode("utf-8")
         if response.status != 200:
+            raw = response.read().decode("utf-8")
             return response.status, (json.loads(raw) if raw else None)
-        return 200, [json.loads(line) for line in raw.splitlines() if line]
+        lines: list = []
+        complete = False
+        try:
+            while True:
+                raw_line = response.readline()
+                if not raw_line:
+                    break
+                raw_line = raw_line.strip()
+                if not raw_line:
+                    continue
+                record = json.loads(raw_line.decode("utf-8"))
+                lines.append(record)
+                if isinstance(record, dict) and "done" in record:
+                    complete = True
+        except (http.client.IncompleteRead, ConnectionError, OSError, ValueError) as error:
+            raise IncompleteStream(
+                "stream dropped after {} lines: {}".format(len(lines), error),
+                lines) from None
+        if not complete:
+            raise IncompleteStream(
+                "stream ended after {} lines without a done summary".format(len(lines)),
+                lines)
+        return 200, lines
     finally:
         connection.close()
 
 
 def run_server(service: SynthesisService, host: str = "127.0.0.1", port: int = 0,
                max_queue: int = DEFAULT_MAX_QUEUE, ready_callback=None,
-               max_seconds: float | None = None) -> None:
+               max_seconds: float | None = None,
+               drain_timeout_s: float = 30.0) -> None:
     """Run the server until interrupted (or for *max_seconds*).
 
     *ready_callback* (if given) is called with the bound ``(host, port)``
     once the socket is listening — the CLI uses it to publish the
     ephemeral port to scripts and tests.
+
+    ``SIGTERM`` triggers a graceful drain: admission stops (503 +
+    ``Retry-After``), in-flight requests get up to *drain_timeout_s* to
+    finish, final stats are flushed to stderr, then the process exits.
+    ``SIGINT``/Ctrl-C stays an immediate stop.
     """
 
     async def _main():
@@ -388,15 +608,33 @@ def run_server(service: SynthesisService, host: str = "127.0.0.1", port: int = 0
         await server.start()
         if ready_callback is not None:
             ready_callback(server.host, server.port)
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        installed = False
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+            installed = True
+        except (NotImplementedError, RuntimeError, ValueError):
+            pass  # not the main thread (tests) or no signal support
         try:
             if max_seconds is None:
-                await server.serve_forever()
+                await stop.wait()
             else:
-                async with server._server:
-                    await asyncio.sleep(max_seconds)
+                try:
+                    await asyncio.wait_for(stop.wait(), max_seconds)
+                except asyncio.TimeoutError:
+                    pass
+            if stop.is_set():
+                drained = await server.drain(drain_timeout_s)
+                final = server.stats()
+                print("drain {}: in_flight={} final_stats={}".format(
+                    "complete" if drained else "timed out",
+                    final["server"]["in_flight"], json.dumps(final)), file=sys.stderr)
         except asyncio.CancelledError:
             pass
         finally:
+            if installed:
+                loop.remove_signal_handler(signal.SIGTERM)
             await server.stop()
 
     try:

@@ -53,6 +53,14 @@ class ServingError(RuntimeError):
     """A request the loaded bundle cannot serve."""
 
 
+class DeadlineExceeded(ServingError):
+    """A request missed its ``timeout_s`` deadline (HTTP 503, retryable)."""
+
+
+class PoolDegraded(ServingError):
+    """The worker pool's crash-loop breaker is open (HTTP 503, retryable)."""
+
+
 #: Named sub-streams of the request seed (table blocks vs row requests), so
 #: the two request shapes never share RNG state.  Table blocks use the
 #: pipeline layer's shared stream so streaming writers reproduce served
@@ -132,6 +140,19 @@ class ServingConfig:
     loading the service from a bundle path).  ``mmap`` makes bundle loads
     memory-map the n-gram count tables instead of copying them — with
     process workers the tables then share one page-cache copy.
+
+    Resilience knobs (process executor; see the README's "Failure model &
+    operations"): ``timeout_s`` is the default per-request deadline
+    (``None`` = no deadline; requests can override), ``retries`` the
+    re-dispatch budget for tasks orphaned by a worker death (seed-derived
+    work units make every retry bit-identical), ``retry_backoff_s`` the
+    base of the exponential backoff between attempts.  ``breaker_threshold``
+    worker deaths within ``breaker_window_s`` trip the crash-loop breaker
+    (0 disables it); while open, ``degraded_mode`` decides whether requests
+    fall back to in-process serial sampling (``"serial"`` — identical
+    output, slower) or fail fast with :class:`PoolDegraded`
+    (``"fail_fast"``).  ``faults`` is a :mod:`repro.faults` plan shipped to
+    worker processes for chaos testing.
     """
 
     shards: int = 1
@@ -140,6 +161,14 @@ class ServingConfig:
     batch_window_s: float = 0.002
     executor: str = "thread"
     mmap: bool = False
+    timeout_s: float | None = None
+    retries: int = 2
+    retry_backoff_s: float = 0.05
+    breaker_threshold: int = 5
+    breaker_window_s: float = 30.0
+    breaker_cooldown_s: float = 5.0
+    degraded_mode: str = "serial"
+    faults: str | None = None
 
     def __post_init__(self):
         if self.shards < 1:
@@ -152,6 +181,22 @@ class ServingConfig:
             raise ValueError("batch_window_s must be non-negative")
         if self.executor not in ("thread", "process"):
             raise ValueError('executor must be "thread" or "process"')
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None for no deadline)")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative (0 disables)")
+        if self.breaker_window_s <= 0 or self.breaker_cooldown_s <= 0:
+            raise ValueError("breaker window and cooldown must be positive")
+        if self.degraded_mode not in ("serial", "fail_fast"):
+            raise ValueError('degraded_mode must be "serial" or "fail_fast"')
+        if self.faults is not None:
+            from repro.faults import parse_plan
+
+            parse_plan(self.faults)  # reject typos at config time, not mid-chaos
 
 
 @dataclass(frozen=True)
@@ -217,6 +262,7 @@ class LruCache:
 @dataclass
 class _PendingRequest:
     request: RowRequest
+    timeout_s: float | None = None
     event: threading.Event = field(default_factory=threading.Event)
     result: Table | None = None
     error: BaseException | None = None
@@ -252,7 +298,8 @@ class SynthesisService:
         self._stats_lock = threading.Lock()
         self._stats = {"table_requests": 0, "row_requests": 0, "database_requests": 0,
                        "coalesced_batches": 0, "coalesced_requests_max": 0,
-                       "streamed_requests": 0, "streamed_chunks": 0, "streamed_rows": 0}
+                       "streamed_requests": 0, "streamed_chunks": 0, "streamed_rows": 0,
+                       "degraded_fallbacks": 0}
         self._batch_lock = threading.Lock()
         self._pending: list[_PendingRequest] = []
         self._draining = False
@@ -282,7 +329,13 @@ class SynthesisService:
             from repro.serving.workers import WorkerPool
 
             pool = WorkerPool(path, workers=config.shards, mmap=config.mmap,
-                              block_size=config.block_size, expected_digest=digest)
+                              block_size=config.block_size, expected_digest=digest,
+                              retries=config.retries,
+                              retry_backoff_s=config.retry_backoff_s,
+                              breaker_threshold=config.breaker_threshold,
+                              breaker_window_s=config.breaker_window_s,
+                              breaker_cooldown_s=config.breaker_cooldown_s,
+                              faults_spec=config.faults)
         return cls(fitted, config=config, digest=digest, pool=pool)
 
     def close(self) -> None:
@@ -347,12 +400,50 @@ class SynthesisService:
         out["peak_rss_bytes"] = process_peak_rss_bytes()
         if self.pool is not None:
             out["worker_restarts"] = self.pool.restarts
+            out["pool"] = self.pool.stats()
         return out
+
+    def readiness(self) -> tuple[bool, dict]:
+        """Whether the service can take traffic now, plus why if it cannot.
+
+        Distinct from liveness: a live process whose worker pool is held
+        open by the crash-loop breaker (and configured to fail fast) is not
+        ready.  In ``degraded_mode="serial"`` a degraded pool still serves
+        — slower, in-process — so the service stays ready and reports the
+        degradation instead.
+        """
+        info: dict = {"executor": self.config.executor}
+        if self.pool is None:
+            return True, info
+        state = self.pool.breaker_state
+        info["breaker_state"] = state
+        if state != "open":
+            return True, info
+        info["degraded_mode"] = self.config.degraded_mode
+        if self.config.degraded_mode == "serial":
+            info["reason"] = "worker pool degraded; serving serially in-process"
+            return True, info
+        info["reason"] = "worker pool degraded; crash-loop breaker open"
+        return False, info
+
+    def _degrade_to_serial(self, error: PoolDegraded):
+        """Count a pool-degraded fallback, or re-raise in fail-fast mode."""
+        if self.config.degraded_mode != "serial":
+            raise error
+        with self._stats_lock:
+            self._stats["degraded_fallbacks"] += 1
+
+    def _resolve_timeout(self, timeout_s: float | None) -> float | None:
+        timeout_s = self.config.timeout_s if timeout_s is None else timeout_s
+        if timeout_s is not None and timeout_s <= 0:
+            raise ServingError("timeout_s must be positive")
+        return timeout_s
 
     # -- whole-database sampling (multitable bundles) ----------------------------------
 
     def sample_database(self, n: int | dict | None = None,
-                        seed: int | None = None) -> dict:
+                        seed: int | None = None,
+                        timeout_s: float | None = None) -> dict:
         """A whole synthetic database from a loaded ``multitable`` bundle.
 
         Tables of one schema depth level are mutually independent, so with
@@ -363,6 +454,7 @@ class SynthesisService:
         """
         self._require_multitable()
         seed = self.fitted.config.seed if seed is None else seed
+        timeout_s = self._resolve_timeout(timeout_s)
         with self._stats_lock:
             self._stats["database_requests"] += 1
         with self.metrics.histogram("sample_database").time():
@@ -372,7 +464,11 @@ class SynthesisService:
             if cached is not None:
                 return cached
             if self.pool is not None:
-                database = self.pool.sample_database(n, seed)
+                try:
+                    database = self.pool.sample_database(n, seed, deadline_s=timeout_s)
+                except PoolDegraded as error:
+                    self._degrade_to_serial(error)
+                    database = self.fitted.sample_database(n, seed=seed)
             elif self.config.shards == 1:
                 database = self.fitted.sample_database(n, seed=seed)
             else:
@@ -388,17 +484,22 @@ class SynthesisService:
     def _blocks(self, n: int, seed: int) -> list[tuple[int, int, int]]:
         return block_plan(n, seed, self.config.block_size)
 
-    def sample_table(self, n: int | None = None, seed: int | None = None) -> Table:
+    def sample_table(self, n: int | None = None, seed: int | None = None,
+                     timeout_s: float | None = None) -> Table:
         """The synthetic flat table for *n* subjects (defaults as in the pipeline).
 
         The request is partitioned into ``block_size`` blocks, each sampled
         with a seed derived from ``(seed, block index)`` — independent of
         worker count, so every ``shards`` setting produces the identical
-        table.
+        table.  *timeout_s* (default :attr:`ServingConfig.timeout_s`) is
+        enforced as a per-block deadline on the process executor — a worker
+        stuck past it is killed and the request fails with
+        :class:`DeadlineExceeded`.
         """
         self._require_flat()
         n = self.fitted._resolve_n(n)
         seed = self.fitted.config.seed if seed is None else seed
+        timeout_s = self._resolve_timeout(timeout_s)
         with self._stats_lock:
             self._stats["table_requests"] += 1
         with self.metrics.histogram("sample_table").time():
@@ -408,7 +509,12 @@ class SynthesisService:
                 return cached
             blocks = self._blocks(n, seed)
             if self.pool is not None:
-                parts = self.pool.sample_blocks(blocks)
+                try:
+                    parts = self.pool.sample_blocks(blocks, deadline_s=timeout_s)
+                except PoolDegraded as error:
+                    self._degrade_to_serial(error)
+                    parts = [self.fitted.sample_block(start, count, block_seed)
+                             for start, count, block_seed in blocks]
             elif self.config.shards == 1 or len(blocks) == 1:
                 parts = [self.fitted.sample_block(start, count, block_seed)
                          for start, count, block_seed in blocks]
@@ -422,7 +528,8 @@ class SynthesisService:
             self._cache.put(key, table)
             return table
 
-    def iter_sample_table(self, n: int | None = None, seed: int | None = None):
+    def iter_sample_table(self, n: int | None = None, seed: int | None = None,
+                          timeout_s: float | None = None):
         """Yield the table of :meth:`sample_table` one block at a time.
 
         Blocks are the exact ``block_size`` partition that :meth:`sample_table`
@@ -435,6 +542,7 @@ class SynthesisService:
         self._require_flat()
         n = self.fitted._resolve_n(n)
         seed = self.fitted.config.seed if seed is None else seed
+        timeout_s = self._resolve_timeout(timeout_s)
         blocks = self._blocks(n, seed)
         with self._stats_lock:
             self._stats["streamed_requests"] += 1
@@ -442,7 +550,11 @@ class SynthesisService:
         def chunks():
             for block in blocks:
                 if self.pool is not None:
-                    part = self.pool.sample_blocks([block])[0]
+                    try:
+                        part = self.pool.sample_blocks([block], deadline_s=timeout_s)[0]
+                    except PoolDegraded as error:
+                        self._degrade_to_serial(error)
+                        part = self.fitted.sample_block(*block)
                 else:
                     part = self.fitted.sample_block(*block)
                 with self._stats_lock:
@@ -492,23 +604,28 @@ class SynthesisService:
         return self.fitted.enhancer.transform(one_row).row(0)
 
     def sample_rows(self, n: int, conditions: dict | None = None,
-                    seed: int | None = None) -> Table:
+                    seed: int | None = None,
+                    timeout_s: float | None = None) -> Table:
         """Sample *n* conditioned child rows (original label space).
 
         Concurrent callers are coalesced into one batched engine pass; the
-        result only depends on ``(bundle, n, conditions, seed)``.
+        result only depends on ``(bundle, n, conditions, seed)``.  Deadlines
+        apply at batch granularity: the coalesced pass runs under the
+        smallest timeout of its members, so a missed deadline fails every
+        request batched with it (all are retryable).
         """
         with self.metrics.histogram("sample_rows").time():
-            return self._sample_rows_timed(n, conditions, seed)
+            return self._sample_rows_timed(n, conditions, seed, timeout_s)
 
     def _sample_rows_timed(self, n: int, conditions: dict | None,
-                           seed: int | None) -> Table:
+                           seed: int | None, timeout_s: float | None = None) -> Table:
         request = self._normalize_request(n, conditions, seed)
+        timeout_s = self._resolve_timeout(timeout_s)
         key = (self.digest, "rows", request)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        entry = _PendingRequest(request)
+        entry = _PendingRequest(request, timeout_s=timeout_s)
         with self._batch_lock:
             self._pending.append(entry)
             leader = not self._draining
@@ -520,8 +637,11 @@ class SynthesisService:
             with self._batch_lock:
                 batch, self._pending = self._pending, []
                 self._draining = False
+            timeouts = [e.timeout_s for e in batch if e.timeout_s is not None]
+            batch_timeout = min(timeouts) if timeouts else None
             try:
-                results = self.sample_rows_many([e.request for e in batch])
+                results = self.sample_rows_many([e.request for e in batch],
+                                                timeout_s=batch_timeout)
             except BaseException as error:  # propagate to every waiter
                 for waiter in batch:
                     waiter.error = error
@@ -536,7 +656,8 @@ class SynthesisService:
         self._cache.put(key, entry.result)
         return entry.result
 
-    def sample_rows_many(self, requests: list[RowRequest]) -> list[Table]:
+    def sample_rows_many(self, requests: list[RowRequest],
+                         timeout_s: float | None = None) -> list[Table]:
         """Serve a batch of row requests through one engine pass per column.
 
         This is the deterministic coalescing unit: every request occupies a
@@ -555,7 +676,10 @@ class SynthesisService:
         if self.pool is not None:
             # the whole coalesced batch goes to ONE worker so it still runs
             # as a single merged engine pass per column
-            return self.pool.sample_rows_many(requests)
+            try:
+                return self.pool.sample_rows_many(requests, deadline_s=timeout_s)
+            except PoolDegraded as error:
+                self._degrade_to_serial(error)
         synth = self._child_synth
         engine = synth._engine
         temperature = synth.config.sampler.temperature

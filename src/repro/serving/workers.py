@@ -15,11 +15,28 @@ Transport stays in the repo's pickle-free spirit: tables cross the process
 boundary as NPZ bytes through :mod:`repro.store.tablefmt`, requests as
 plain tuples of primitives.
 
-Failure model: a worker that dies (OOM kill, hard crash) fails the tasks
-assigned to it — each with a :class:`ServingError` naming the worker and
-its exit code — while every other worker keeps serving; the pool
-immediately respawns a replacement so capacity recovers without
-intervention.
+Failure model (see also the README's "Failure model & operations"):
+
+* **Retries.** A dead worker's orphaned tasks are re-dispatched to live
+  workers with a bounded budget (``retries`` beyond the first attempt) and
+  exponential backoff.  Only the task the worker was actually serving (the
+  oldest-dispatched orphan) is charged an attempt; tasks still waiting in
+  the dead worker's queue re-dispatch without touching their budget — deep
+  queues do not burn retries on work that never started.  Seeds travel in
+  the payload, so a retried result is bit-identical to the single-shot path
+  no matter which worker runs it.  With the budget exhausted (or
+  ``retries=0``) a task fails with a :class:`ServingError` naming the
+  worker and exit code.
+* **Deadlines.** ``submit(..., deadline_s=...)`` arms a watchdog: a task
+  still unresolved past its deadline fails with
+  :class:`DeadlineExceeded` and the worker holding it is killed and
+  respawned, so one wedged request cannot pin a worker forever.
+* **Crash-loop breaker.** ``breaker_threshold`` worker deaths inside
+  ``breaker_window_s`` trip the pool open: respawning stops, ``submit``
+  raises :class:`PoolDegraded` (callers fall back or fail fast), and after
+  ``breaker_cooldown_s`` the pool half-opens — dead workers respawn as a
+  probe; a successful cold start or task result closes the breaker, a
+  further death re-opens it.
 """
 
 from __future__ import annotations
@@ -29,16 +46,25 @@ import multiprocessing
 import os
 import threading
 import time
+from collections import deque
 from multiprocessing.connection import wait as connection_wait
+from queue import Empty
 
 import numpy as np
 
-from repro.serving.service import RowRequest, ServingConfig, ServingError, SynthesisService
+from repro import faults
+from repro.serving.metrics import Counter
+from repro.serving.service import (DeadlineExceeded, PoolDegraded, RowRequest,
+                                   ServingConfig, ServingError, SynthesisService)
 from repro.store.tablefmt import arrays_to_table, table_to_arrays
 
 #: Seconds a worker gets to load the bundle and report ready.
 _READY_TIMEOUT_S = 60.0
 _JOIN_TIMEOUT_S = 5.0
+#: Upper bound on one retry backoff sleep, whatever the budget says.
+_MAX_BACKOFF_S = 2.0
+#: How long a ``task_hang`` fault sleeps when the plan gives no argument.
+_HANG_DEFAULT_S = 3600.0
 
 
 def encode_table(table) -> bytes:
@@ -69,14 +95,31 @@ def _execute(service: SynthesisService, method: str, payload):
         return {name: encode_table(table) for name, table in database.items()}
     if method == "ping":
         return None
-    if method == "crash":  # test hook: die without cleanup, like an OOM kill
-        os._exit(3)
     raise ServingError("unknown worker method {!r}".format(method))
 
 
+def _crash(results, code: int = 3) -> None:
+    """Die abruptly, but flush this process's result-channel feeder first.
+
+    ``os._exit`` alone can kill the queue's feeder thread mid-write, tearing
+    a frame in the *shared* results pipe (or dying while holding its write
+    lock) — which wedges the collector for every other worker.  A scripted
+    crash simulates a dead worker, not corrupted IPC, so flush then die."""
+    try:
+        results.close()
+        results.join_thread()
+    except Exception:
+        pass
+    os._exit(code)
+
+
 def _worker_main(worker_index: int, bundle_path: str, mmap: bool, block_size: int,
-                 tasks, results) -> None:
+                 tasks, results, fault_spec: str | None = None) -> None:
     """Worker process entry point: cold-start from the bundle, then serve."""
+    if fault_spec:
+        # each worker life arms its own injector, so per-process hit counters
+        # (e.g. "crash on every 25th task") restart from zero on respawn
+        faults.arm(fault_spec)
     try:
         config = ServingConfig(shards=1, block_size=block_size, cache_bytes=0,
                                batch_window_s=0.0, mmap=mmap)
@@ -90,6 +133,13 @@ def _worker_main(worker_index: int, bundle_path: str, mmap: bool, block_size: in
         if item is None:
             return
         task_id, method, payload = item
+        if method == "crash":  # test hook: die instead of serving, like an OOM kill
+            _crash(results)
+        if faults.check("worker_crash") is not None:
+            _crash(results)
+        hang = faults.check("task_hang")
+        if hang is not None:
+            time.sleep(hang.arg if hang.arg is not None else _HANG_DEFAULT_S)
         try:
             outcome = _execute(service, method, payload)
         except BaseException as error:
@@ -99,21 +149,37 @@ def _worker_main(worker_index: int, bundle_path: str, mmap: bool, block_size: in
 
 
 class _Task:
-    """A submitted work unit awaiting its result."""
+    """A submitted work unit awaiting its result.
 
-    __slots__ = ("task_id", "method", "event", "value", "error", "worker_index")
+    The payload is kept so the pool can re-dispatch the task verbatim if
+    its worker dies; ``deadline`` is an absolute ``time.monotonic`` instant
+    the watchdog enforces.
+    """
 
-    def __init__(self, task_id: int, method: str):
+    __slots__ = ("task_id", "method", "payload", "event", "value", "error",
+                 "worker_index", "attempts", "deadline", "dispatch_seq", "_pool")
+
+    def __init__(self, task_id: int, method: str, payload=None, pool=None):
         self.task_id = task_id
         self.method = method
+        self.payload = payload
         self.event = threading.Event()
         self.value = None
         self.error: Exception | None = None
         self.worker_index: int | None = None
+        self.attempts = 1
+        self.deadline: float | None = None
+        self.dispatch_seq = 0
+        self._pool = pool
 
     def result(self, timeout: float | None = None):
         if not self.event.wait(timeout):
-            raise ServingError("timed out waiting for worker task {!r}".format(self.method))
+            # drop the abandoned entry from the pool's registry so its
+            # payload cannot be pinned forever by a caller that gave up
+            if self._pool is not None:
+                self._pool._forget(self)
+            if not self.event.is_set():  # may have resolved in the race window
+                raise ServingError("timed out waiting for worker task {!r}".format(self.method))
         if self.error is not None:
             raise self.error
         return self.value
@@ -124,18 +190,34 @@ class WorkerPool:
 
     Tasks are dispatched round-robin onto per-worker queues; a collector
     thread resolves results and a monitor thread watches process sentinels
-    so a crashed worker fails only its in-flight tasks and is respawned.
+    and task deadlines so a crashed or wedged worker costs at most one
+    retry round, not the request.
     """
 
     def __init__(self, bundle_path, workers: int = 1, mmap: bool = False,
                  block_size: int = 256, expected_digest: str | None = None,
-                 start_method: str | None = None):
+                 start_method: str | None = None, retries: int = 0,
+                 retry_backoff_s: float = 0.05, breaker_threshold: int = 0,
+                 breaker_window_s: float = 30.0, breaker_cooldown_s: float = 5.0,
+                 faults_spec: str | None = None):
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
+        if breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative (0 disables)")
         self.bundle_path = str(bundle_path)
         self.workers = workers
         self.mmap = bool(mmap)
         self.block_size = block_size
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_window_s = breaker_window_s
+        self.breaker_cooldown_s = breaker_cooldown_s
+        self.faults_spec = faults_spec
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
             start_method = "fork" if "fork" in methods else methods[0]
@@ -146,9 +228,18 @@ class WorkerPool:
         self._tasks: dict[int, _Task] = {}
         self._next_task_id = 0
         self._next_worker = 0
+        self._dispatch_seq = 0
         self._closing = False
         self.digest: str | None = None
-        self.restarts = 0
+        self._restarts = Counter()
+        self._tasks_retried = Counter()
+        self._retries_exhausted = Counter()
+        self._deadline_kills = Counter()
+        self._breaker_trips = Counter()
+        self._deaths: deque = deque()          # monotonic timestamps in the window
+        self._dead: set[int] = set()           # indices awaiting respawn (breaker open)
+        self._breaker_state = "closed"
+        self._breaker_opened_at = 0.0
 
         self._processes = [self._spawn(index) for index in range(workers)]
         self._await_ready(range(workers), expected_digest)
@@ -165,7 +256,7 @@ class WorkerPool:
         process = self._context.Process(
             target=_worker_main,
             args=(index, self.bundle_path, self.mmap, self.block_size,
-                  self._task_queues[index], self._results),
+                  self._task_queues[index], self._results, self.faults_spec),
             daemon=True,
             name="repro-worker-{}".format(index),
         )
@@ -225,22 +316,82 @@ class WorkerPool:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def restarts(self) -> int:
+        return self._restarts.value
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the crash-loop breaker is open (pool refusing work)."""
+        with self._lock:
+            return self._breaker_state == "open"
+
+    @property
+    def breaker_state(self) -> str:
+        with self._lock:
+            return self._breaker_state
+
+    def stats(self) -> dict:
+        with self._lock:
+            state = self._breaker_state
+            dead = len(self._dead)
+        return {
+            "workers": self.workers,
+            "retries": self.retries,
+            "restarts": self._restarts.value,
+            "tasks_retried": self._tasks_retried.value,
+            "retries_exhausted": self._retries_exhausted.value,
+            "deadline_kills": self._deadline_kills.value,
+            "breaker_state": state,
+            "breaker_threshold": self.breaker_threshold,
+            "breaker_trips": self._breaker_trips.value,
+            "dead_workers": dead,
+        }
+
     # -- dispatch ----------------------------------------------------------------------
 
-    def submit(self, method: str, payload) -> _Task:
+    def submit(self, method: str, payload, deadline_s: float | None = None) -> _Task:
         with self._lock:
             if self._closing:
                 raise ServingError("worker pool is closed")
-            task = _Task(self._next_task_id, method)
+            if self._breaker_state == "open":
+                raise PoolDegraded(
+                    "worker pool is degraded: {} worker deaths within {:.0f}s tripped "
+                    "the crash-loop breaker; retry after the {:.0f}s cooldown".format(
+                        len(self._deaths), self.breaker_window_s, self.breaker_cooldown_s))
+            task = _Task(self._next_task_id, method, payload, pool=self)
             self._next_task_id += 1
             # the parent assigns work at submit time, so it always knows which
             # worker owns a task — a worker that dies without managing to send
             # anything still fails exactly its own tasks
-            task.worker_index = self._next_worker
-            self._next_worker = (self._next_worker + 1) % self.workers
+            task.worker_index = self._pick_worker_locked()
+            if deadline_s is not None:
+                task.deadline = time.monotonic() + deadline_s
+            task.dispatch_seq = self._dispatch_seq
+            self._dispatch_seq += 1
             self._tasks[task.task_id] = task
-        self._task_queues[task.worker_index].put((task.task_id, method, payload))
+            # the put happens under the lock so dispatch_seq order equals
+            # queue order — _handle_death relies on it to tell the task the
+            # worker was serving apart from ones still waiting in its queue
+            self._task_queues[task.worker_index].put((task.task_id, method, payload))
         return task
+
+    def _pick_worker_locked(self) -> int:
+        """Round-robin over workers, skipping ones the breaker holds dead."""
+        index = self._next_worker
+        for _ in range(self.workers):
+            index = self._next_worker
+            self._next_worker = (self._next_worker + 1) % self.workers
+            if index not in self._dead:
+                return index
+        return index  # every worker dead: the queue survives until respawn
+
+    def _forget(self, task: _Task) -> None:
+        """Drop a task a caller abandoned (its ``result`` timed out)."""
+        with self._lock:
+            self._tasks.pop(task.task_id, None)
 
     def _collect(self) -> None:
         while True:
@@ -248,12 +399,18 @@ class WorkerPool:
             if item is None:
                 return
             kind, task_id, worker_index, payload = item
-            if kind == "ready":  # a respawned worker came up
+            if kind in ("ready", "failed"):
+                # "ready" proves a respawned worker cold-started; either way the
+                # monitor owns death handling — here we only settle the breaker
+                if kind == "ready":
+                    self._breaker_probe_succeeded()
                 continue
             with self._lock:
                 task = self._tasks.pop(task_id, None)
-                if task is None:
-                    continue
+            # any task result proves the sending worker is serving
+            self._breaker_probe_succeeded()
+            if task is None:
+                continue  # duplicate of a retried task, or an abandoned one
             if kind == "done":
                 task.value = payload
             else:
@@ -261,55 +418,192 @@ class WorkerPool:
                     worker_index, task.method, payload))
             task.event.set()
 
+    def _breaker_probe_succeeded(self) -> None:
+        """A half-open probe came back healthy: close the breaker."""
+        with self._lock:
+            if self._breaker_state == "half_open":
+                self._breaker_state = "closed"
+                self._deaths.clear()
+
     def _watch(self) -> None:
-        """Fail in-flight tasks of dead workers and respawn replacements."""
+        """Monitor loop: deadlines, worker deaths, and breaker transitions."""
         while True:
             with self._lock:
                 if self._closing:
                     return
-                sentinels = {process.sentinel: index
-                             for index, process in enumerate(self._processes)
-                             if process.is_alive()}
+                now = time.monotonic()
+                overdue = [task for task in self._tasks.values()
+                           if task.deadline is not None and now > task.deadline]
+                for task in overdue:
+                    del self._tasks[task.task_id]
+                kill = sorted({task.worker_index for task in overdue} - self._dead)
+                respawn = []
+                if (self._breaker_state == "open"
+                        and now - self._breaker_opened_at >= self.breaker_cooldown_s):
+                    self._breaker_state = "half_open"
+                    respawn = sorted(self._dead)
+                candidates = [(index, process)
+                              for index, process in enumerate(self._processes)
+                              if index not in self._dead]
+            for task in overdue:
+                task.error = DeadlineExceeded(
+                    "worker task {!r} missed its deadline; "
+                    "the worker holding it is being replaced".format(task.method))
+                task.event.set()
+            for index in kill:
+                self._deadline_kills.increment()
+                process = self._processes[index]
+                if process.is_alive():
+                    process.kill()
+            for index in respawn:
+                self._respawn(index)
+            # a worker that died while this thread was busy handling another
+            # death has a non-alive process but never fires its sentinel again
+            # for connection_wait — sweep for those explicitly
+            newly_dead = [index for index, process in candidates
+                          if not process.is_alive()]
+            if newly_dead:
+                for index in newly_dead:
+                    self._handle_death(index)
+                continue
+            sentinels = {process.sentinel: index for index, process in candidates}
             if not sentinels:
-                return
+                time.sleep(0.2)  # breaker holds every worker dead; keep ticking
+                continue
             fired = connection_wait(list(sentinels), timeout=0.2)
             for sentinel in fired:
-                index = sentinels[sentinel]
-                process = self._processes[index]
-                process.join(timeout=_JOIN_TIMEOUT_S)
-                # give the collector a beat to drain "picked"/"done" messages
-                # the worker managed to send before dying, so finished tasks
-                # are not failed retroactively
-                time.sleep(0.1)
-                with self._lock:
-                    if self._closing:
-                        return
-                    orphans = [task for task in self._tasks.values()
-                               if task.worker_index == index]
-                    for task in orphans:
-                        del self._tasks[task.task_id]
-                    self.restarts += 1
-                    self._processes[index] = self._spawn(index)
-                for task in orphans:
-                    task.error = ServingError(
-                        "worker {} died (exit code {}) while serving {}".format(
-                            index, process.exitcode, task.method))
-                    task.event.set()
+                self._handle_death(sentinels[sentinel])
+
+    def _respawn(self, index: int) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            self._dead.discard(index)
+            self._restarts.increment()
+            self._processes[index] = self._spawn(index)
+
+    def _drain_queue(self, index: int) -> None:
+        """Empty a dead worker's queue so a respawn does not replay tasks the
+        retry path already re-dispatched elsewhere (duplicate work, not
+        duplicate results — but the work is real)."""
+        queue = self._task_queues[index]
+        while True:
+            try:
+                item = queue.get(timeout=0.05)
+            except Empty:
+                return
+            except Exception:
+                return
+            if item is None:  # re-queue the close() poison pill
+                queue.put(None)
+                return
+
+    def _handle_death(self, index: int) -> None:
+        """Apply the failure policy for one dead worker."""
+        process = self._processes[index]
+        process.join(timeout=_JOIN_TIMEOUT_S)
+        # give the collector a beat to drain "done" messages the worker
+        # managed to send before dying, so finished tasks are not failed
+        # retroactively
+        time.sleep(0.1)
+        self._drain_queue(index)
+        with self._lock:
+            if self._closing:
+                return
+            if index in self._dead:
+                return
+            self._dead.add(index)
+            now = time.monotonic()
+            self._deaths.append(now)
+            while self._deaths and now - self._deaths[0] > self.breaker_window_s:
+                self._deaths.popleft()
+            tripped = False
+            if self._breaker_state == "half_open":
+                tripped = True  # the probe respawn died: straight back open
+            elif (self.breaker_threshold > 0 and self._breaker_state == "closed"
+                    and len(self._deaths) >= self.breaker_threshold):
+                tripped = True
+            if tripped:
+                self._breaker_state = "open"
+                self._breaker_opened_at = now
+                self._breaker_trips.increment()
+            breaker_open = self._breaker_state == "open"
+            orphans = [task for task in self._tasks.values()
+                       if task.worker_index == index]
+            for task in orphans:
+                del self._tasks[task.task_id]
+            # the worker serves its queue in dispatch order, so the oldest
+            # unfinished orphan is the task it died serving — only that task
+            # is charged a retry attempt; the rest were still queued and
+            # re-dispatch without touching their budget
+            charged = min(orphans, key=lambda t: t.dispatch_seq, default=None)
+            retry, fail = [], []
+            for task in orphans:
+                if breaker_open or self.retries == 0:
+                    fail.append(task)
+                elif task is charged and task.attempts > self.retries:
+                    fail.append(task)
+                else:
+                    retry.append(task)
+        for task in fail:
+            if breaker_open and self.retries > 0 and task.attempts <= self.retries:
+                task.error = PoolDegraded(
+                    "worker {} died (exit code {}) while serving {} and the "
+                    "crash-loop breaker is open".format(index, process.exitcode, task.method))
+            else:
+                suffix = (" after {} attempts".format(task.attempts)
+                          if task.attempts > 1 else "")
+                task.error = ServingError(
+                    "worker {} died (exit code {}) while serving {}{}".format(
+                        index, process.exitcode, task.method, suffix))
+                if task.attempts > 1:
+                    self._retries_exhausted.increment()
+            task.event.set()
+        if not breaker_open:
+            self._respawn(index)
+        if retry:
+            # one backoff sleep per death event, exponential in the charged
+            # task's attempt count
+            attempt = charged.attempts if charged in retry else 1
+            delay = self.retry_backoff_s * (2 ** (attempt - 1))
+            if delay > 0:
+                time.sleep(min(delay, _MAX_BACKOFF_S))
+        for task in retry:
+            with self._lock:
+                if self._closing or self._breaker_state == "open":
+                    requeue = False
+                else:
+                    requeue = True
+                    if task is charged:
+                        task.attempts += 1
+                        self._tasks_retried.increment()
+                    task.worker_index = self._pick_worker_locked()
+                    task.dispatch_seq = self._dispatch_seq
+                    self._dispatch_seq += 1
+                    self._tasks[task.task_id] = task
+                    self._task_queues[task.worker_index].put(
+                        (task.task_id, task.method, task.payload))
+            if not requeue:
+                task.error = PoolDegraded(
+                    "worker pool degraded before task {!r} could be retried".format(
+                        task.method))
+                task.event.set()
 
     # -- typed helpers -----------------------------------------------------------------
 
-    def sample_blocks(self, blocks) -> list:
+    def sample_blocks(self, blocks, deadline_s: float | None = None) -> list:
         """Run ``sample_block`` tasks for every ``(start, count, seed)`` block."""
-        tasks = [self.submit("sample_block", tuple(block)) for block in blocks]
+        tasks = [self.submit("sample_block", tuple(block), deadline_s=deadline_s)
+                 for block in blocks]
         return [decode_table(task.result()) for task in tasks]
 
-    def sample_rows_many(self, requests) -> list:
+    def sample_rows_many(self, requests, deadline_s: float | None = None) -> list:
         """Ship one coalesced row batch to a single worker (one merged pass)."""
         payload = [(request.n, tuple(request.conditions), request.seed)
                    for request in requests]
-        task = self.submit("sample_rows_many", payload)
+        task = self.submit("sample_rows_many", payload, deadline_s=deadline_s)
         return [decode_table(blob) for blob in task.result()]
 
-    def sample_database(self, n, seed) -> dict:
-        task = self.submit("sample_database", (n, seed))
+    def sample_database(self, n, seed, deadline_s: float | None = None) -> dict:
+        task = self.submit("sample_database", (n, seed), deadline_s=deadline_s)
         return {name: decode_table(blob) for name, blob in task.result().items()}

@@ -40,6 +40,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.enhancement.enhancer import DataSemanticEnhancer, EnhancerConfig
 from repro.enhancement.mapping import MappingSystem
 from repro.great.synthesizer import GReaTConfig, GReaTSynthesizer
@@ -165,6 +166,9 @@ class BundleReader:
         self.mmap = bool(mmap)
         if not self.path.is_file():
             raise StoreError("no bundle at {}".format(self.path))
+        if faults.check("bundle_truncated") is not None:
+            raise StoreError(
+                "injected truncated bundle read at {}".format(self.path))
         self._npz_spans: dict[str, tuple[int, int]] = {}
         try:
             with zipfile.ZipFile(self.path) as archive:
@@ -181,9 +185,18 @@ class BundleReader:
                     self._parts = {name: archive.read(name) for name in archive.namelist()}
         except zipfile.BadZipFile as error:
             raise StoreError("not a bundle archive: {} ({})".format(self.path, error)) from None
+        except (OSError, EOFError) as error:
+            # a bundle cut short mid-transfer can fail inside entry reads
+            # rather than at the central-directory check above
+            raise StoreError("truncated or unreadable bundle at {}: {}".format(
+                self.path, error)) from None
         if MANIFEST_NAME not in self._parts:
             raise StoreError("bundle at {} has no manifest".format(self.path))
-        self.manifest = json.loads(self._parts[MANIFEST_NAME].decode("utf-8"))
+        try:
+            self.manifest = json.loads(self._parts[MANIFEST_NAME].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise StoreError("bundle manifest at {} is corrupt: {}".format(
+                self.path, error)) from None
         version = self.manifest.get("format_version")
         if version is None or version > BUNDLE_FORMAT_VERSION:
             raise StoreError(

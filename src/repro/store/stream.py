@@ -32,6 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.frame.ops import concat_rows
 from repro.frame.table import Table
 from repro.store.atomic import atomic_path, atomic_write_text
@@ -71,6 +72,8 @@ class TableSink:
             raise StoreError(
                 "chunk columns {} do not match the sink's columns {}".format(
                     list(chunk.column_names), self._columns))
+        if faults.check("sink_oserror") is not None:
+            raise OSError("injected sink failure at chunk {}".format(self.chunks_written + 1))
         self._write_chunk(chunk)
         self.rows_written += chunk.num_rows
         self.chunks_written += 1
@@ -164,9 +167,19 @@ class PartTableSink(TableSink):
     manifest certifies a complete spill.  With ``compress=False`` (the
     default) the parts stay memory-mappable through
     :func:`part_table_column`.
+
+    ``resume=True`` adopts the intact part files an interrupted spill left
+    behind (no manifest yet): each ``part-*.npz`` prefix that decodes
+    cleanly is kept on disk and the sink skips rewriting it — the producer
+    re-feeds the same chunk sequence (chunk seeds are request-derived, so
+    the regenerated prefix is identical by construction) and only the
+    missing suffix touches disk.  The first torn or missing part ends the
+    adopted prefix; it and any later strays are deleted.  Since
+    :func:`~repro.store.tablefmt.write_table` output is byte-deterministic,
+    a resumed spill is byte-identical to an uninterrupted one.
     """
 
-    def __init__(self, directory, compress: bool = False):
+    def __init__(self, directory, compress: bool = False, resume: bool = False):
         super().__init__()
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -175,11 +188,55 @@ class PartTableSink(TableSink):
             raise StoreError("{} already holds a completed part table".format(self.directory))
         self.compress = compress
         self._row_counts: list[int] = []
+        self._adopted_counts: list[int] = []
+        if resume:
+            self._adopt_parts()
+
+    @property
+    def resumed_chunks(self) -> int:
+        """How many complete parts of an interrupted spill were adopted."""
+        return len(self._adopted_counts)
+
+    def _adopt_parts(self) -> None:
+        index = 0
+        columns: list[str] | None = None
+        while True:
+            path = self._part_path(index)
+            if not path.exists():
+                break
+            try:
+                part = read_table(path)
+            except Exception:
+                break  # torn write: this part and everything after is regenerated
+            if columns is None:
+                columns = list(part.column_names)
+            elif list(part.column_names) != columns:
+                break
+            self._adopted_counts.append(part.num_rows)
+            index += 1
+        stray = index
+        while True:
+            path = self._part_path(stray)
+            if not path.exists():
+                break
+            path.unlink()
+            stray += 1
+        if columns is not None:
+            self._columns = columns
 
     def _part_path(self, index: int) -> Path:
         return self.directory / "part-{:05d}.npz".format(index)
 
     def _write_chunk(self, chunk: Table) -> None:
+        if self.chunks_written < len(self._adopted_counts):
+            expected = self._adopted_counts[self.chunks_written]
+            if chunk.num_rows != expected:
+                raise StoreError(
+                    "resumed chunk {} carries {} rows but the adopted part holds {} — "
+                    "the producer is not replaying the original chunk sequence".format(
+                        self.chunks_written, chunk.num_rows, expected))
+            self._row_counts.append(chunk.num_rows)
+            return
         write_table(chunk, self._part_path(self.chunks_written), compress=self.compress)
         self._row_counts.append(chunk.num_rows)
 
@@ -281,6 +338,12 @@ def _read_manifest(directory: Path) -> dict:
             "part table format version {} is newer than supported version {}".format(
                 version, PARTS_FORMAT_VERSION))
     return manifest
+
+
+def part_table_is_complete(directory) -> bool:
+    """Whether *directory* holds a completed spill (manifest-last protocol:
+    the manifest's presence certifies every part landed)."""
+    return (Path(directory) / _MANIFEST_NAME).exists()
 
 
 def iter_part_tables(directory):
