@@ -27,6 +27,13 @@ Measures the three things the train-once / serve-many split buys:
   rows and requiring the peak to grow by at most ``--stream-growth-bound``
   (in-memory peaks grow with the table; streamed peaks must not).
   Process peak RSS is recorded alongside;
+* **observability overhead** — the same ``sample_table`` workload with
+  request tracing disabled and enabled (in-memory ring sink), interleaved
+  over several rounds with min-of-round timings: the enabled/disabled
+  ratio must stay under ``--trace-overhead-bound`` (default 1.05, i.e.
+  < 5% overhead), the traced output must be byte-identical to the
+  untraced output, and every captured span must pass the documented
+  schema (:mod:`repro.obs.schema`);
 * **resilience under a crash storm** — the same deterministic workload
   through a 4-worker process pool with the :mod:`repro.faults` harness
   killing a worker every 25th task (``worker_crash%25``): a single
@@ -349,6 +356,58 @@ def run(n_users: int, n_sample: int, requests: int, seed: int = 7,
             for entry in stream_engines.values()),
     }
 
+    # -- observability: tracing must be (nearly) free -----------------------------------
+    # Disabled tracing is the default and must cost nothing; enabled tracing
+    # buys per-stage spans for < 5% end-to-end overhead.  Modes alternate
+    # within each round so drift (page cache, thermal) hits both equally,
+    # and min-of-rounds is compared — the min is the least-noisy estimate.
+    from repro.obs import trace as obs_trace
+    from repro.obs.schema import validate_lines
+
+    obs_rounds, obs_requests = 3, max(2, requests)
+    obs_config = ServingConfig(shards=1, block_size=max(8, n_sample // 8),
+                               cache_bytes=0)
+    times: dict[str, list[float]] = {"disabled": [], "enabled": []}
+    outputs: dict[str, str] = {}
+    spans_captured = 0
+    schema_errors: list[str] = []
+    with SynthesisService.from_bundle(bundle_path, obs_config) as service:
+        service.sample_table(n_sample, seed=seed + 50)  # warm-up
+        for _ in range(obs_rounds):
+            for mode in ("disabled", "enabled"):
+                if mode == "enabled":
+                    obs_trace.configure("ring:8192")
+                else:
+                    obs_trace.disable()
+                try:
+                    start = time.perf_counter()
+                    tables = [service.sample_table(n_sample, seed=seed + 50 + index)
+                              for index in range(obs_requests)]
+                    times[mode].append(time.perf_counter() - start)
+                    outputs.setdefault(mode, _tables_digest(tables))
+                    if mode == "enabled":
+                        snapshot = obs_trace.ring_snapshot() or {}
+                        spans = snapshot.get("spans", [])
+                        spans_captured = max(spans_captured, len(spans))
+                        if not schema_errors:
+                            schema_errors = validate_lines(spans)
+                finally:
+                    obs_trace.disable()
+    overhead_ratio = (min(times["enabled"]) / min(times["disabled"])
+                      if min(times["disabled"]) > 0 else None)
+    report["observability"] = {
+        "rounds": obs_rounds,
+        "requests_per_round": obs_requests,
+        "disabled_s": [round(value, 6) for value in times["disabled"]],
+        "enabled_s": [round(value, 6) for value in times["enabled"]],
+        "min_disabled_s": round(min(times["disabled"]), 6),
+        "min_enabled_s": round(min(times["enabled"]), 6),
+        "overhead_ratio": round(overhead_ratio, 4) if overhead_ratio else None,
+        "spans_captured": spans_captured,
+        "schema_errors": schema_errors[:10],
+        "identical_output": outputs.get("enabled") == outputs.get("disabled"),
+    }
+
     # -- resilience: availability under a worker-crash storm ----------------------------
     # The fault plan kills a worker on every 25th task of each worker life;
     # retries re-dispatch the dead worker's orphaned blocks.  Because every
@@ -468,6 +527,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stream-growth-bound", type=float, default=1.5,
                         help="max allowed growth of the streaming allocation "
                              "peak when the table grows 4x (default 1.5)")
+    parser.add_argument("--trace-overhead-bound", type=float, default=1.05,
+                        help="max allowed enabled/disabled tracing time ratio "
+                             "(default 1.05 = < 5%% overhead)")
     parser.add_argument("--out", type=Path, default=Path("BENCH_store.json"),
                         help="output JSON path (default ./BENCH_store.json)")
     args = parser.parse_args(argv)
@@ -480,6 +542,7 @@ def main(argv: list[str] | None = None) -> int:
                  scaling_margin=args.scaling_margin,
                  stream_growth_bound=args.stream_growth_bound)
     report["mode"] = "smoke" if args.smoke else "full"
+    report["observability"]["overhead_bound"] = args.trace_overhead_bound
     args.out.write_text(json.dumps(report, indent=2) + "\n")
 
     for engine, entry in report["engines"].items():
@@ -513,6 +576,13 @@ def main(argv: list[str] | None = None) -> int:
                   entry["streamed_peak_bytes"] / 1024,
                   entry["in_memory_peak_bytes"] / 1024,
                   entry["peak_growth_4x"], entry["identical_output"]))
+    observability = report["observability"]
+    print("observability: tracing off {:.3f}s  on {:.3f}s  overhead x{}  "
+          "{} spans  schema_errors={}  identical={}".format(
+              observability["min_disabled_s"], observability["min_enabled_s"],
+              observability["overhead_ratio"], observability["spans_captured"],
+              len(observability["schema_errors"]),
+              observability["identical_output"]))
     resilience = report["resilience"]
     single = resilience["single_request"]
     storm = resilience["storm"]
@@ -553,6 +623,22 @@ def main(argv: list[str] | None = None) -> int:
         print("ERROR: the chaos single request must survive the crash storm "
               "with a byte-identical table (success={}, digest_equal={})".format(
                   single["success"], single["digest_equal"]))
+        return 1
+    if (observability["overhead_ratio"] is None
+            or observability["overhead_ratio"] > args.trace_overhead_bound):
+        print("ERROR: enabled tracing costs x{} of the untraced run "
+              "(bound x{})".format(observability["overhead_ratio"],
+                                   args.trace_overhead_bound))
+        return 1
+    if not observability["identical_output"]:
+        print("ERROR: tracing changed the sampled output")
+        return 1
+    if observability["schema_errors"]:
+        print("ERROR: captured spans violate the documented schema: {}".format(
+            observability["schema_errors"][:3]))
+        return 1
+    if observability["spans_captured"] == 0:
+        print("ERROR: enabled tracing captured no spans")
         return 1
     if storm["with_retries"]["success_rate"] < 1.0 or not storm["with_retries"]["digest_equal"]:
         print("ERROR: the retries-on crash storm must reach 100% success with "

@@ -19,7 +19,10 @@ The artifact-store workflow adds subcommands on top of the experiments
   (thread or process executor, bounded request queue with 429
   backpressure, ``/stats`` metrics — see :mod:`repro.serving.server`);
 * ``greater client`` — query a running server (table/rows/database
-  sampling, stats, health) and print the rows like every other command.
+  sampling, stats, health) and print the rows like every other command;
+* ``greater trace`` — summarize, print, or rank a trace file written by
+  ``serve --trace PATH`` (actions: summary, tree, slow — see
+  :mod:`repro.obs`).
 
 The relational-schema workflow (see :mod:`repro.schema`) adds:
 
@@ -74,6 +77,7 @@ COMMANDS = {
     "serve-bench": "serve sampling requests from a bundle at several shard counts",
     "serve": "run the HTTP serving front end on a bundle (thread/process executor)",
     "client": "query a running 'greater serve' server (table, rows, database, stats)",
+    "trace": "inspect a trace file from serve --trace (actions: summary, tree, slow)",
     "schema": "infer or show a relational schema graph (actions: infer, show)",
     "run": "fit the multitable pipeline on a directory of CSVs and sample a database",
 }
@@ -145,6 +149,18 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
         description=COMMANDS[command],
     )
     parser.add_argument("--json", action="store_true", help="print the rows as JSON")
+    if command == "trace":
+        parser.add_argument("action", choices=("summary", "tree", "slow"),
+                            help="summary: per-span-name timing rollup; tree: the "
+                                 "stitched span trees; slow: slowest root spans")
+        parser.add_argument("path", help="trace file written by serve --trace PATH")
+        parser.add_argument("--trace-id", default=None,
+                            help="tree action: show only this trace id (prefix ok)")
+        parser.add_argument("--top", type=int, default=10,
+                            help="slow action: how many root spans to rank (default 10)")
+        parser.add_argument("--limit", type=int, default=None,
+                            help="tree action: cap the printed rows")
+        return parser
     if command == "schema":
         parser.add_argument("action", choices=("infer", "show"),
                             help="infer a schema graph from CSVs, or show a saved one")
@@ -226,6 +242,10 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
         parser.add_argument("--drain-timeout-s", type=float, default=30.0,
                             help="seconds SIGTERM waits for in-flight requests "
                                  "before exiting (default 30)")
+        parser.add_argument("--trace", default=None,
+                            help="arm request tracing: a span-file path, 'stderr', "
+                                 "or 'ring[:capacity]' (exposes GET /trace); "
+                                 "disabled by default at zero overhead")
         return parser
     if command == "client":
         parser.add_argument("mode",
@@ -411,7 +431,8 @@ def _run_serve(args) -> list[dict]:
                            executor=args.executor, mmap=args.mmap,
                            timeout_s=args.timeout_s, retries=args.retries,
                            breaker_threshold=args.breaker_threshold,
-                           degraded_mode=args.degraded_mode, faults=args.faults)
+                           degraded_mode=args.degraded_mode, faults=args.faults,
+                           trace=args.trace)
     service = SynthesisService.from_bundle(args.bundle, config)
     started = time.perf_counter()
 
@@ -521,6 +542,35 @@ def _run_client(args) -> list[dict]:
     return [{"command": "client database", "table": name,
              "rows": len(table["rows"]), "columns": len(table["columns"])}
             for name, table in sorted(tables.items())]
+
+
+def _run_trace(args) -> list[dict]:
+    from repro.obs.view import load_spans, slow_rows, summary_rows, tree_rows
+
+    try:
+        spans = load_spans(args.path)
+    except OSError as error:
+        raise SystemExit("cannot read trace file {}: {}".format(args.path, error))
+    if not spans:
+        raise SystemExit("no spans in {} (was the server run with --trace, and "
+                         "did it handle any requests?)".format(args.path))
+    if args.action == "summary":
+        return [{"command": "trace summary", **row} for row in summary_rows(spans)]
+    if args.action == "slow":
+        return [{"command": "trace slow", **row}
+                for row in slow_rows(spans, top=args.top)]
+    trace_id = None
+    if args.trace_id:
+        matches = sorted({span["trace_id"] for span in spans
+                          if span["trace_id"].startswith(args.trace_id)})
+        if not matches:
+            raise SystemExit("no trace id starting with {!r} in {}".format(
+                args.trace_id, args.path))
+        if len(matches) > 1:
+            raise SystemExit("trace id prefix {!r} is ambiguous: {}".format(
+                args.trace_id, ", ".join(matches)))
+        trace_id = matches[0]
+    return tree_rows(spans, trace_id=trace_id, limit=args.limit)
 
 
 def _load_graph_for_show(args):
@@ -643,6 +693,7 @@ def _run_multitable(args) -> list[dict]:
 _COMMAND_RUNNERS = {"fit": _run_fit, "sample": _run_sample,
                     "serve-bench": _run_serve_bench,
                     "serve": _run_serve, "client": _run_client,
+                    "trace": _run_trace,
                     "schema": _run_schema, "run": _run_multitable}
 
 

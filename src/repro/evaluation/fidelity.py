@@ -22,6 +22,7 @@ from statistics import mean, median
 import numpy as np
 
 from repro.frame.table import Table
+from repro.obs import trace as obs
 from repro.stats.distance import wasserstein_from_samples
 from repro.stats.tests import _ks_p_value, ks_two_sample_test
 
@@ -377,15 +378,18 @@ class FidelityEvaluator:
         if len(shared) < 2:
             raise ValueError("need at least two shared columns to evaluate fidelity")
 
-        conditioning = self._usable_conditioning_columns(original, shared)
-        report = FidelityReport(label=label)
-        for cond in conditioning:
-            for target in shared:
-                if cond == target and not self.include_self_pairs:
-                    continue
-                pair = self.pair_fidelity(original, synthetic, cond, target)
-                if pair is not None:
-                    report.pairs.append(pair)
-        if not report.pairs:
-            raise ValueError("no column pair could be scored; the tables may be too small")
+        with obs.span("stage.fidelity_evaluate",
+                      attrs={"label": label, "columns": len(shared)}) as sp:
+            conditioning = self._usable_conditioning_columns(original, shared)
+            report = FidelityReport(label=label)
+            for cond in conditioning:
+                for target in shared:
+                    if cond == target and not self.include_self_pairs:
+                        continue
+                    pair = self.pair_fidelity(original, synthetic, cond, target)
+                    if pair is not None:
+                        report.pairs.append(pair)
+            if not report.pairs:
+                raise ValueError("no column pair could be scored; the tables may be too small")
+            sp.set_attr("pairs", len(report.pairs))
         return report

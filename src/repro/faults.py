@@ -141,6 +141,7 @@ class FaultInjector:
         self._rules = parse_plan(spec)
         self._lock = threading.Lock()
         self._hits: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
 
     def check(self, point: str) -> FaultRule | None:
         rule = self._rules.get(point)
@@ -149,12 +150,26 @@ class FaultInjector:
         with self._lock:
             hit = self._hits.get(point, 0) + 1
             self._hits[point] = hit
-        return rule if rule.fires(hit) else None
+            fires = rule.fires(hit)
+            if fires:
+                self._fired[point] = self._fired.get(point, 0) + 1
+        return rule if fires else None
 
     def hits(self, point: str) -> int:
         """How many times *point* has been checked in this process."""
         with self._lock:
             return self._hits.get(point, 0)
+
+    def fired_snapshot(self) -> dict[str, int]:
+        """Per-point count of checks that actually fired in this process.
+
+        Crash-style faults never show up here in the dying process's report
+        (the process is gone); the surviving side observes them instead.
+        The serving workers ship this snapshot back over the result pipe so
+        the parent can expose per-fault-point counters.
+        """
+        with self._lock:
+            return dict(self._fired)
 
 
 _lock = threading.Lock()
@@ -208,3 +223,12 @@ def check(point: str) -> FaultRule | None:
     if injector is None:
         return None
     return injector.check(point)
+
+
+def fired_snapshot() -> dict[str, int]:
+    """Fired counts of the armed injector, or ``{}`` when disarmed."""
+    with _lock:
+        injector = _injector
+    if injector is None:
+        return {}
+    return injector.fired_snapshot()

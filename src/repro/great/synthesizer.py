@@ -16,6 +16,7 @@ from repro.llm.finetune import FineTuneConfig, FineTuner
 from repro.llm.ngram_model import NGramLanguageModel
 from repro.llm.sampler import SamplerConfig, TemperatureSampler
 from repro.llm.tokenizer import WordTokenizer
+from repro.obs import trace as obs
 from repro.textenc.corpus import CorpusBuilder
 from repro.textenc.decoder import TextualDecoder
 from repro.textenc.encoder import EncoderConfig, TextualEncoder
@@ -151,10 +152,13 @@ class GReaTSynthesizer:
         self._encoder.reseed(self.config.seed)
         builder = CorpusBuilder(encoder=self._encoder,
                                 permutation_passes=self.config.permutation_passes)
-        corpus, decoder = builder.build(table)
+        with obs.span("stage.encode", attrs={"rows": table.num_rows,
+                                             "columns": table.num_columns}):
+            corpus, decoder = builder.build(table)
         tokenizer = WordTokenizer()
         tuner = FineTuner(tokenizer, self.config.fine_tune)
-        result = tuner.fine_tune(corpus)
+        with obs.span("stage.fine_tune", attrs={"sentences": len(corpus)}):
+            result = tuner.fine_tune(corpus)
         self._perplexity_trace = result.perplexity_trace
         self._training_engine = result.engine
         self._decoder = decoder
@@ -294,6 +298,10 @@ class GReaTSynthesizer:
     def _sample_rows_guided_batch(self, prompts: list[dict | None], seed: int) -> list[dict]:
         """Guided strategy over a whole batch: one engine session per chunk,
         one vectorized candidate draw per column."""
+        with obs.span("stage.sample", attrs={"rows": len(prompts), "strategy": "guided"}):
+            return self._sample_rows_guided_batch_inner(prompts, seed)
+
+    def _sample_rows_guided_batch_inner(self, prompts: list[dict | None], seed: int) -> list[dict]:
         engine = self._engine
         rng = np.random.default_rng([_GUIDED_STREAM, seed & SEED_MASK])
         temperature = self.config.sampler.temperature
@@ -335,6 +343,10 @@ class GReaTSynthesizer:
     def _sample_rows_free_batch(self, prompts: list[dict | None], seed: int) -> list[dict]:
         """Free strategy over a whole batch: generate every lane through the
         engine's validity-retry loop, then decode and backfill fallbacks."""
+        with obs.span("stage.free_sample", attrs={"rows": len(prompts), "strategy": "free"}):
+            return self._sample_rows_free_batch_inner(prompts, seed)
+
+    def _sample_rows_free_batch_inner(self, prompts: list[dict | None], seed: int) -> list[dict]:
         tokenizer = self._model.tokenizer
         prompt_ids = None
         if any(prompt for prompt in prompts):

@@ -1,0 +1,44 @@
+"""Observability plane: tracing, structured logging, Prometheus exposition.
+
+``repro.obs.trace`` is the span tracer (off by default, no-op when
+disabled), ``repro.obs.logging`` the structured stderr logger,
+``repro.obs.prom`` the Prometheus text renderer for the metrics registry,
+``repro.obs.schema`` the span-schema validator (also runnable as
+``python -m repro.obs.schema``), and ``repro.obs.view`` the trace-file
+renderers behind the ``trace`` CLI group.
+"""
+
+from .logging import access_log, log_event
+from .prom import prometheus_text
+from .trace import (
+    NULL_SPAN,
+    configure,
+    configure_buffered,
+    current_context,
+    disable,
+    emit_raw,
+    emit_span,
+    enabled,
+    monotonic_us,
+    new_trace_id,
+    ring_snapshot,
+    span,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "access_log",
+    "configure",
+    "configure_buffered",
+    "current_context",
+    "disable",
+    "emit_raw",
+    "emit_span",
+    "enabled",
+    "log_event",
+    "monotonic_us",
+    "new_trace_id",
+    "prometheus_text",
+    "ring_snapshot",
+    "span",
+]

@@ -1,0 +1,49 @@
+"""Structured JSON-lines logging to stderr.
+
+One event per line, machine-parsable, with a stable leading key order
+(``ts``, ``event``) so the access log stays greppable.  Used by the HTTP
+server for its per-request access log; safe to call from any thread.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any
+
+__all__ = ["access_log", "log_event"]
+
+_lock = threading.Lock()
+
+
+def log_event(event: str, **fields: Any) -> None:
+    """Write one structured log line to stderr."""
+
+    record: dict[str, Any] = {"ts": round(time.time(), 6), "event": event}
+    record.update(fields)
+    line = json.dumps(record, separators=(",", ":"), default=str)
+    with _lock:
+        print(line, file=sys.stderr)
+
+
+def access_log(
+    method: str,
+    path: str,
+    status: int,
+    request_id: str,
+    duration_ms: float,
+    **fields: Any,
+) -> None:
+    """One access-log line per HTTP request."""
+
+    log_event(
+        "access",
+        method=method,
+        path=path,
+        status=status,
+        request_id=request_id,
+        duration_ms=round(duration_ms, 3),
+        **fields,
+    )

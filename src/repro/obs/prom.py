@@ -1,0 +1,115 @@
+"""Prometheus text-format exposition (version 0.0.4) for the metrics plane.
+
+Renders a :class:`~repro.serving.metrics.MetricsRegistry` — labeled
+counters, gauges and latency histograms (as native ``_bucket{le=...}`` /
+``_sum`` / ``_count`` series) — plus any numeric scalars found in a nested
+stats dict, flattened into ``repro_<path>`` gauges.  No external client
+library: the format is plain text and this writer emits only the subset
+the registry needs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = ["CONTENT_TYPE", "prometheus_text"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(raw: str, prefix: str) -> str:
+    name = _NAME_OK.sub("_", raw)
+    if not name or not (name[0].isalpha() or name[0] == "_"):
+        name = "_" + name
+    return prefix + name
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: tuple, extra: tuple = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(key, _escape_label(str(value))) for key, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _flatten_scalars(stats: dict, path: tuple = ()) -> list:
+    """Depth-first numeric leaves of a nested stats dict as (path, value)."""
+
+    out = []
+    for key, value in stats.items():
+        here = path + (str(key),)
+        if isinstance(value, dict):
+            out.extend(_flatten_scalars(value, here))
+        elif isinstance(value, bool):
+            out.append((here, 1 if value else 0))
+        elif isinstance(value, (int, float)):
+            out.append((here, value))
+    return out
+
+
+def prometheus_text(registry, extra_stats: dict | None = None, prefix: str = "repro_") -> str:
+    """Render the registry (and optional stats scalars) as Prometheus text."""
+
+    lines: list[str] = []
+
+    for name, series in sorted(registry.counter_series().items()):
+        metric = _metric_name(name, prefix)
+        lines.append("# TYPE {} counter".format(metric))
+        for labels, value in sorted(series):
+            lines.append("{}{} {}".format(metric, _render_labels(labels), _format_value(value)))
+
+    for name, series in sorted(registry.gauge_series().items()):
+        metric = _metric_name(name, prefix)
+        lines.append("# TYPE {} gauge".format(metric))
+        for labels, value in sorted(series):
+            lines.append("{}{} {}".format(metric, _render_labels(labels), _format_value(value)))
+
+    histograms = registry.snapshot()
+    if histograms:
+        metric = _metric_name("latency_seconds", prefix)
+        lines.append("# TYPE {} histogram".format(metric))
+        for endpoint, snap in sorted(histograms.items()):
+            label = (("endpoint", endpoint),)
+            bounds = list(snap["buckets_s"]) + ["+Inf"]
+            for bound, cumulative in zip(bounds, snap["cumulative_counts"]):
+                le = bound if bound == "+Inf" else repr(float(bound))
+                lines.append(
+                    "{}_bucket{} {}".format(
+                        metric, _render_labels(label, (("le", le),)), cumulative
+                    )
+                )
+            lines.append(
+                "{}_sum{} {}".format(metric, _render_labels(label), _format_value(snap["total_s"]))
+            )
+            lines.append(
+                "{}_count{} {}".format(metric, _render_labels(label), snap["count"])
+            )
+
+    if extra_stats:
+        skip = {"latency", "counters", "gauges"}
+        scalars = _flatten_scalars(
+            {key: value for key, value in extra_stats.items() if key not in skip}
+        )
+        for path, value in scalars:
+            metric = _metric_name("_".join(path), prefix)
+            lines.append("# TYPE {} gauge".format(metric))
+            lines.append("{} {}".format(metric, _format_value(value)))
+
+    return "\n".join(lines) + "\n"

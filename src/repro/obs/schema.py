@@ -1,0 +1,188 @@
+"""Span-record schema validation for trace JSON-lines files.
+
+The documented span schema (see README "Observability") is a closed key
+set: every record carries exactly ``trace_id``, ``span_id``, ``parent_id``,
+``name``, ``pid``, ``start_us``, ``duration_us``, ``status``, ``attrs``
+and ``events`` — no unknown keys, no missing keys.  Cross-record checks:
+span IDs are unique, every non-null ``parent_id`` resolves to a span in
+the same trace, and each span's event timestamps are monotonic and inside
+the span's ``[start_us, start_us + duration_us]`` window.
+
+Runnable as a module for CI::
+
+    python -m repro.obs.schema /tmp/trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+__all__ = ["SPAN_KEYS", "validate_file", "validate_lines", "validate_span"]
+
+SPAN_KEYS = frozenset(
+    {
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "pid",
+        "start_us",
+        "duration_us",
+        "status",
+        "attrs",
+        "events",
+    }
+)
+
+_STATUSES = {"ok", "error"}
+
+#: Event timestamps may trail the recorded span window by this many
+#: microseconds: the error event in ``Span.__exit__`` is stamped an
+#: instant before ``duration_us`` is, on the same clock.
+_EVENT_SLACK_US = 1000
+
+
+def _is_hex_id(value: Any) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == 16
+        and all(ch in "0123456789abcdef" for ch in value)
+    )
+
+
+def validate_span(record: Any, where: str = "span") -> list[str]:
+    """Structural errors for one span record (empty list = valid)."""
+
+    errors: list[str] = []
+    if not isinstance(record, dict):
+        return ["{}: not a JSON object".format(where)]
+    keys = set(record)
+    unknown = keys - SPAN_KEYS
+    missing = SPAN_KEYS - keys
+    if unknown:
+        errors.append("{}: unknown keys {}".format(where, sorted(unknown)))
+    if missing:
+        errors.append("{}: missing keys {}".format(where, sorted(missing)))
+        return errors
+    if not _is_hex_id(record["trace_id"]):
+        errors.append("{}: trace_id is not a 16-hex id".format(where))
+    if not _is_hex_id(record["span_id"]):
+        errors.append("{}: span_id is not a 16-hex id".format(where))
+    parent_id = record["parent_id"]
+    if parent_id is not None and not _is_hex_id(parent_id):
+        errors.append("{}: parent_id is neither null nor a 16-hex id".format(where))
+    if not isinstance(record["name"], str) or not record["name"]:
+        errors.append("{}: name must be a non-empty string".format(where))
+    if not isinstance(record["pid"], int) or record["pid"] <= 0:
+        errors.append("{}: pid must be a positive integer".format(where))
+    start_us = record["start_us"]
+    duration_us = record["duration_us"]
+    if not isinstance(start_us, int) or start_us < 0:
+        errors.append("{}: start_us must be a non-negative integer".format(where))
+    if not isinstance(duration_us, int) or duration_us < 0:
+        errors.append("{}: duration_us must be a non-negative integer".format(where))
+    if record["status"] not in _STATUSES:
+        errors.append("{}: status {!r} not in {}".format(where, record["status"], sorted(_STATUSES)))
+    if not isinstance(record["attrs"], dict):
+        errors.append("{}: attrs must be an object".format(where))
+    events = record["events"]
+    if not isinstance(events, list):
+        errors.append("{}: events must be a list".format(where))
+        return errors
+    previous_t = None
+    for position, event in enumerate(events):
+        tag = "{} event[{}]".format(where, position)
+        if not isinstance(event, dict):
+            errors.append("{}: not an object".format(tag))
+            continue
+        if set(event) - {"name", "t_us", "attrs"}:
+            errors.append("{}: unknown keys {}".format(tag, sorted(set(event) - {"name", "t_us", "attrs"})))
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            errors.append("{}: name must be a non-empty string".format(tag))
+        t_us = event.get("t_us")
+        if not isinstance(t_us, int):
+            errors.append("{}: t_us must be an integer".format(tag))
+            continue
+        if isinstance(start_us, int) and isinstance(duration_us, int):
+            if t_us < start_us or t_us > start_us + duration_us + _EVENT_SLACK_US:
+                errors.append(
+                    "{}: t_us {} outside span window [{}, {}]".format(
+                        tag, t_us, start_us, start_us + duration_us
+                    )
+                )
+        if previous_t is not None and t_us < previous_t:
+            errors.append("{}: t_us {} precedes prior event {}".format(tag, t_us, previous_t))
+        previous_t = t_us
+    return errors
+
+
+def validate_lines(records: list, max_errors: int = 50) -> list[str]:
+    """Per-span plus cross-span errors for a batch of records."""
+
+    errors: list[str] = []
+    span_ids: dict[str, str] = {}
+    for index, record in enumerate(records):
+        where = "line {}".format(index + 1)
+        errors.extend(validate_span(record, where))
+        if isinstance(record, dict) and _is_hex_id(record.get("span_id")):
+            span_id = record["span_id"]
+            if span_id in span_ids:
+                errors.append("{}: duplicate span_id {}".format(where, span_id))
+            else:
+                span_ids[span_id] = record.get("trace_id")
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            continue
+        parent_id = record.get("parent_id")
+        if parent_id is None or not _is_hex_id(parent_id):
+            continue
+        where = "line {}".format(index + 1)
+        parent_trace = span_ids.get(parent_id)
+        if parent_trace is None:
+            errors.append("{}: parent_id {} does not resolve".format(where, parent_id))
+        elif parent_trace != record.get("trace_id"):
+            errors.append(
+                "{}: parent_id {} belongs to trace {}, span is in {}".format(
+                    where, parent_id, parent_trace, record.get("trace_id")
+                )
+            )
+    return errors[:max_errors]
+
+
+def validate_file(path: str) -> tuple[int, list[str]]:
+    """``(span_count, errors)`` for a JSON-lines trace file."""
+
+    records = []
+    errors: list[str] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                errors.append("line {}: not valid JSON".format(number))
+    errors.extend(validate_lines(records))
+    return len(records), errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.schema TRACE_FILE", file=sys.stderr)
+        return 2
+    count, errors = validate_file(argv[0])
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print("{}: {} spans, {} schema errors".format(argv[0], count, len(errors)), file=sys.stderr)
+        return 1
+    print("{}: {} spans, schema ok".format(argv[0], count))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,483 @@
+"""Low-overhead tracing: spans, sinks and cross-process context propagation.
+
+The tracer is a process-global singleton armed with :func:`configure` and
+torn down with :func:`disable`.  While disabled (the default) every entry
+point degrades to a near-free no-op: :func:`span` returns a shared null
+context manager, :func:`emit_span`/:func:`emit_raw` return immediately and
+:func:`current_context` is ``None``.  That keeps instrumentation safe to
+leave inline on hot paths.
+
+Spans are emitted as JSON-serialisable dicts with a fixed key set (see
+``repro.obs.schema``): ``trace_id``/``span_id``/``parent_id`` (16-hex ids),
+``name``, ``pid``, ``start_us``/``duration_us`` (CLOCK_MONOTONIC
+microseconds — shared across processes on Linux, so parent and worker spans
+stitch into one tree), ``status`` and free-form ``attrs``/``events``.
+
+Parent linkage is implicit through a :class:`contextvars.ContextVar`: a span
+entered as a context manager becomes the current span for nested calls in
+the same thread/task.  To cross an executor boundary, run the task inside
+``contextvars.copy_context()``; to cross a process boundary, ship
+:func:`current_context` with the task frame and pass it back as ``parent=``.
+Worker processes buffer spans in a :class:`BufferSink` and ship the drained
+list over the existing result pipe; the parent re-emits them verbatim via
+:func:`emit_raw`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+__all__ = [
+    "BufferSink",
+    "FileSink",
+    "NULL_SPAN",
+    "RingSink",
+    "Span",
+    "StderrSink",
+    "Tracer",
+    "configure",
+    "configure_buffered",
+    "current_context",
+    "disable",
+    "emit_raw",
+    "emit_span",
+    "enabled",
+    "monotonic_us",
+    "new_trace_id",
+    "ring_snapshot",
+    "span",
+]
+
+DEFAULT_RING_CAPACITY = 4096
+
+_current_span: ContextVar[tuple[str, str] | None] = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+_lock = threading.Lock()
+_tracer: "Tracer | None" = None
+
+
+def monotonic_us() -> int:
+    """Microseconds on the monotonic clock (comparable across processes)."""
+
+    return time.monotonic_ns() // 1000
+
+
+def new_trace_id() -> str:
+    return os.urandom(8).hex()
+
+
+def _new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+class Sink:
+    """Destination for finished span dicts."""
+
+    def emit(self, record: dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - default is a no-op
+        pass
+
+
+def _encode(record: dict[str, Any]) -> str:
+    return json.dumps(record, separators=(",", ":"), default=str)
+
+
+class FileSink(Sink):
+    """Append JSON lines to a file with one atomic write per span."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict[str, Any]) -> None:
+        data = (_encode(record) + "\n").encode("utf-8")
+        with self._lock:
+            os.write(self._fd, data)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd >= 0:
+                try:
+                    os.close(self._fd)
+                except OSError:
+                    pass
+                self._fd = -1
+
+
+class StderrSink(Sink):
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict[str, Any]) -> None:
+        line = _encode(record)
+        with self._lock:
+            print(line, file=sys.stderr)
+
+
+class RingSink(Sink):
+    """Bounded in-memory buffer backing ``GET /trace``."""
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive, got {}".format(capacity))
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._records: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._emitted = 0
+
+    def emit(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+            self._emitted += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            records = list(self._records)
+            emitted = self._emitted
+        return {
+            "capacity": self.capacity,
+            "emitted": emitted,
+            "dropped": emitted - len(records),
+            "spans": records,
+        }
+
+
+class BufferSink(Sink):
+    """Collect spans for shipping across a process boundary.
+
+    Worker processes arm one of these and :meth:`drain` it after every task;
+    the drained list rides the result pipe and the parent re-emits it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[dict[str, Any]] = []
+
+    def emit(self, record: dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def drain(self) -> list[dict[str, Any]]:
+        with self._lock:
+            records = self._records
+            self._records = []
+        return records
+
+
+class Span:
+    """A started span; finish it by exiting the context manager."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start_us",
+        "status",
+        "attrs",
+        "events",
+        "_tracer",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        trace_id: str,
+        parent_id: str | None,
+        attrs: dict[str, Any] | None,
+        start_us: int | None,
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_span_id()
+        self.parent_id = parent_id
+        self.start_us = monotonic_us() if start_us is None else start_us
+        self.status = "ok"
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.events: list[dict[str, Any]] = []
+        self._token = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        event: dict[str, Any] = {"name": name, "t_us": monotonic_us()}
+        if attrs:
+            event["attrs"] = attrs
+        self.events.append(event)
+
+    def context(self) -> tuple[str, str]:
+        return (self.trace_id, self.span_id)
+
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set((self.trace_id, self.span_id))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.status = "error"
+            self.add_event("error", type=exc_type.__name__, message=str(exc)[:200])
+        self._tracer.finish(self)
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+    trace_id = None
+    span_id = None
+    parent_id = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+    def add_event(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def context(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    def __init__(self, sink: Sink) -> None:
+        self.sink = sink
+
+    def start_span(
+        self,
+        name: str,
+        attrs: dict[str, Any] | None = None,
+        parent: tuple[str, str] | None = None,
+        trace_id: str | None = None,
+        start_us: int | None = None,
+    ) -> Span:
+        parent_id: str | None
+        if parent is not None:
+            trace_id, parent_id = parent[0], parent[1]
+        else:
+            current = _current_span.get()
+            if current is not None:
+                trace_id, parent_id = current
+            else:
+                trace_id = trace_id or new_trace_id()
+                parent_id = None
+        return Span(self, name, trace_id, parent_id, attrs, start_us)
+
+    def finish(self, span: Span) -> None:
+        now = monotonic_us()
+        record: dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "name": span.name,
+            "pid": os.getpid(),
+            "start_us": span.start_us,
+            "duration_us": max(0, now - span.start_us),
+            "status": span.status,
+            "attrs": span.attrs,
+            "events": span.events,
+        }
+        self.sink.emit(record)
+
+    def emit_completed(
+        self,
+        name: str,
+        parent: tuple[str, str] | None,
+        start_us: int,
+        duration_us: int,
+        attrs: dict[str, Any] | None = None,
+        status: str = "ok",
+        events: list[dict[str, Any]] | None = None,
+    ) -> None:
+        trace_id = parent[0] if parent is not None else new_trace_id()
+        parent_id = parent[1] if parent is not None else None
+        record: dict[str, Any] = {
+            "trace_id": trace_id,
+            "span_id": _new_span_id(),
+            "parent_id": parent_id,
+            "name": name,
+            "pid": os.getpid(),
+            "start_us": start_us,
+            "duration_us": max(0, duration_us),
+            "status": status,
+            "attrs": dict(attrs) if attrs else {},
+            "events": list(events) if events else [],
+        }
+        self.sink.emit(record)
+
+
+def parse_sink_spec(spec: str) -> tuple[str, Any]:
+    """Split a ``--trace`` destination spec into ``(kind, arg)``.
+
+    ``"stderr"`` → stderr sink, ``"ring"``/``"ring:N"`` → in-memory ring of N
+    spans, anything else is treated as a file path for JSON lines.  Raises
+    ``ValueError`` on a malformed ring capacity so bad specs fail at config
+    time, not at first span.
+    """
+
+    text = str(spec).strip()
+    if not text:
+        raise ValueError("trace sink spec must not be empty")
+    if text == "stderr":
+        return ("stderr", None)
+    if text == "ring":
+        return ("ring", DEFAULT_RING_CAPACITY)
+    if text.startswith("ring:"):
+        raw = text[len("ring:") :]
+        try:
+            capacity = int(raw)
+        except ValueError:
+            raise ValueError("invalid ring capacity {!r}".format(raw)) from None
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive, got {}".format(capacity))
+        return ("ring", capacity)
+    return ("file", text)
+
+
+def _build_sink(spec: str) -> Sink:
+    kind, arg = parse_sink_spec(spec)
+    if kind == "stderr":
+        return StderrSink()
+    if kind == "ring":
+        return RingSink(arg)
+    return FileSink(arg)
+
+
+def configure(spec: str) -> Sink:
+    """Arm the global tracer with a sink described by ``spec``."""
+
+    global _tracer
+    sink = _build_sink(spec)
+    with _lock:
+        previous = _tracer
+        _tracer = Tracer(sink)
+    if previous is not None:
+        previous.sink.close()
+    return sink
+
+
+def configure_buffered() -> BufferSink:
+    """Arm the global tracer with a drainable buffer (worker processes)."""
+
+    global _tracer
+    sink = BufferSink()
+    with _lock:
+        previous = _tracer
+        _tracer = Tracer(sink)
+    if previous is not None:
+        previous.sink.close()
+    return sink
+
+
+def disable() -> None:
+    """Disarm tracing; subsequent spans are no-ops."""
+
+    global _tracer
+    with _lock:
+        previous = _tracer
+        _tracer = None
+    if previous is not None:
+        previous.sink.close()
+
+
+def enabled() -> bool:
+    return _tracer is not None
+
+
+def span(
+    name: str,
+    attrs: dict[str, Any] | None = None,
+    parent: tuple[str, str] | None = None,
+    trace_id: str | None = None,
+    start_us: int | None = None,
+) -> "Span | _NullSpan":
+    """Start a span, or return the shared null span while disabled."""
+
+    tracer = _tracer
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.start_span(
+        name, attrs=attrs, parent=parent, trace_id=trace_id, start_us=start_us
+    )
+
+
+def current_context() -> tuple[str, str] | None:
+    """The ``(trace_id, span_id)`` of the innermost active span, if any."""
+
+    if _tracer is None:
+        return None
+    return _current_span.get()
+
+
+def emit_span(
+    name: str,
+    parent: tuple[str, str] | None,
+    start_us: int,
+    duration_us: int,
+    attrs: dict[str, Any] | None = None,
+    status: str = "ok",
+    events: list[dict[str, Any]] | None = None,
+) -> None:
+    """Emit an already-timed span (e.g. a queue wait measured externally)."""
+
+    tracer = _tracer
+    if tracer is None:
+        return
+    tracer.emit_completed(
+        name, parent, start_us, duration_us, attrs=attrs, status=status, events=events
+    )
+
+
+def emit_raw(record: dict[str, Any]) -> None:
+    """Re-emit a finished span dict verbatim (worker → parent shipping)."""
+
+    tracer = _tracer
+    if tracer is None:
+        return
+    tracer.sink.emit(record)
+
+
+def ring_snapshot() -> dict[str, Any] | None:
+    """Snapshot of the ring sink, or ``None`` when the sink is not a ring."""
+
+    tracer = _tracer
+    if tracer is None or not isinstance(tracer.sink, RingSink):
+        return None
+    return tracer.sink.snapshot()
+
+
+def iter_trace_lines(path: str) -> Iterator[dict[str, Any]]:
+    """Yield span dicts from a JSON-lines trace file, skipping blank lines."""
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

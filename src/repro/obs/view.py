@@ -1,0 +1,134 @@
+"""Render trace JSON-lines files: stage-latency summary, per-request trees,
+slowest-roots listing.  Pure functions over span dicts so the CLI layer
+only formats rows."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .trace import iter_trace_lines
+
+__all__ = ["load_spans", "slow_rows", "summary_rows", "tree_rows"]
+
+
+def load_spans(path: str) -> list[dict[str, Any]]:
+    return list(iter_trace_lines(path))
+
+
+def _ms(us: int) -> float:
+    return round(us / 1000.0, 3)
+
+
+def _attr_text(span: dict[str, Any], limit: int = 60) -> str:
+    parts = ["{}={}".format(key, value) for key, value in sorted(span.get("attrs", {}).items())]
+    for event in span.get("events", []):
+        parts.append("!{}".format(event.get("name")))
+    text = " ".join(parts)
+    return text if len(text) <= limit else text[: limit - 1] + "…"
+
+
+def summary_rows(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Per-span-name aggregates, sorted by total time descending."""
+
+    groups: dict[str, list[int]] = {}
+    errors: dict[str, int] = {}
+    for span in spans:
+        name = span.get("name", "?")
+        groups.setdefault(name, []).append(int(span.get("duration_us", 0)))
+        if span.get("status") == "error":
+            errors[name] = errors.get(name, 0) + 1
+    rows = []
+    for name, durations in groups.items():
+        total = sum(durations)
+        rows.append(
+            {
+                "span": name,
+                "count": len(durations),
+                "total_ms": _ms(total),
+                "mean_ms": _ms(total // max(1, len(durations))),
+                "max_ms": _ms(max(durations)),
+                "errors": errors.get(name, 0),
+            }
+        )
+    rows.sort(key=lambda row: (-row["total_ms"], row["span"]))
+    return rows
+
+
+def _trace_groups(spans: list[dict[str, Any]]) -> list[tuple[str, list[dict[str, Any]]]]:
+    groups: dict[str, list[dict[str, Any]]] = {}
+    for span in spans:
+        groups.setdefault(span.get("trace_id", "?"), []).append(span)
+    ordered = sorted(
+        groups.items(), key=lambda item: min(s.get("start_us", 0) for s in item[1])
+    )
+    return ordered
+
+
+def tree_rows(
+    spans: list[dict[str, Any]],
+    trace_id: str | None = None,
+    limit: int | None = None,
+) -> list[dict[str, Any]]:
+    """Depth-first rows per trace: indentation shows the parent chain.
+
+    Spans whose parent never made it into the file (dropped by a ring, or a
+    worker that died before shipping) are promoted to roots so the tree
+    still renders complete.
+    """
+
+    rows: list[dict[str, Any]] = []
+    groups = _trace_groups(spans)
+    if trace_id is not None:
+        groups = [(tid, group) for tid, group in groups if tid.startswith(trace_id)]
+    if limit is not None:
+        groups = groups[:limit]
+    for tid, group in groups:
+        by_id = {span["span_id"]: span for span in group if span.get("span_id")}
+        children: dict[str | None, list[dict[str, Any]]] = {}
+        for span in group:
+            parent = span.get("parent_id")
+            if parent is not None and parent not in by_id:
+                parent = None
+            children.setdefault(parent, []).append(span)
+        for bucket in children.values():
+            bucket.sort(key=lambda s: (s.get("start_us", 0), s.get("span_id", "")))
+
+        def _walk(span: dict[str, Any], depth: int) -> None:
+            rows.append(
+                {
+                    "trace": tid[:8],
+                    "span": "  " * depth + span.get("name", "?"),
+                    "ms": _ms(int(span.get("duration_us", 0))),
+                    "pid": span.get("pid"),
+                    "status": span.get("status", "?"),
+                    "detail": _attr_text(span),
+                }
+            )
+            for child in children.get(span.get("span_id"), []):
+                _walk(child, depth + 1)
+
+        for root in children.get(None, []):
+            _walk(root, 0)
+    return rows
+
+
+def slow_rows(spans: list[dict[str, Any]], top: int = 10) -> list[dict[str, Any]]:
+    """The slowest root spans (requests), longest first."""
+
+    span_ids = {span.get("span_id") for span in spans}
+    roots = [
+        span
+        for span in spans
+        if span.get("parent_id") is None or span.get("parent_id") not in span_ids
+    ]
+    roots.sort(key=lambda s: -int(s.get("duration_us", 0)))
+    return [
+        {
+            "trace": span.get("trace_id", "?")[:16],
+            "span": span.get("name", "?"),
+            "ms": _ms(int(span.get("duration_us", 0))),
+            "status": span.get("status", "?"),
+            "detail": _attr_text(span),
+        }
+        for span in roots[:top]
+    ]

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.connecting.flatten import direct_flatten
 from repro.connecting.preprocessing import DIGIX_NOISY_COLUMNS
+from repro.obs import trace as obs
 from repro.enhancement.enhancer import DataSemanticEnhancer
 from repro.frame.ops import inner_join, left_join
 from repro.frame.table import Table
@@ -179,13 +180,15 @@ class FittedPipeline:
         to the same table.  Subject keys are numbered from ``start`` so
         block outputs are globally consistent.
         """
-        if len(self.synthesizers) == 2:
-            flat, _ = self._two_round_flat(count, seed, subject_offset=start)
-        else:
-            flat = self.synthesizers[0].sample_flat(count, seed=seed, subject_offset=start)
-        flat = self.enhancer.inverse_transform(flat)
-        if self.subject_column in flat.column_names:
-            flat = flat.drop(self.subject_column)
+        with obs.span("stage.generate", attrs={"start": start, "count": count}):
+            if len(self.synthesizers) == 2:
+                flat, _ = self._two_round_flat(count, seed, subject_offset=start)
+            else:
+                flat = self.synthesizers[0].sample_flat(count, seed=seed, subject_offset=start)
+        with obs.span("stage.decode", attrs={"rows": flat.num_rows}):
+            flat = self.enhancer.inverse_transform(flat)
+            if self.subject_column in flat.column_names:
+                flat = flat.drop(self.subject_column)
         return flat
 
     def iter_sample_flat(self, n_subjects: int | None = None, seed: int | None = None,

@@ -21,7 +21,8 @@ The heavy modules (server, workers) resolve lazily so importing the
 service does not pull in asyncio/multiprocessing plumbing.
 """
 
-from repro.serving.metrics import LATENCY_BUCKETS_S, LatencyHistogram, MetricsRegistry
+from repro.serving.metrics import (LATENCY_BUCKETS_S, Gauge, LatencyHistogram,
+                                   MetricsRegistry)
 from repro.serving.service import (
     DeadlineExceeded,
     LruCache,
@@ -48,6 +49,7 @@ _LAZY = {
 
 __all__ = sorted([
     "LATENCY_BUCKETS_S",
+    "Gauge",
     "LatencyHistogram",
     "LruCache",
     "DeadlineExceeded",

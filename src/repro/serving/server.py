@@ -14,15 +14,25 @@ of being buffered without bound.  The high-water mark of the in-flight
 count is tracked so operators can see how close traffic comes to the
 limit before rejections start.
 
-Endpoints (all JSON):
+Endpoints (all JSON unless noted):
 
 * ``POST /sample_table``    ``{"n": int?, "seed": int?, "stream": bool?, "timeout_s": float?}``
 * ``POST /sample_rows``     ``{"n": int, "conditions": {...}?, "seed": int?, "timeout_s": float?}``
 * ``POST /sample_database`` ``{"n": int | {table: int}?, "seed": int?, "timeout_s": float?}``
 * ``GET  /stats``           service counters + latency histograms + server section
+* ``GET  /metrics``         the same metrics plane in Prometheus text format
+* ``GET  /trace``           recent spans when tracing uses the in-memory ring sink
 * ``GET  /healthz``         liveness and the served bundle digest
 * ``GET  /readyz``          readiness — 503 while draining or while the worker
   pool's crash-loop breaker holds the service degraded in fail-fast mode
+
+Observability: every request is answered with an ``X-Request-Id`` header
+(honored when the client supplies one; a 16-hex id doubles as the trace id
+so client-chosen ids stitch straight into the trace tree), one structured
+access-log line per request goes to stderr (method, path, status, request
+id, duration), and when tracing is armed (``ServingConfig.trace``) each
+request becomes a ``server.request`` span whose children cover executor
+queue wait, service work, worker-pool dispatch and per-chunk generation.
 
 Tables come back as ``{"columns": [...], "rows": [{col: value}, ...]}``;
 databases as ``{"tables": {name: table}}``.  The ``/stats`` payload embeds
@@ -50,8 +60,10 @@ process flushes final stats and exits.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import http.client
 import json
+import re
 import signal
 import sys
 import threading
@@ -59,6 +71,9 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro import faults
+from repro.obs import access_log, prometheus_text
+from repro.obs import trace as obs
+from repro.obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
 from repro.serving.service import (DeadlineExceeded, PoolDegraded, ServingError,
                                    SynthesisService)
 
@@ -71,6 +86,12 @@ RETRY_AFTER_S = 5
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_START_LINE_BYTES = 8 * 1024
 _MAX_BODY_BYTES = 64 * 2**20
+
+#: Client-supplied ``X-Request-Id`` values are honored when they look like a
+#: token (no header injection, bounded length); a 16-hex value additionally
+#: becomes the trace id so client ids stitch into the trace tree directly.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
 
 
 class IncompleteStream(RuntimeError):
@@ -221,22 +242,40 @@ class SynthesisServer:
                 except _BadRequest as error:
                     with self._lock:
                         self._counters["malformed_requests"] += 1
+                    access_log("-", "-", 400, "-", 0.0, error=error.reason)
                     await self._respond(writer, 400,
                                         {"error": "malformed request: {}".format(error.reason)},
                                         close=True)
                     break
                 if request is None:
                     break
-                method, path, body = request
-                streamed = self._stream_request(method, path, body)
-                if streamed is not None:
-                    if not await self._respond_stream(writer, streamed):
-                        break
-                    continue
-                result = await self._dispatch(method, path, body)
-                status, payload = result[0], result[1]
-                headers = result[2] if len(result) > 2 else None
-                if not await self._respond(writer, status, payload, headers):
+                method, path, body, req_headers = request
+                started = time.perf_counter()
+                supplied = (req_headers.get("x-request-id") or "").strip()
+                request_id = (supplied if _REQUEST_ID_RE.fullmatch(supplied)
+                              else obs.new_trace_id())
+                trace_id = request_id if _TRACE_ID_RE.fullmatch(request_id) else None
+                with obs.span("server.request",
+                              attrs={"method": method, "path": path,
+                                     "request_id": request_id},
+                              trace_id=trace_id) as sp:
+                    streamed = self._stream_request(method, path, body)
+                    if streamed is not None:
+                        keep_alive, status = await self._respond_stream(
+                            writer, streamed, request_id)
+                    else:
+                        result = await self._dispatch(method, path, body)
+                        status, payload = result[0], result[1]
+                        headers = dict(result[2]) if len(result) > 2 else {}
+                        headers["X-Request-Id"] = request_id
+                        keep_alive = await self._respond(writer, status, payload,
+                                                         headers)
+                    sp.set_attr("status", status)
+                duration_ms = (time.perf_counter() - started) * 1000.0
+                access_log(method, path, status, request_id, duration_ms)
+                self.service.metrics.counter("http_requests_total", path=path,
+                                             status=str(status)).increment()
+                if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
             pass
@@ -272,9 +311,15 @@ class SynthesisServer:
             raise _BadRequest("unparseable request line")
         method, path = parts[0].upper(), parts[1]
         lengths = []
+        headers: dict[str, str] = {}
         for line in lines[1:]:
+            if not line:
+                continue
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
+            key = name.strip().lower()
+            if key:
+                headers[key] = value.strip()
+            if key == "content-length":
                 try:
                     lengths.append(int(value.strip()))
                 except ValueError:
@@ -288,7 +333,7 @@ class SynthesisServer:
             raise _BadRequest("body of {} bytes exceeds the {} byte limit".format(
                 length, _MAX_BODY_BYTES))
         body = await reader.readexactly(length) if length else b""
-        return method, path, body
+        return method, path, body, headers
 
     async def _respond(self, writer: asyncio.StreamWriter, status: int,
                        payload: dict, extra_headers: dict | None = None,
@@ -296,9 +341,14 @@ class SynthesisServer:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    405: "Method Not Allowed", 429: "Too Many Requests",
                    500: "Internal Server Error", 503: "Service Unavailable"}
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):  # pre-rendered text body (/metrics)
+            body = payload.encode("utf-8")
+            content_type = PROM_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head_lines = ["HTTP/1.1 {} {}".format(status, reasons.get(status, "OK")),
-                      "Content-Type: application/json",
+                      "Content-Type: {}".format(content_type),
                       "Content-Length: {}".format(len(body))]
         for name, value in (extra_headers or {}).items():
             head_lines.append("{}: {}".format(name, value))
@@ -344,28 +394,38 @@ class SynthesisServer:
             raise ValueError("timeout_s must be a positive number")
         return value
 
-    async def _respond_stream(self, writer: asyncio.StreamWriter, request: dict) -> bool:
+    async def _respond_stream(self, writer: asyncio.StreamWriter, request: dict,
+                              request_id: str = "-") -> tuple:
         """Stream one block-chunked ``/sample_table`` response (ndjson over
-        chunked transfer encoding)."""
+        chunked transfer encoding).  Returns ``(keep_alive, status)``."""
+
+        async def reply(status, payload, extra=None):
+            extra = dict(extra or {})
+            extra["X-Request-Id"] = request_id
+            return await self._respond(writer, status, payload, extra), status
+
         if self.draining:
             status, payload, headers = self._drain_response()
-            return await self._respond(writer, status, payload, headers)
+            return await reply(status, payload, headers)
         try:
             timeout_s = self._parse_timeout(request)
         except ValueError as error:
             self._count_http_error()
-            return await self._respond(writer, 400, {"error": str(error)})
+            return await reply(400, {"error": str(error)})
         if not self._admit():
             with self._lock:
                 rejected = self._counters["rejected"]
-            return await self._respond(writer, 429, {
+            return await reply(429, {
                 "error": "request queue is full",
                 "max_queue": self.max_queue, "rejected_total": rejected})
         loop = asyncio.get_running_loop()
         try:
             try:
+                # ship the request's trace context onto the executor thread so
+                # service spans parent under this request's server.request span
+                context = contextvars.copy_context()
                 chunks = await loop.run_in_executor(
-                    self._executor,
+                    self._executor, context.run,
                     lambda: self.service.iter_sample_table(request.get("n"),
                                                            seed=request.get("seed"),
                                                            timeout_s=timeout_s))
@@ -374,24 +434,23 @@ class SynthesisServer:
                 first = await loop.run_in_executor(self._executor, next, chunks, None)
             except DeadlineExceeded as error:
                 self._count("deadline_errors")
-                return await self._respond(writer, 503,
-                                           {"error": str(error), "type": "deadline"})
+                return await reply(503, {"error": str(error), "type": "deadline"})
             except PoolDegraded as error:
                 self._count_http_error()
-                return await self._respond(writer, 503,
-                                           {"error": str(error), "type": "degraded"},
-                                           {"Retry-After": str(RETRY_AFTER_S)})
+                return await reply(503, {"error": str(error), "type": "degraded"},
+                                   {"Retry-After": str(RETRY_AFTER_S)})
             except (ServingError, ValueError, TypeError) as error:
                 self._count_http_error()
-                return await self._respond(writer, 400, {"error": str(error)})
+                return await reply(400, {"error": str(error)})
             except Exception as error:  # a bug, not a bad request — keep serving
                 self._count_http_error()
-                return await self._respond(writer, 500, {
+                return await reply(500, {
                     "error": "{}: {}".format(type(error).__name__, error)})
             head = ("HTTP/1.1 200 OK\r\n"
                     "Content-Type: application/x-ndjson\r\n"
                     "Transfer-Encoding: chunked\r\n"
-                    "\r\n")
+                    "X-Request-Id: {}\r\n"
+                    "\r\n").format(request_id)
             try:
                 writer.write(head.encode("latin-1"))
                 total_rows = 0
@@ -407,18 +466,18 @@ class SynthesisServer:
                         # chaos hook: hard-drop the connection short of the
                         # terminating chunk, as a mid-transfer network failure
                         writer.transport.abort()
-                        return False
+                        return False, 200
                     block = await loop.run_in_executor(self._executor, next, chunks, None)
                 summary = {"done": True, "chunks": total_chunks, "rows": total_rows}
                 data = (json.dumps(summary) + "\n").encode("utf-8")
                 writer.write(b"%x\r\n" % len(data) + data + b"\r\n" + b"0\r\n\r\n")
                 await writer.drain()
             except (ConnectionError, OSError):
-                return False
+                return False, 200
             except Exception:  # mid-stream failure: the 200 is already out,
                 self._count_http_error()  # so drop the connection short of its
-                return False              # terminating chunk — unambiguous to clients
-            return True
+                return False, 200         # terminating chunk — unambiguous to clients
+            return True, 200
         finally:
             self._release()
 
@@ -445,6 +504,20 @@ class SynthesisServer:
             if method != "GET":
                 return 405, {"error": "use GET"}
             return 200, self.stats()
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, prometheus_text(self.service.metrics,
+                                        extra_stats=self.stats())
+        if path == "/trace":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            snapshot = obs.ring_snapshot()
+            if snapshot is None:
+                return 404, {"error": "tracing is not using the in-memory ring "
+                                      "sink; serve with trace='ring' to expose "
+                                      "recent spans here"}
+            return 200, snapshot
         if path not in ("/sample_table", "/sample_rows", "/sample_database"):
             return 404, {"error": "unknown path {!r}".format(path)}
         if method != "POST":
@@ -468,8 +541,13 @@ class SynthesisServer:
                          "max_queue": self.max_queue, "rejected_total": rejected}
         loop = asyncio.get_running_loop()
         try:
+            # copy_context ships the request's trace context onto the executor
+            # thread; admitted_us lets _execute report how long the request sat
+            # waiting for a free sampling thread as a server.queue_wait span
+            context = contextvars.copy_context()
             future = loop.run_in_executor(
-                self._executor, self._execute, path, request, timeout_s)
+                self._executor, context.run, self._execute, path, request,
+                timeout_s, obs.monotonic_us())
             effective = (timeout_s if timeout_s is not None
                          else self.service.config.timeout_s)
             if effective is not None and self.service.pool is None:
@@ -486,8 +564,13 @@ class SynthesisServer:
         finally:
             self._release()
 
-    def _execute(self, path: str, request: dict, timeout_s: float | None = None):
+    def _execute(self, path: str, request: dict, timeout_s: float | None = None,
+                 admitted_us: int | None = None):
         """Run one sampling request on an executor thread."""
+        if admitted_us is not None and obs.enabled():
+            now_us = obs.monotonic_us()
+            obs.emit_span("server.queue_wait", obs.current_context(), admitted_us,
+                          max(0, now_us - admitted_us), attrs={"path": path})
         try:
             seed = request.get("seed")
             if path == "/sample_table":
@@ -521,13 +604,19 @@ class SynthesisServer:
 
 
 def request_json(host: str, port: int, method: str, path: str,
-                 payload: dict | None = None, timeout: float = 60.0):
-    """Blocking JSON client helper; returns ``(status, decoded body)``."""
+                 payload: dict | None = None, timeout: float = 60.0,
+                 headers: dict | None = None):
+    """Blocking JSON client helper; returns ``(status, decoded body)``.
+
+    *headers* are sent in addition to ``Content-Type`` — e.g.
+    ``{"X-Request-Id": "..."}`` to pin the request/trace id.
+    """
     connection = http.client.HTTPConnection(host, port, timeout=timeout)
     try:
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        connection.request(method, path, body=body,
-                           headers={"Content-Type": "application/json"})
+        send_headers = {"Content-Type": "application/json"}
+        send_headers.update(headers or {})
+        connection.request(method, path, body=body, headers=send_headers)
         response = connection.getresponse()
         raw = response.read().decode("utf-8")
         return response.status, (json.loads(raw) if raw else None)

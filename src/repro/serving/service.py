@@ -44,6 +44,7 @@ import numpy as np
 from repro.frame.ops import concat_rows
 from repro.frame.table import Table
 from repro.llm.engine import _choose_indices, derive_seed
+from repro.obs import trace as obs
 from repro.pipelines.base import TABLE_BLOCK_STREAM, FittedPipeline, block_plan
 from repro.pipelines.multitable import FittedMultiTablePipeline
 from repro.serving.metrics import MetricsRegistry
@@ -153,6 +154,13 @@ class ServingConfig:
     output, slower) or fail fast with :class:`PoolDegraded`
     (``"fail_fast"``).  ``faults`` is a :mod:`repro.faults` plan shipped to
     worker processes for chaos testing.
+
+    ``trace`` arms the process-global tracer (:mod:`repro.obs.trace`) with a
+    sink spec — ``"stderr"``, ``"ring"``/``"ring:N"`` (in-memory, served at
+    ``GET /trace``) or a file path for JSON lines.  Worker processes buffer
+    their spans and ship them back on the result pipe, so one request yields
+    one stitched trace across the pool.  ``None`` (the default) leaves
+    tracing disabled: every span site degrades to a no-op.
     """
 
     shards: int = 1
@@ -169,6 +177,7 @@ class ServingConfig:
     breaker_cooldown_s: float = 5.0
     degraded_mode: str = "serial"
     faults: str | None = None
+    trace: str | None = None
 
     def __post_init__(self):
         if self.shards < 1:
@@ -197,6 +206,8 @@ class ServingConfig:
             from repro.faults import parse_plan
 
             parse_plan(self.faults)  # reject typos at config time, not mid-chaos
+        if self.trace is not None:
+            obs.parse_sink_spec(self.trace)  # same: bad sink specs fail here
 
 
 @dataclass(frozen=True)
@@ -281,19 +292,21 @@ class SynthesisService:
     def __init__(self, fitted: FittedPipeline | FittedMultiTablePipeline,
                  config: ServingConfig | None = None,
                  digest: str | None = None,
-                 pool=None):
+                 pool=None, metrics: MetricsRegistry | None = None):
         self.fitted = fitted
         self.config = config or ServingConfig()
         if self.config.executor == "process" and pool is None:
             raise ServingError(
                 "the process executor needs bundle-loaded workers; build the "
                 "service with SynthesisService.from_bundle")
+        if self.config.trace is not None and not obs.enabled():
+            obs.configure(self.config.trace)
         #: cache namespace; bundle-loaded services use the content digest so
         #: equal artifacts share keys, in-memory ones get a unique token
         self.digest = digest or "unsaved-{:x}".format(id(fitted))
         #: the process worker pool when ``executor == "process"`` (else None)
         self.pool = pool
-        self.metrics = MetricsRegistry()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._cache = LruCache(self.config.cache_bytes)
         self._stats_lock = threading.Lock()
         self._stats = {"table_requests": 0, "row_requests": 0, "database_requests": 0,
@@ -320,11 +333,15 @@ class SynthesisService:
         )
 
         config = config or ServingConfig()
+        # arm tracing before the pool forks so workers inherit the decision
+        if config.trace is not None and not obs.enabled():
+            obs.configure(config.trace)
         if read_manifest(path)["kind"] == "multitable_pipeline":
             fitted, digest = load_multitable_pipeline(path, mmap=config.mmap)
         else:
             fitted, digest = load_fitted_pipeline(path, mmap=config.mmap)
         pool = None
+        metrics = MetricsRegistry()
         if config.executor == "process":
             from repro.serving.workers import WorkerPool
 
@@ -335,8 +352,8 @@ class SynthesisService:
                               breaker_threshold=config.breaker_threshold,
                               breaker_window_s=config.breaker_window_s,
                               breaker_cooldown_s=config.breaker_cooldown_s,
-                              faults_spec=config.faults)
-        return cls(fitted, config=config, digest=digest, pool=pool)
+                              faults_spec=config.faults, metrics=metrics)
+        return cls(fitted, config=config, digest=digest, pool=pool, metrics=metrics)
 
     def close(self) -> None:
         """Release the process worker pool (no-op for thread executors)."""
@@ -397,6 +414,8 @@ class SynthesisService:
         out["cache_bytes_used"] = self._cache.bytes_used
         out["executor"] = self.config.executor
         out["latency"] = self.metrics.snapshot()
+        out["counters"] = self.metrics.counters_snapshot()
+        out["gauges"] = self.metrics.gauges_snapshot()
         out["peak_rss_bytes"] = process_peak_rss_bytes()
         if self.pool is not None:
             out["worker_restarts"] = self.pool.restarts
@@ -457,25 +476,33 @@ class SynthesisService:
         timeout_s = self._resolve_timeout(timeout_s)
         with self._stats_lock:
             self._stats["database_requests"] += 1
-        with self.metrics.histogram("sample_database").time():
+        self.metrics.counter("requests_total", endpoint="sample_database").increment()
+        with self.metrics.histogram("sample_database").time(), \
+                obs.span("service.sample_database", attrs={"seed": seed}) as sp:
             n_key = tuple(sorted(n.items())) if isinstance(n, dict) else n
             key = (self.digest, "database", n_key, seed)
             cached = self._cache.get(key)
             if cached is not None:
+                sp.set_attr("cache_hit", True)
                 return cached
-            if self.pool is not None:
-                try:
-                    database = self.pool.sample_database(n, seed, deadline_s=timeout_s)
-                except PoolDegraded as error:
-                    self._degrade_to_serial(error)
+            try:
+                if self.pool is not None:
+                    try:
+                        database = self.pool.sample_database(n, seed, deadline_s=timeout_s)
+                    except PoolDegraded as error:
+                        self._degrade_to_serial(error)
+                        sp.add_event("degraded_fallback")
+                        database = self.fitted.sample_database(n, seed=seed)
+                elif self.config.shards == 1:
                     database = self.fitted.sample_database(n, seed=seed)
-            elif self.config.shards == 1:
-                database = self.fitted.sample_database(n, seed=seed)
-            else:
-                from concurrent.futures import ThreadPoolExecutor
+                else:
+                    from concurrent.futures import ThreadPoolExecutor
 
-                with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
-                    database = self.fitted.sample_database(n, seed=seed, map_fn=pool.map)
+                    with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
+                        database = self.fitted.sample_database(n, seed=seed, map_fn=pool.map)
+            except DeadlineExceeded:
+                sp.add_event("deadline_exceeded")
+                raise
             self._cache.put(key, database)
             return database
 
@@ -502,28 +529,37 @@ class SynthesisService:
         timeout_s = self._resolve_timeout(timeout_s)
         with self._stats_lock:
             self._stats["table_requests"] += 1
-        with self.metrics.histogram("sample_table").time():
+        self.metrics.counter("requests_total", endpoint="sample_table").increment()
+        with self.metrics.histogram("sample_table").time(), \
+                obs.span("service.sample_table", attrs={"n": n, "seed": seed}) as sp:
             key = (self.digest, "table", n, seed, self.config.block_size)
             cached = self._cache.get(key)
             if cached is not None:
+                sp.set_attr("cache_hit", True)
                 return cached
             blocks = self._blocks(n, seed)
-            if self.pool is not None:
-                try:
-                    parts = self.pool.sample_blocks(blocks, deadline_s=timeout_s)
-                except PoolDegraded as error:
-                    self._degrade_to_serial(error)
+            sp.set_attr("blocks", len(blocks))
+            try:
+                if self.pool is not None:
+                    try:
+                        parts = self.pool.sample_blocks(blocks, deadline_s=timeout_s)
+                    except PoolDegraded as error:
+                        self._degrade_to_serial(error)
+                        sp.add_event("degraded_fallback")
+                        parts = [self.fitted.sample_block(start, count, block_seed)
+                                 for start, count, block_seed in blocks]
+                elif self.config.shards == 1 or len(blocks) == 1:
                     parts = [self.fitted.sample_block(start, count, block_seed)
                              for start, count, block_seed in blocks]
-            elif self.config.shards == 1 or len(blocks) == 1:
-                parts = [self.fitted.sample_block(start, count, block_seed)
-                         for start, count, block_seed in blocks]
-            else:
-                from concurrent.futures import ThreadPoolExecutor
+                else:
+                    from concurrent.futures import ThreadPoolExecutor
 
-                with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
-                    parts = list(pool.map(
-                        lambda block: self.fitted.sample_block(*block), blocks))
+                    with ThreadPoolExecutor(max_workers=self.config.shards) as pool:
+                        parts = list(pool.map(
+                            lambda block: self.fitted.sample_block(*block), blocks))
+            except DeadlineExceeded:
+                sp.add_event("deadline_exceeded")
+                raise
             table = concat_rows(parts)
             self._cache.put(key, table)
             return table
@@ -546,17 +582,22 @@ class SynthesisService:
         blocks = self._blocks(n, seed)
         with self._stats_lock:
             self._stats["streamed_requests"] += 1
+        self.metrics.counter("requests_total", endpoint="sample_table_stream").increment()
+        # generator steps may run on other threads; pin the parent explicitly
+        parent_ctx = obs.current_context()
 
         def chunks():
             for block in blocks:
-                if self.pool is not None:
-                    try:
-                        part = self.pool.sample_blocks([block], deadline_s=timeout_s)[0]
-                    except PoolDegraded as error:
-                        self._degrade_to_serial(error)
+                with obs.span("service.stream_block", parent=parent_ctx,
+                              attrs={"start": block[0], "count": block[1]}):
+                    if self.pool is not None:
+                        try:
+                            part = self.pool.sample_blocks([block], deadline_s=timeout_s)[0]
+                        except PoolDegraded as error:
+                            self._degrade_to_serial(error)
+                            part = self.fitted.sample_block(*block)
+                    else:
                         part = self.fitted.sample_block(*block)
-                else:
-                    part = self.fitted.sample_block(*block)
                 with self._stats_lock:
                     self._stats["streamed_chunks"] += 1
                     self._stats["streamed_rows"] += part.num_rows
@@ -614,8 +655,15 @@ class SynthesisService:
         smallest timeout of its members, so a missed deadline fails every
         request batched with it (all are retryable).
         """
-        with self.metrics.histogram("sample_rows").time():
-            return self._sample_rows_timed(n, conditions, seed, timeout_s)
+        self.metrics.counter("requests_total", endpoint="sample_rows").increment()
+        with self.metrics.histogram("sample_rows").time(), \
+                obs.span("service.sample_rows",
+                         attrs={"n": n, "conditions": len(conditions or {})}) as sp:
+            try:
+                return self._sample_rows_timed(n, conditions, seed, timeout_s)
+            except DeadlineExceeded:
+                sp.add_event("deadline_exceeded")
+                raise
 
     def _sample_rows_timed(self, n: int, conditions: dict | None,
                            seed: int | None, timeout_s: float | None = None) -> Table:
@@ -680,6 +728,7 @@ class SynthesisService:
                 return self.pool.sample_rows_many(requests, deadline_s=timeout_s)
             except PoolDegraded as error:
                 self._degrade_to_serial(error)
+        batch_start_us = obs.monotonic_us()
         synth = self._child_synth
         engine = synth._engine
         temperature = synth.config.sampler.temperature
@@ -738,4 +787,7 @@ class SynthesisService:
             if subject in table.column_names:
                 table = table.drop(subject)
             tables.append(table)
+        obs.emit_span("service.rows_batch", obs.current_context(), batch_start_us,
+                      obs.monotonic_us() - batch_start_us,
+                      attrs={"requests": len(requests), "lanes": total})
         return tables

@@ -53,9 +53,11 @@ from queue import Empty
 import numpy as np
 
 from repro import faults
+from repro.obs import trace as obs_trace
 from repro.serving.metrics import Counter
 from repro.serving.service import (DeadlineExceeded, PoolDegraded, RowRequest,
-                                   ServingConfig, ServingError, SynthesisService)
+                                   ServingConfig, ServingError, SynthesisService,
+                                   process_peak_rss_bytes)
 from repro.store.tablefmt import arrays_to_table, table_to_arrays
 
 #: Seconds a worker gets to load the bundle and report ready.
@@ -114,25 +116,50 @@ def _crash(results, code: int = 3) -> None:
 
 
 def _worker_main(worker_index: int, bundle_path: str, mmap: bool, block_size: int,
-                 tasks, results, fault_spec: str | None = None) -> None:
+                 tasks, results, fault_spec: str | None = None,
+                 trace_enabled: bool = False) -> None:
     """Worker process entry point: cold-start from the bundle, then serve."""
     if fault_spec:
         # each worker life arms its own injector, so per-process hit counters
         # (e.g. "crash on every 25th task") restart from zero on respawn
         faults.arm(fault_spec)
+    # a forked worker inherits the parent's tracer; replace it with a local
+    # buffer (drained into every result's meta) or disarm it outright
+    if trace_enabled:
+        span_buffer = obs_trace.configure_buffered()
+    else:
+        obs_trace.disable()
+        span_buffer = None
+    fired_last: dict[str, int] = {}
+
+    def _meta() -> dict:
+        """Per-result sideband: peak RSS, buffered spans, fault-fired deltas."""
+        meta: dict = {"rss": process_peak_rss_bytes()}
+        if span_buffer is not None:
+            meta["spans"] = span_buffer.drain()
+        fired = faults.fired_snapshot()
+        delta = {point: count - fired_last.get(point, 0)
+                 for point, count in fired.items()
+                 if count > fired_last.get(point, 0)}
+        if delta:
+            meta["faults"] = delta
+            fired_last.update(fired)
+        return meta
+
     try:
         config = ServingConfig(shards=1, block_size=block_size, cache_bytes=0,
                                batch_window_s=0.0, mmap=mmap)
         service = SynthesisService.from_bundle(bundle_path, config=config)
     except BaseException as error:
-        results.put(("failed", None, worker_index, repr(error)))
+        results.put(("failed", None, worker_index, repr(error), _meta()))
         return
-    results.put(("ready", None, worker_index, service.digest))
+    results.put(("ready", None, worker_index, service.digest, _meta()))
     while True:
         item = tasks.get()
         if item is None:
             return
-        task_id, method, payload = item
+        task_id, method, payload, trace_ctx = item
+        received_us = obs_trace.monotonic_us()
         if method == "crash":  # test hook: die instead of serving, like an OOM kill
             _crash(results)
         if faults.check("worker_crash") is not None:
@@ -140,12 +167,22 @@ def _worker_main(worker_index: int, bundle_path: str, mmap: bool, block_size: in
         hang = faults.check("task_hang")
         if hang is not None:
             time.sleep(hang.arg if hang.arg is not None else _HANG_DEFAULT_S)
-        try:
-            outcome = _execute(service, method, payload)
-        except BaseException as error:
-            results.put(("error", task_id, worker_index, repr(error)))
+        if trace_ctx is not None and span_buffer is not None:
+            parent = (trace_ctx[0], trace_ctx[1])
+            obs_trace.emit_span("pool.queue_wait", parent, trace_ctx[2],
+                                received_us - trace_ctx[2],
+                                attrs={"worker": worker_index})
+            task_span = obs_trace.span("worker.task", parent=parent,
+                                       attrs={"worker": worker_index, "method": method})
         else:
-            results.put(("done", task_id, worker_index, outcome))
+            task_span = obs_trace.NULL_SPAN
+        try:
+            with task_span:
+                outcome = _execute(service, method, payload)
+        except BaseException as error:
+            results.put(("error", task_id, worker_index, repr(error), _meta()))
+        else:
+            results.put(("done", task_id, worker_index, outcome, _meta()))
 
 
 class _Task:
@@ -157,7 +194,8 @@ class _Task:
     """
 
     __slots__ = ("task_id", "method", "payload", "event", "value", "error",
-                 "worker_index", "attempts", "deadline", "dispatch_seq", "_pool")
+                 "worker_index", "attempts", "deadline", "dispatch_seq",
+                 "trace_ctx", "_pool")
 
     def __init__(self, task_id: int, method: str, payload=None, pool=None):
         self.task_id = task_id
@@ -170,6 +208,9 @@ class _Task:
         self.attempts = 1
         self.deadline: float | None = None
         self.dispatch_seq = 0
+        #: ``(trace_id, span_id, submitted_us)`` shipped with the task frame
+        #: so the worker can stitch its spans under the submitting request.
+        self.trace_ctx: tuple | None = None
         self._pool = pool
 
     def result(self, timeout: float | None = None):
@@ -199,7 +240,8 @@ class WorkerPool:
                  start_method: str | None = None, retries: int = 0,
                  retry_backoff_s: float = 0.05, breaker_threshold: int = 0,
                  breaker_window_s: float = 30.0, breaker_cooldown_s: float = 5.0,
-                 faults_spec: str | None = None):
+                 faults_spec: str | None = None, metrics=None,
+                 trace: bool | None = None):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if retries < 0:
@@ -218,6 +260,12 @@ class WorkerPool:
         self.breaker_window_s = breaker_window_s
         self.breaker_cooldown_s = breaker_cooldown_s
         self.faults_spec = faults_spec
+        self._metrics = metrics
+        # decided once at construction: workers are told whether to buffer
+        # spans when they are spawned, so flipping the global tracer later
+        # does not desynchronize parent and children
+        self._trace = obs_trace.enabled() if trace is None else bool(trace)
+        self._worker_rss: dict[int, int] = {}
         methods = multiprocessing.get_all_start_methods()
         if start_method is None:
             start_method = "fork" if "fork" in methods else methods[0]
@@ -256,7 +304,8 @@ class WorkerPool:
         process = self._context.Process(
             target=_worker_main,
             args=(index, self.bundle_path, self.mmap, self.block_size,
-                  self._task_queues[index], self._results, self.faults_spec),
+                  self._task_queues[index], self._results, self.faults_spec,
+                  self._trace),
             daemon=True,
             name="repro-worker-{}".format(index),
         )
@@ -268,10 +317,12 @@ class WorkerPool:
         pending = set(indices)
         while pending:
             try:
-                kind, _, worker_index, payload = self._results.get(timeout=_READY_TIMEOUT_S)
+                kind, _, worker_index, payload, meta = self._results.get(
+                    timeout=_READY_TIMEOUT_S)
             except Exception:
                 self.close()
                 raise ServingError("workers {} never reported ready".format(sorted(pending)))
+            self._absorb_meta(worker_index, meta)
             if kind == "failed":
                 self.close()
                 raise ServingError("worker {} failed to load bundle: {}".format(
@@ -337,6 +388,7 @@ class WorkerPool:
         with self._lock:
             state = self._breaker_state
             dead = len(self._dead)
+            worker_rss = dict(self._worker_rss)
         return {
             "workers": self.workers,
             "retries": self.retries,
@@ -348,11 +400,17 @@ class WorkerPool:
             "breaker_threshold": self.breaker_threshold,
             "breaker_trips": self._breaker_trips.value,
             "dead_workers": dead,
+            # per-worker peak RSS piggybacked on the result pipe; string keys
+            # so the dict survives the JSON trip through /stats unchanged
+            "worker_peak_rss_bytes": {str(index): rss
+                                      for index, rss in sorted(worker_rss.items())},
+            "max_worker_peak_rss_bytes": max(worker_rss.values(), default=0),
         }
 
     # -- dispatch ----------------------------------------------------------------------
 
     def submit(self, method: str, payload, deadline_s: float | None = None) -> _Task:
+        context = obs_trace.current_context()
         with self._lock:
             if self._closing:
                 raise ServingError("worker pool is closed")
@@ -371,11 +429,14 @@ class WorkerPool:
                 task.deadline = time.monotonic() + deadline_s
             task.dispatch_seq = self._dispatch_seq
             self._dispatch_seq += 1
+            if context is not None:
+                task.trace_ctx = (context[0], context[1], obs_trace.monotonic_us())
             self._tasks[task.task_id] = task
             # the put happens under the lock so dispatch_seq order equals
             # queue order — _handle_death relies on it to tell the task the
             # worker was serving apart from ones still waiting in its queue
-            self._task_queues[task.worker_index].put((task.task_id, method, payload))
+            self._task_queues[task.worker_index].put(
+                (task.task_id, method, payload, task.trace_ctx))
         return task
 
     def _pick_worker_locked(self) -> int:
@@ -393,12 +454,38 @@ class WorkerPool:
         with self._lock:
             self._tasks.pop(task.task_id, None)
 
+    def _count(self, name: str, amount: int = 1, **labels) -> None:
+        """Bump a labeled counter when the pool was handed a registry."""
+        if self._metrics is not None:
+            self._metrics.counter(name, **labels).increment(amount)
+
+    def _absorb_meta(self, worker_index, meta) -> None:
+        """Fold one result's sideband into pool-level observability state."""
+        if not meta:
+            return
+        rss = meta.get("rss")
+        if rss:
+            with self._lock:
+                if rss > self._worker_rss.get(worker_index, 0):
+                    self._worker_rss[worker_index] = rss
+        spans = meta.get("spans")
+        if spans:
+            for record in spans:
+                obs_trace.emit_raw(record)
+        fired = meta.get("faults")
+        if fired:
+            for point, count in fired.items():
+                self._count("faults_fired_total", amount=count, point=point,
+                            worker=str(worker_index))
+
     def _collect(self) -> None:
         while True:
             item = self._results.get()
             if item is None:
                 return
-            kind, task_id, worker_index, payload = item
+            kind, task_id, worker_index, payload, meta = item
+            self._absorb_meta(worker_index, meta)
+            self._count("worker_results_total", worker=str(worker_index), kind=kind)
             if kind in ("ready", "failed"):
                 # "ready" proves a respawned worker cold-started; either way the
                 # monitor owns death handling — here we only settle the breaker
@@ -418,12 +505,22 @@ class WorkerPool:
                     worker_index, task.method, payload))
             task.event.set()
 
+    def _breaker_transition(self, state: str, **attrs) -> None:
+        """Record a breaker state change as a root span + labeled counter."""
+        self._count("breaker_transitions_total", state=state)
+        obs_trace.emit_span(
+            "pool.breaker_" + state, None, obs_trace.monotonic_us(), 0,
+            attrs=attrs or None, status="error" if state == "open" else "ok")
+
     def _breaker_probe_succeeded(self) -> None:
         """A half-open probe came back healthy: close the breaker."""
         with self._lock:
-            if self._breaker_state == "half_open":
+            closed = self._breaker_state == "half_open"
+            if closed:
                 self._breaker_state = "closed"
                 self._deaths.clear()
+        if closed:
+            self._breaker_transition("closed")
 
     def _watch(self) -> None:
         """Monitor loop: deadlines, worker deaths, and breaker transitions."""
@@ -438,17 +535,28 @@ class WorkerPool:
                     del self._tasks[task.task_id]
                 kill = sorted({task.worker_index for task in overdue} - self._dead)
                 respawn = []
+                half_opened = False
                 if (self._breaker_state == "open"
                         and now - self._breaker_opened_at >= self.breaker_cooldown_s):
                     self._breaker_state = "half_open"
+                    half_opened = True
                     respawn = sorted(self._dead)
                 candidates = [(index, process)
                               for index, process in enumerate(self._processes)
                               if index not in self._dead]
+            if half_opened:
+                self._breaker_transition("half_open")
             for task in overdue:
                 task.error = DeadlineExceeded(
                     "worker task {!r} missed its deadline; "
                     "the worker holding it is being replaced".format(task.method))
+                if task.trace_ctx is not None:
+                    now_us = obs_trace.monotonic_us()
+                    obs_trace.emit_span(
+                        "pool.deadline", task.trace_ctx[:2], now_us, 0,
+                        attrs={"method": task.method, "worker": task.worker_index},
+                        status="error",
+                        events=[{"name": "deadline_exceeded", "t_us": now_us}])
                 task.event.set()
             for index in kill:
                 self._deadline_kills.increment()
@@ -527,6 +635,7 @@ class WorkerPool:
                 self._breaker_state = "open"
                 self._breaker_opened_at = now
                 self._breaker_trips.increment()
+            deaths_in_window = len(self._deaths)
             breaker_open = self._breaker_state == "open"
             orphans = [task for task in self._tasks.values()
                        if task.worker_index == index]
@@ -545,6 +654,18 @@ class WorkerPool:
                     fail.append(task)
                 else:
                     retry.append(task)
+        self._count("worker_deaths_total", worker=str(index))
+        if tripped:
+            self._breaker_transition("open", deaths=deaths_in_window)
+        if charged is not None and charged.trace_ctx is not None:
+            # the attempt the dead worker was serving, visible in the trace
+            # even though the worker itself could not ship its spans
+            obs_trace.emit_span(
+                "pool.attempt_failed", charged.trace_ctx[:2],
+                obs_trace.monotonic_us(), 0,
+                attrs={"worker": index, "exit_code": process.exitcode,
+                       "attempt": charged.attempts, "method": charged.method},
+                status="error")
         for task in fail:
             if breaker_open and self.retries > 0 and task.attempts <= self.retries:
                 task.error = PoolDegraded(
@@ -580,9 +701,22 @@ class WorkerPool:
                     task.worker_index = self._pick_worker_locked()
                     task.dispatch_seq = self._dispatch_seq
                     self._dispatch_seq += 1
+                    if task.trace_ctx is not None:
+                        # restamp the dispatch time so the next queue-wait
+                        # span measures from this re-dispatch, not the
+                        # original submit
+                        task.trace_ctx = (task.trace_ctx[0], task.trace_ctx[1],
+                                          obs_trace.monotonic_us())
                     self._tasks[task.task_id] = task
                     self._task_queues[task.worker_index].put(
-                        (task.task_id, task.method, task.payload))
+                        (task.task_id, task.method, task.payload, task.trace_ctx))
+            if requeue and task is charged:
+                self._count("tasks_retried_total", worker=str(task.worker_index))
+                if task.trace_ctx is not None:
+                    obs_trace.emit_span(
+                        "pool.retry", task.trace_ctx[:2], task.trace_ctx[2], 0,
+                        attrs={"attempt": task.attempts, "method": task.method,
+                               "worker": task.worker_index})
             if not requeue:
                 task.error = PoolDegraded(
                     "worker pool degraded before task {!r} could be retried".format(

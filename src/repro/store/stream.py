@@ -34,6 +34,7 @@ import numpy as np
 
 from repro import faults
 from repro.frame.ops import concat_rows
+from repro.obs import trace as obs
 from repro.frame.table import Table
 from repro.store.atomic import atomic_path, atomic_write_text
 from repro.store.codec import StoreError
@@ -74,7 +75,10 @@ class TableSink:
                     list(chunk.column_names), self._columns))
         if faults.check("sink_oserror") is not None:
             raise OSError("injected sink failure at chunk {}".format(self.chunks_written + 1))
-        self._write_chunk(chunk)
+        with obs.span("stage.sink_write", attrs={"rows": chunk.num_rows,
+                                                 "chunk": self.chunks_written + 1,
+                                                 "sink": type(self).__name__}):
+            self._write_chunk(chunk)
         self.rows_written += chunk.num_rows
         self.chunks_written += 1
 
