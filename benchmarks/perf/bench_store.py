@@ -26,7 +26,10 @@ Measures the three things the train-once / serve-many split buys:
   walk must stay O(chunk), not O(table) — asserted by streaming 4x the
   rows and requiring the peak to grow by at most ``--stream-growth-bound``
   (in-memory peaks grow with the table; streamed peaks must not).
-  Process peak RSS is recorded alongside;
+  Process peak RSS is recorded alongside.  The compiled engine's per-block
+  lane cap is asserted too: one small block sampled through
+  ``sample_block`` (batch width capped at the block's subject count) must
+  peak at no more than ``--lane-cap-bound`` times the uncapped path;
 * **observability overhead** — the same ``sample_table`` workload with
   request tracing disabled and enabled (in-memory ring sink), interleaved
   over several rounds with min-of-round timings: the enabled/disabled
@@ -133,7 +136,8 @@ def _sha256_file(path: Path) -> str:
 
 
 def run(n_users: int, n_sample: int, requests: int, seed: int = 7,
-        scaling_margin: float = 2.5, stream_growth_bound: float = 1.5) -> dict:
+        scaling_margin: float = 2.5, stream_growth_bound: float = 1.5,
+        lane_cap_bound: float = 0.9) -> dict:
     trial = _trial(n_users, seed)
     workdir = Path(tempfile.mkdtemp(prefix="bench_store_"))
     report: dict = {"n_users": n_users, "n_sample": n_sample, "seed": seed,
@@ -341,6 +345,35 @@ def run(n_users: int, n_sample: int, requests: int, seed: int = 7,
             "peak_growth_4x": round(big_peak / stream_peak, 4) if stream_peak else None,
             "identical_output": _sha256_file(stream_path) == _sha256_file(whole_path),
         }
+    # -- lane-cap headroom: per-block buffers scale with the block ----------------------
+    # ``sample_block`` caps the engine batch width at the block's subject
+    # count; replaying the same small block through the uncapped path (the
+    # pre-cap behavior — full-fanout child-round mass buffers) must allocate
+    # measurably more, even though the capped path also pays for decoding.
+    fitted, _ = load_fitted_pipeline(workdir / "bundle_compiled")
+    fitted.sample_block(0, chunk_rows, seed + 3)  # warm lazily-built state
+    tracemalloc.start()
+    fitted.sample_block(0, chunk_rows, seed + 3)
+    _, capped_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracemalloc.start()
+    if len(fitted.synthesizers) == 2:
+        fitted._two_round_flat(chunk_rows, seed + 3, subject_offset=0)
+    else:
+        fitted.synthesizers[0].sample_flat(chunk_rows, seed=seed + 3,
+                                           subject_offset=0)
+    _, uncapped_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    lane_cap = {
+        "block_subjects": chunk_rows,
+        "capped_peak_bytes": capped_peak,
+        "uncapped_peak_bytes": uncapped_peak,
+        "peak_ratio": round(capped_peak / uncapped_peak, 4) if uncapped_peak else None,
+        "bound": lane_cap_bound,
+    }
+    lane_cap["within_bound"] = (lane_cap["peak_ratio"] is not None
+                                and lane_cap["peak_ratio"] <= lane_cap_bound)
+
     report["streaming"] = {
         "chunk_rows": chunk_rows,
         "n_subjects": n_stream,
@@ -348,6 +381,7 @@ def run(n_users: int, n_sample: int, requests: int, seed: int = 7,
         "growth_bound": stream_growth_bound,
         "peak_rss_bytes": process_peak_rss_bytes(),
         "engines": stream_engines,
+        "lane_cap": lane_cap,
         "identical_output": all(
             entry["identical_output"] for entry in stream_engines.values()),
         "within_memory_bound": all(
@@ -527,6 +561,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stream-growth-bound", type=float, default=1.5,
                         help="max allowed growth of the streaming allocation "
                              "peak when the table grows 4x (default 1.5)")
+    parser.add_argument("--lane-cap-bound", type=float, default=0.9,
+                        help="max allowed capped/uncapped allocation-peak ratio "
+                             "for one small block (default 0.9)")
     parser.add_argument("--trace-overhead-bound", type=float, default=1.05,
                         help="max allowed enabled/disabled tracing time ratio "
                              "(default 1.05 = < 5%% overhead)")
@@ -540,7 +577,8 @@ def main(argv: list[str] | None = None) -> int:
         users, sample, requests = args.users, args.sample, args.requests
     report = run(users, sample, requests, seed=args.seed,
                  scaling_margin=args.scaling_margin,
-                 stream_growth_bound=args.stream_growth_bound)
+                 stream_growth_bound=args.stream_growth_bound,
+                 lane_cap_bound=args.lane_cap_bound)
     report["mode"] = "smoke" if args.smoke else "full"
     report["observability"]["overhead_bound"] = args.trace_overhead_bound
     args.out.write_text(json.dumps(report, indent=2) + "\n")
@@ -576,6 +614,12 @@ def main(argv: list[str] | None = None) -> int:
                   entry["streamed_peak_bytes"] / 1024,
                   entry["in_memory_peak_bytes"] / 1024,
                   entry["peak_growth_4x"], entry["identical_output"]))
+    lane_cap = streaming["lane_cap"]
+    print("lane cap: {}-subject block peak {:.0f} KiB capped vs {:.0f} KiB "
+          "uncapped (x{}, bound x{})".format(
+              lane_cap["block_subjects"], lane_cap["capped_peak_bytes"] / 1024,
+              lane_cap["uncapped_peak_bytes"] / 1024, lane_cap["peak_ratio"],
+              lane_cap["bound"]))
     observability = report["observability"]
     print("observability: tracing off {:.3f}s  on {:.3f}s  overhead x{}  "
           "{} spans  schema_errors={}  identical={}".format(
@@ -618,6 +662,11 @@ def main(argv: list[str] | None = None) -> int:
                   streaming["growth_bound"],
                   {engine: entry["peak_growth_4x"]
                    for engine, entry in streaming["engines"].items()}))
+        return 1
+    if not lane_cap["within_bound"]:
+        print("ERROR: capping the engine batch at the block size left the "
+              "small-block allocation peak at x{} of the uncapped path "
+              "(bound x{})".format(lane_cap["peak_ratio"], lane_cap["bound"]))
         return 1
     if not (single["success"] and single["digest_equal"]):
         print("ERROR: the chaos single request must survive the crash storm "

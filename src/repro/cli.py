@@ -33,6 +33,19 @@ The relational-schema workflow (see :mod:`repro.schema`) adds:
 * ``greater run --pipeline multitable --data-dir DIR`` — fit the
   whole-database pipeline on the CSVs, sample a synthetic database, and
   optionally persist the fitted bundle and the synthetic CSVs.
+
+The artifact-registry workflow (see :mod:`repro.registry`) adds:
+
+* ``greater fit/run --registry DIR`` — save through the content-addressed
+  registry; a repeated fit with an identical spec (pipeline config, seed,
+  resolved engines, dataset fingerprint) becomes a verified cache hit.
+  ``--json`` output carries the full ``artifact_digest`` and registry
+  path, so scripts chain straight into ``serve``;
+* ``greater serve --registry DIR --digest HEX`` — serve an artifact by
+  content digest out of the registry (workers resolve the same digest);
+* ``greater registry ls|show|gc|migrate|fingerprint`` — inspect artifacts
+  and their shared parts, reclaim unreferenced objects, batch-apply
+  format migrations to bundle files, and fingerprint a dataset directory.
 """
 
 from __future__ import annotations
@@ -80,6 +93,8 @@ COMMANDS = {
     "trace": "inspect a trace file from serve --trace (actions: summary, tree, slow)",
     "schema": "infer or show a relational schema graph (actions: infer, show)",
     "run": "fit the multitable pipeline on a directory of CSVs and sample a database",
+    "registry": "inspect or maintain an artifact registry "
+                "(actions: ls, show, gc, migrate, fingerprint)",
 }
 
 _PIPELINES = ("greater", "direct_flatten", "derec")
@@ -173,6 +188,25 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
         parser.add_argument("--bundle", default=None,
                             help="multitable bundle whose embedded graph to show")
         return parser
+    if command == "registry":
+        parser.add_argument("action",
+                            choices=("ls", "show", "gc", "migrate", "fingerprint"),
+                            help="ls: artifacts in a registry; show: one artifact's "
+                                 "parts, refcounts and bound runs; gc: delete "
+                                 "unreferenced objects; migrate: rewrite bundle files "
+                                 "in the current format; fingerprint: hash a dataset "
+                                 "directory")
+        parser.add_argument("--registry", default=None,
+                            help="registry directory (ls, show, gc)")
+        parser.add_argument("--digest", default=None,
+                            help="artifact digest or unique prefix (show)")
+        parser.add_argument("paths", nargs="*",
+                            help="bundle files (migrate) or one dataset directory "
+                                 "(fingerprint)")
+        parser.add_argument("--out", default=None,
+                            help="migrate: write the rewritten bundle here instead of "
+                                 "in place (single input only)")
+        return parser
     if command == "run":
         parser.add_argument("--pipeline", choices=("multitable",), default="multitable",
                             help="which pipeline to run (multitable)")
@@ -182,6 +216,10 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
                             help="optional schema-graph JSON (skips inference)")
         parser.add_argument("--bundle", default=None,
                             help="optionally save the fitted bundle to this path")
+        parser.add_argument("--registry", default=None,
+                            help="save through the artifact registry at this directory "
+                                 "(an identical pipeline/seed/dataset spec becomes a "
+                                 "cache hit — no refit)")
         parser.add_argument("--compress", action="store_true",
                             help="compress the bundle's array parts")
         parser.add_argument("--n", type=int, default=None,
@@ -203,8 +241,13 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
                                  "byte-identically (requires --spool)")
         return parser
     if command == "serve":
-        parser.add_argument("--bundle", required=True,
+        parser.add_argument("--bundle", default=None,
                             help="bundle path written by 'greater fit'")
+        parser.add_argument("--registry", default=None,
+                            help="serve an artifact out of the registry at this "
+                                 "directory instead of a bundle file (needs --digest)")
+        parser.add_argument("--digest", default=None,
+                            help="artifact digest or unique prefix inside --registry")
         parser.add_argument("--host", default="127.0.0.1", help="bind address")
         parser.add_argument("--port", type=int, default=0,
                             help="bind port (default 0: pick an ephemeral port)")
@@ -271,8 +314,12 @@ def _command_parser(command: str) -> argparse.ArgumentParser:
     if command == "fit":
         parser.add_argument("--pipeline", choices=_PIPELINES, default="greater",
                             help="which pipeline to fit (default greater)")
-        parser.add_argument("--bundle", required=True,
+        parser.add_argument("--bundle", default=None,
                             help="output bundle path for the fitted pipeline")
+        parser.add_argument("--registry", default=None,
+                            help="save through the artifact registry at this directory "
+                                 "(an identical pipeline/seed/dataset spec becomes a "
+                                 "cache hit — no refit)")
         parser.add_argument("--seed", type=int, default=7, help="random seed")
         parser.add_argument("--users-per-task", type=int, default=12,
                             help="users per task subgroup of the generated trial")
@@ -312,6 +359,8 @@ def _run_fit(args) -> list[dict]:
     from repro.pipelines.flatten_baseline import DirectFlattenPipeline
     from repro.pipelines.greater import GReaTERPipeline
 
+    if not args.bundle and not args.registry:
+        raise SystemExit("fit requires --bundle and/or --registry")
     pipelines = {"greater": GReaTERPipeline, "direct_flatten": DirectFlattenPipeline,
                  "derec": DERECPipeline}
     experiment = ExperimentConfig(n_trials=1, n_users_per_task=args.users_per_task,
@@ -323,22 +372,43 @@ def _run_fit(args) -> list[dict]:
         enhancer=EnhancerConfig(semantic_level=args.semantic_level, seed=args.seed),
         connector=ConnectorConfig(remove_noisy_columns=False),
     )
+    pipeline = pipelines[args.pipeline](config)
+    cache_hit = None
+    save_s = 0.0
     start = time.perf_counter()
-    fitted = pipelines[args.pipeline](config).fit(trial.ads, trial.feeds)
-    fit_s = time.perf_counter() - start
-    start = time.perf_counter()
-    digest = fitted.save(args.bundle, compress=args.compress)
-    save_s = time.perf_counter() - start
-    return [{
+    if args.registry:
+        from repro.registry import Registry
+
+        result = Registry(args.registry).fit_or_load(
+            pipeline, trial.ads, trial.feeds, compress=args.compress)
+        fitted, digest, cache_hit = result.fitted, result.digest, result.cache_hit
+        fit_s = time.perf_counter() - start
+    else:
+        fitted = pipeline.fit(trial.ads, trial.feeds)
+        fit_s = time.perf_counter() - start
+        digest = None
+    if args.bundle:
+        start = time.perf_counter()
+        digest = fitted.save(args.bundle, compress=args.compress)
+        save_s = time.perf_counter() - start
+    row = {
         "command": "fit",
         "pipeline": args.pipeline,
-        "bundle": args.bundle,
         "digest": digest[:12],
+        # the full digest + registry path let scripts chain
+        # ``fit --json`` -> ``serve --registry ... --digest ...`` directly
+        "artifact_digest": digest,
         "n_training_subjects": fitted.n_training_subjects,
         "seed": args.seed,
         "fit_s": round(fit_s, 4),
         "save_s": round(save_s, 4),
-    }]
+    }
+    if args.bundle:
+        row["bundle"] = args.bundle
+    if args.registry:
+        row["registry"] = args.registry
+        row["cache_hit"] = cache_hit
+    return [row]
 
 
 def _run_sample(args) -> list[dict]:
@@ -427,19 +497,28 @@ def _run_serve(args) -> list[dict]:
     from repro.serving.server import run_server
     from repro.store.atomic import atomic_write_text
 
+    if bool(args.bundle) == bool(args.registry):
+        raise SystemExit("serve requires exactly one of --bundle or --registry")
+    if args.registry and not args.digest:
+        raise SystemExit("serve --registry requires --digest")
     config = ServingConfig(shards=args.workers, block_size=args.block_size,
                            executor=args.executor, mmap=args.mmap,
                            timeout_s=args.timeout_s, retries=args.retries,
                            breaker_threshold=args.breaker_threshold,
                            degraded_mode=args.degraded_mode, faults=args.faults,
                            trace=args.trace)
-    service = SynthesisService.from_bundle(args.bundle, config)
+    if args.registry:
+        service = SynthesisService.from_registry(args.registry, args.digest, config)
+        source = "{}#{}".format(args.registry, service.digest[:12])
+    else:
+        service = SynthesisService.from_bundle(args.bundle, config)
+        source = args.bundle
     started = time.perf_counter()
 
     def ready(host, port):
         if args.ready_file:
             atomic_write_text(args.ready_file, "{} {}\n".format(host, port))
-        print("serving bundle {} on http://{}:{} ({} {} worker{})".format(
+        print("serving artifact {} on http://{}:{} ({} {} worker{})".format(
             service.digest[:12], host, port, args.workers, args.executor,
             "s" if args.workers != 1 else ""), file=sys.stderr, flush=True)
 
@@ -453,7 +532,7 @@ def _run_serve(args) -> list[dict]:
     stats = service.stats()
     return [{
         "command": "serve",
-        "bundle": args.bundle,
+        "bundle": source,
         "digest": service.digest[:12],
         "executor": args.executor,
         "workers": args.workers,
@@ -636,10 +715,20 @@ def _run_multitable(args) -> list[dict]:
     tables = load_tables(args.data_dir)
     graph = SchemaGraph.from_json(Path(args.schema).read_text()) if args.schema else None
     config = MultiTablePipelineConfig(seed=args.seed)
+    cache_hit = None
     start = time.perf_counter()
-    fitted = MultiTableSchemaPipeline(config).fit(tables, graph)
+    if args.registry:
+        from repro.registry import Registry
+
+        result = Registry(args.registry).fit_or_load(
+            MultiTableSchemaPipeline(config), tables, graph, compress=args.compress)
+        fitted, digest, cache_hit = result.fitted, result.digest, result.cache_hit
+    else:
+        fitted = MultiTableSchemaPipeline(config).fit(tables, graph)
+        digest = None
     fit_s = time.perf_counter() - start
-    digest = fitted.save(args.bundle, compress=args.compress) if args.bundle else None
+    if args.bundle:
+        digest = fitted.save(args.bundle, compress=args.compress)
 
     start = time.perf_counter()
     if args.chunk_rows is not None:
@@ -685,8 +774,87 @@ def _run_multitable(args) -> list[dict]:
     rows[0]["fit_s"] = round(fit_s, 4)
     rows[0]["sample_s"] = round(sample_s, 4)
     if digest:
-        rows[0]["bundle"] = args.bundle
         rows[0]["digest"] = digest[:12]
+        rows[0]["artifact_digest"] = digest
+    if args.bundle:
+        rows[0]["bundle"] = args.bundle
+    if args.registry:
+        rows[0]["registry"] = args.registry
+        rows[0]["cache_hit"] = cache_hit
+    return rows
+
+
+def _run_registry(args) -> list[dict]:
+    from repro.registry import Registry, fingerprint_directory, migrate_bundle
+
+    if args.action in ("ls", "show", "gc"):
+        if not args.registry:
+            raise SystemExit("registry {} requires --registry".format(args.action))
+        registry = Registry(args.registry)
+    if args.action == "ls":
+        refcounts = registry.refcounts()
+        rows = []
+        for record in registry.artifacts():
+            entries = record["parts"].values()
+            rows.append({
+                "command": "registry ls",
+                "digest": record["digest"][:12],
+                "kind": record["kind"],
+                "format_version": record["format_version"],
+                "parts": len(record["parts"]),
+                "bytes": sum(entry["size"] for entry in entries),
+                "shared_parts": sum(1 for entry in entries
+                                    if refcounts.get(entry["object"], 0) > 1),
+            })
+        if not rows:
+            rows = [{"command": "registry ls", "artifacts": 0,
+                     "objects": len(registry.store.digests()),
+                     "bytes": registry.store.total_bytes()}]
+        return rows
+    if args.action == "show":
+        if not args.digest:
+            raise SystemExit("registry show requires --digest")
+        record = registry.artifact(args.digest)
+        refcounts = registry.refcounts()
+        rows = [{
+            "command": "registry show",
+            "part": name,
+            "object": entry["object"][:12],
+            "bytes": entry["size"],
+            "refcount": refcounts.get(entry["object"], 0),
+        } for name, entry in sorted(record["parts"].items())]
+        bound = [run["spec_digest"][:12] for run in registry.runs()
+                 if run.get("artifact") == record["digest"]]
+        rows[0].update(digest=record["digest"], kind=record["kind"],
+                       format_version=record["format_version"],
+                       runs=",".join(bound) or "-")
+        return rows
+    if args.action == "gc":
+        return [{"command": "registry gc", **registry.gc()}]
+    if args.action == "migrate":
+        if not args.paths:
+            raise SystemExit("registry migrate requires at least one bundle path")
+        if args.out and len(args.paths) != 1:
+            raise SystemExit("registry migrate --out takes exactly one bundle")
+        rows = []
+        for path in args.paths:
+            info = migrate_bundle(path, out=args.out)
+            rows.append({
+                "command": "registry migrate",
+                "path": info["path"],
+                "from_version": info["from_version"],
+                "to_version": info["to_version"],
+                "changed": info["changed"],
+                "digest": info["digest"][:12],
+            })
+        return rows
+    if len(args.paths) != 1:
+        raise SystemExit("registry fingerprint takes exactly one dataset directory")
+    result = fingerprint_directory(args.paths[0])
+    rows = [{"command": "registry fingerprint", "file": "<combined>",
+             "sha256": result["fingerprint"]}]
+    rows.extend({"command": "registry fingerprint", "file": name, "sha256": digest}
+                for name, digest in sorted(result["files"].items()))
     return rows
 
 
@@ -694,7 +862,8 @@ _COMMAND_RUNNERS = {"fit": _run_fit, "sample": _run_sample,
                     "serve-bench": _run_serve_bench,
                     "serve": _run_serve, "client": _run_client,
                     "trace": _run_trace,
-                    "schema": _run_schema, "run": _run_multitable}
+                    "schema": _run_schema, "run": _run_multitable,
+                    "registry": _run_registry}
 
 
 def _run_command(argv: list[str]) -> int:

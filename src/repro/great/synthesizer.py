@@ -295,17 +295,21 @@ class GReaTSynthesizer:
         self._value_token_cache[value] = tokens
         return tokens
 
-    def _sample_rows_guided_batch(self, prompts: list[dict | None], seed: int) -> list[dict]:
+    def _sample_rows_guided_batch(self, prompts: list[dict | None], seed: int,
+                                  max_lanes: int | None = None) -> list[dict]:
         """Guided strategy over a whole batch: one engine session per chunk,
         one vectorized candidate draw per column."""
         with obs.span("stage.sample", attrs={"rows": len(prompts), "strategy": "guided"}):
-            return self._sample_rows_guided_batch_inner(prompts, seed)
+            return self._sample_rows_guided_batch_inner(prompts, seed, max_lanes=max_lanes)
 
-    def _sample_rows_guided_batch_inner(self, prompts: list[dict | None], seed: int) -> list[dict]:
+    def _sample_rows_guided_batch_inner(self, prompts: list[dict | None], seed: int,
+                                        max_lanes: int | None = None) -> list[dict]:
         engine = self._engine
         rng = np.random.default_rng([_GUIDED_STREAM, seed & SEED_MASK])
         temperature = self.config.sampler.temperature
         batch = max(1, self.config.sampler.batch_lanes)
+        if max_lanes is not None:
+            batch = max(1, min(batch, int(max_lanes)))
         rows: list[dict] = []
         for start in range(0, len(prompts), batch):
             chunk = prompts[start:start + batch]
@@ -340,13 +344,15 @@ class GReaTSynthesizer:
             rows.extend(chunk_rows)
         return rows
 
-    def _sample_rows_free_batch(self, prompts: list[dict | None], seed: int) -> list[dict]:
+    def _sample_rows_free_batch(self, prompts: list[dict | None], seed: int,
+                                max_lanes: int | None = None) -> list[dict]:
         """Free strategy over a whole batch: generate every lane through the
         engine's validity-retry loop, then decode and backfill fallbacks."""
         with obs.span("stage.free_sample", attrs={"rows": len(prompts), "strategy": "free"}):
-            return self._sample_rows_free_batch_inner(prompts, seed)
+            return self._sample_rows_free_batch_inner(prompts, seed, max_lanes=max_lanes)
 
-    def _sample_rows_free_batch_inner(self, prompts: list[dict | None], seed: int) -> list[dict]:
+    def _sample_rows_free_batch_inner(self, prompts: list[dict | None], seed: int,
+                                      max_lanes: int | None = None) -> list[dict]:
         tokenizer = self._model.tokenizer
         prompt_ids = None
         if any(prompt for prompt in prompts):
@@ -357,7 +363,8 @@ class GReaTSynthesizer:
                 for prompt, text in zip(prompts, prompt_texts)
             ]
         sentences = self._engine.generate_valid(
-            len(prompts), self._decoder.is_valid, prompts=prompt_ids, seed=seed
+            len(prompts), self._decoder.is_valid, prompts=prompt_ids, seed=seed,
+            max_lanes=max_lanes
         )
         rng = random.Random(seed)
         rows: list[dict] = []
@@ -375,10 +382,11 @@ class GReaTSynthesizer:
             rows.append(fallback)
         return rows
 
-    def _sample_rows_batch(self, prompts: list[dict | None], seed: int) -> list[dict]:
+    def _sample_rows_batch(self, prompts: list[dict | None], seed: int,
+                           max_lanes: int | None = None) -> list[dict]:
         if self.config.sampling_strategy == "guided":
-            return self._sample_rows_guided_batch(prompts, seed)
-        return self._sample_rows_free_batch(prompts, seed)
+            return self._sample_rows_guided_batch(prompts, seed, max_lanes=max_lanes)
+        return self._sample_rows_free_batch(prompts, seed, max_lanes=max_lanes)
 
     # -- public sampling API ----------------------------------------------------------------
 
@@ -394,13 +402,21 @@ class GReaTSynthesizer:
             return self._sample_row_guided(prompt_row, rng)
         return self._sample_row_free(prompt_row, rng)
 
-    def sample(self, n: int, seed: int | None = None) -> Table:
-        """Sample *n* unconditioned rows as a table with the training schema."""
+    def sample(self, n: int, seed: int | None = None,
+               max_lanes: int | None = None) -> Table:
+        """Sample *n* unconditioned rows as a table with the training schema.
+
+        ``max_lanes`` caps the engine batch width below
+        ``config.sampler.batch_lanes`` — block-wise callers pass their block
+        size so peak memory scales with the block.  Outputs are reproducible
+        per cap (two runs at the same cap are identical); the default
+        (uncapped) draw order is unchanged.
+        """
         self._require_fitted()
         if n <= 0:
             raise ValueError("n must be positive")
         seed = self.config.seed if seed is None else seed
-        records = self._sample_rows_batch([None] * n, seed)
+        records = self._sample_rows_batch([None] * n, seed, max_lanes=max_lanes)
         return Table.from_records(records, columns=self._training_table.column_names)
 
     def iter_sample(self, n: int, seed: int | None = None,
@@ -435,11 +451,12 @@ class GReaTSynthesizer:
         """The in-memory table equal to concatenating :meth:`iter_sample`."""
         return concat_rows(list(self.iter_sample(n, seed=seed, chunk_rows=chunk_rows)))
 
-    def sample_conditional(self, prompts: list[dict], seed: int | None = None) -> Table:
+    def sample_conditional(self, prompts: list[dict], seed: int | None = None,
+                           max_lanes: int | None = None) -> Table:
         """Sample one row per prompt dict, conditioned on the prompt columns."""
         self._require_fitted()
         seed = self.config.seed if seed is None else seed
         if not prompts:
             return Table.from_records([], columns=self._training_table.column_names)
-        records = self._sample_rows_batch(list(prompts), seed)
+        records = self._sample_rows_batch(list(prompts), seed, max_lanes=max_lanes)
         return Table.from_records(records, columns=self._training_table.column_names)

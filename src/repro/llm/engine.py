@@ -159,27 +159,34 @@ class BatchGenerationEngine:
 
     def generate_ids_batch(self, n: int, prompts: Sequence[Sequence[int]] | None = None,
                            seed: int | None = None,
-                           rng: np.random.Generator | None = None) -> list[list[int]]:
+                           rng: np.random.Generator | None = None,
+                           max_lanes: int | None = None) -> list[list[int]]:
         """Sample *n* token-id sequences (prompt included, ``<bos>`` stripped).
 
         ``prompts`` optionally conditions each lane on a token-id prefix.
         Lanes retire individually when they sample ``<eos>``; every step draws
-        one uniform vector across the still-active lanes.
+        one uniform vector across the still-active lanes.  ``max_lanes`` caps
+        the engine batch below ``config.batch_lanes`` — the streaming path
+        passes its block size so the per-step ``(lanes, vocab)`` mass buffers
+        scale with the chunk instead of staying at the configured width.
         """
         sequences: list[list[int]] = []
-        for chunk in self.iter_generate_ids_batch(n, prompts=prompts, seed=seed, rng=rng):
+        for chunk in self.iter_generate_ids_batch(n, prompts=prompts, seed=seed,
+                                                  rng=rng, max_lanes=max_lanes):
             sequences.extend(chunk)
         return sequences
 
     def iter_generate_ids_batch(self, n: int, prompts: Sequence[Sequence[int]] | None = None,
                                 seed: int | None = None,
-                                rng: np.random.Generator | None = None):
+                                rng: np.random.Generator | None = None,
+                                max_lanes: int | None = None):
         """Yield the sequences of :meth:`generate_ids_batch` one engine batch
         at a time.
 
-        Lanes retire per batch of ``config.batch_lanes``, so concatenating the
-        yielded chunks reproduces ``generate_ids_batch`` exactly — the shared
-        RNG advances identically — while only one batch of sequences is alive
+        Lanes retire per batch of ``config.batch_lanes`` (capped by
+        ``max_lanes``), so concatenating the yielded chunks reproduces
+        ``generate_ids_batch`` at the same cap exactly — the shared RNG
+        advances identically — while only one batch of sequences is alive
         at a time.  Arguments are validated eagerly (before the first chunk is
         requested).
         """
@@ -189,6 +196,8 @@ class BatchGenerationEngine:
             raise ValueError("prompts must have one entry per requested sequence")
         rng = seeded_rng(seed) if rng is None else rng
         batch = max(1, self.config.batch_lanes)
+        if max_lanes is not None:
+            batch = max(1, min(batch, int(max_lanes)))
 
         def chunks():
             for start in range(0, n, batch):
@@ -249,7 +258,8 @@ class BatchGenerationEngine:
 
     def generate_valid(self, n: int, is_valid: Callable[[str], bool],
                        prompts: Sequence[Sequence[int]] | None = None,
-                       seed: int | None = None) -> list[str | None]:
+                       seed: int | None = None,
+                       max_lanes: int | None = None) -> list[str | None]:
         """Sample *n* sentences, regenerating only the lanes *is_valid* rejects.
 
         Each retry round re-batches the still-invalid lanes; lanes that never
@@ -265,7 +275,8 @@ class BatchGenerationEngine:
             if not pending:
                 break
             sub_prompts = [prompts[i] for i in pending] if prompts is not None else None
-            batches = self.generate_ids_batch(len(pending), prompts=sub_prompts, rng=rng)
+            batches = self.generate_ids_batch(len(pending), prompts=sub_prompts, rng=rng,
+                                              max_lanes=max_lanes)
             sentences = self.tokenizer.decode_batch(batches)
             still_pending: list[int] = []
             for slot, lane in enumerate(pending):

@@ -157,14 +157,14 @@ class FittedPipeline:
             details=details,
         )
 
-    def _two_round_flat(self, n: int, seed: int,
-                        subject_offset: int = 0) -> tuple[Table, Table]:
+    def _two_round_flat(self, n: int, seed: int, subject_offset: int = 0,
+                        max_lanes: int | None = None) -> tuple[Table, Table]:
         """DEREC's two independent rounds, joined on the synthetic subject key."""
         subject = self.subject_column
         first_flat = self.synthesizers[0].sample_flat(
-            n, seed=seed, subject_offset=subject_offset)
+            n, seed=seed, subject_offset=subject_offset, max_lanes=max_lanes)
         second_flat = self.synthesizers[1].sample_flat(
-            n, seed=seed + 1, subject_offset=subject_offset)
+            n, seed=seed + 1, subject_offset=subject_offset, max_lanes=max_lanes)
         combined = inner_join(first_flat, second_flat, on=subject, suffixes=("", "_round2"))
         duplicated = [name for name in combined.column_names if name.endswith("_round2")]
         if duplicated:
@@ -179,12 +179,20 @@ class FittedPipeline:
         request into blocks — run serially or across workers — concatenates
         to the same table.  Subject keys are numbered from ``start`` so
         block outputs are globally consistent.
+
+        The engine batch width is capped at ``count`` subjects: the child
+        round fans out to one lane per child row, which would otherwise
+        allocate full ``batch_lanes``-wide mass buffers however small the
+        block — the streaming path's peak now scales with the block size.
         """
         with obs.span("stage.generate", attrs={"start": start, "count": count}):
             if len(self.synthesizers) == 2:
-                flat, _ = self._two_round_flat(count, seed, subject_offset=start)
+                flat, _ = self._two_round_flat(count, seed, subject_offset=start,
+                                               max_lanes=count)
             else:
-                flat = self.synthesizers[0].sample_flat(count, seed=seed, subject_offset=start)
+                flat = self.synthesizers[0].sample_flat(count, seed=seed,
+                                                        subject_offset=start,
+                                                        max_lanes=count)
         with obs.span("stage.decode", attrs={"rows": flat.num_rows}):
             flat = self.enhancer.inverse_transform(flat)
             if self.subject_column in flat.column_names:
@@ -212,15 +220,33 @@ class FittedPipeline:
 
     # -- persistence ----------------------------------------------------------------
 
-    def save(self, path, compress: bool = False) -> str:
-        """Persist this fitted pipeline as a bundle; returns the digest."""
+    def save(self, path, compress: bool = False, registry=None) -> str:
+        """Persist this fitted pipeline as a bundle; returns the digest.
+
+        With ``registry`` set (a registry directory), the parts go through
+        the content-addressed store at that root instead of a bundle file
+        and ``path`` is ignored — the returned digest addresses the
+        artifact for :meth:`load` and ``serve --registry``.
+        """
+        if registry is not None:
+            from repro.registry import Registry
+
+            return Registry(registry).save(self, compress=compress).digest
         from repro.store.bundle import save_fitted_pipeline
 
         return save_fitted_pipeline(self, path, compress=compress)
 
     @staticmethod
-    def load(path, mmap: bool = False) -> "FittedPipeline":
-        """Load a fitted pipeline bundle saved by :meth:`save`."""
+    def load(path, mmap: bool = False, registry=None) -> "FittedPipeline":
+        """Load a fitted pipeline bundle saved by :meth:`save`.
+
+        With ``registry`` set, ``path`` is the artifact digest (or a unique
+        prefix) inside that registry instead of a file path.
+        """
+        if registry is not None:
+            from repro.registry import Registry
+
+            return Registry(registry).load(str(path), mmap=mmap)[0]
         from repro.store.bundle import load_fitted_pipeline
 
         return load_fitted_pipeline(path, mmap=mmap)[0]

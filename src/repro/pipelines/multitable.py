@@ -100,15 +100,33 @@ class FittedMultiTablePipeline:
 
     # -- persistence ----------------------------------------------------------------
 
-    def save(self, path, compress: bool = False) -> str:
-        """Persist this fitted pipeline as a bundle; returns the digest."""
+    def save(self, path, compress: bool = False, registry=None) -> str:
+        """Persist this fitted pipeline as a bundle; returns the digest.
+
+        With ``registry`` set (a registry directory), the parts go through
+        the content-addressed store at that root instead of a bundle file
+        and ``path`` is ignored — the returned digest addresses the
+        artifact for :meth:`load` and ``serve --registry``.
+        """
+        if registry is not None:
+            from repro.registry import Registry
+
+            return Registry(registry).save(self, compress=compress).digest
         from repro.store.bundle import save_multitable_pipeline
 
         return save_multitable_pipeline(self, path, compress=compress)
 
     @staticmethod
-    def load(path, mmap: bool = False) -> "FittedMultiTablePipeline":
-        """Load a fitted multitable-pipeline bundle saved by :meth:`save`."""
+    def load(path, mmap: bool = False, registry=None) -> "FittedMultiTablePipeline":
+        """Load a fitted multitable-pipeline bundle saved by :meth:`save`.
+
+        With ``registry`` set, ``path`` is the artifact digest (or a unique
+        prefix) inside that registry instead of a file path.
+        """
+        if registry is not None:
+            from repro.registry import Registry
+
+            return Registry(registry).load(str(path), mmap=mmap)[0]
         from repro.store.bundle import load_multitable_pipeline
 
         return load_multitable_pipeline(path, mmap=mmap)[0]

@@ -1,0 +1,56 @@
+"""Deterministic dataset fingerprints.
+
+A run record must pin *what data* a pipeline was fitted on, or a cache hit
+could silently serve a model trained on different rows.  Two granularities:
+
+* :func:`fingerprint_table` — hashes a live :class:`~repro.frame.table.Table`
+  through the columnar binary format (dtypes, validity masks and dictionary
+  codes included), so two tables fingerprint equal exactly when the store
+  would round-trip them to identical bytes — the same invariant the bundle
+  digests build on;
+* :func:`fingerprint_directory` — hashes the raw bytes of the files a
+  pipeline would load (the ``run --data-dir`` workflow), cheap enough to
+  run before parsing anything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+from repro.store.bundle import npz_bytes
+from repro.store.codec import StoreError
+from repro.store.tablefmt import table_to_arrays
+
+
+def fingerprint_table(table) -> str:
+    """SHA-256 fingerprint of a table's exact columnar content.
+
+    Built on the deterministic NPZ encoding of
+    :func:`repro.store.tablefmt.table_to_arrays`, so the fingerprint is
+    stable across processes and backends and changes whenever any cell,
+    dtype, mask or column order changes.
+    """
+    return hashlib.sha256(npz_bytes(table_to_arrays(table))).hexdigest()
+
+
+def fingerprint_directory(path, pattern: str = "*.csv") -> dict:
+    """Fingerprint every *pattern* file under *path* (non-recursive).
+
+    Returns ``{"files": {name: sha256}, "fingerprint": combined}`` where
+    ``combined`` hashes the sorted (name, content-digest) pairs — the
+    digest a run record stores for a ``--data-dir`` dataset.
+    """
+    root = Path(path)
+    if not root.is_dir():
+        raise StoreError("no dataset directory at {}".format(root))
+    files: dict[str, str] = {}
+    for entry in sorted(root.glob(pattern)):
+        if entry.is_file():
+            files[entry.name] = hashlib.sha256(entry.read_bytes()).hexdigest()
+    combined = hashlib.sha256()
+    for name, digest in sorted(files.items()):
+        combined.update(name.encode("utf-8"))
+        combined.update(b"\x00")
+        combined.update(digest.encode("ascii"))
+    return {"files": files, "fingerprint": combined.hexdigest()}

@@ -136,7 +136,8 @@ class ParentChildSynthesizer:
             raise RuntimeError("call fit() before sampling")
 
     def sample(self, n_parents: int, seed: int | None = None,
-               subject_offset: int = 0) -> tuple[Table, Table]:
+               subject_offset: int = 0,
+               max_lanes: int | None = None) -> tuple[Table, Table]:
         """Sample *n_parents* parent rows and their conditioned child rows.
 
         Returns ``(parent_table, child_table)``; the child table repeats each
@@ -144,7 +145,10 @@ class ParentChildSynthesizer:
         one-to-many structure of the training data.  ``subject_offset``
         shifts the synthetic subject numbering, so independently seeded
         blocks (the serving layer's sharding unit) produce globally unique,
-        position-stable keys.
+        position-stable keys.  ``max_lanes`` caps the engine batch width for
+        both rounds — the child prompts fan out to one lane per child row,
+        which would otherwise run full ``batch_lanes``-wide batches however
+        small the block.
         """
         self._require_fitted()
         if n_parents <= 0:
@@ -152,7 +156,8 @@ class ParentChildSynthesizer:
         seed = self.config.seed if seed is None else seed
         rng = random.Random(seed)
 
-        parent_table = self._parent_synth.sample(n_parents, seed=seed)
+        parent_table = self._parent_synth.sample(n_parents, seed=seed,
+                                                 max_lanes=max_lanes)
         # synthetic subjects get fresh unique keys so child rows can reference them
         synthetic_subjects = ["synthetic_subject_{}".format(subject_offset + i)
                               for i in range(n_parents)]
@@ -167,7 +172,8 @@ class ParentChildSynthesizer:
             prompt = {name: parent_row[name] for name in self._parent_columns
                       if name != self._subject_column}
             prompts.extend([prompt] * n_children)
-        generated = self._child_synth.sample_conditional(prompts, seed=seed + 1)
+        generated = self._child_synth.sample_conditional(prompts, seed=seed + 1,
+                                                         max_lanes=max_lanes)
 
         child_records = []
         generated_rows = generated.iter_rows()
@@ -184,7 +190,8 @@ class ParentChildSynthesizer:
         return parent_table, child_table
 
     def sample_all(self, n_parents: int, seed: int | None = None,
-                   subject_offset: int = 0) -> tuple[Table, Table, Table]:
+                   subject_offset: int = 0,
+                   max_lanes: int | None = None) -> tuple[Table, Table, Table]:
         """Sample once and return ``(parent, child, flat)``.
 
         The flat view is *derived* from the sampled pair by joining each child
@@ -192,7 +199,8 @@ class ParentChildSynthesizer:
         consistent and generation runs exactly once.
         """
         parent_table, child_table = self.sample(n_parents, seed=seed,
-                                                subject_offset=subject_offset)
+                                                subject_offset=subject_offset,
+                                                max_lanes=max_lanes)
         return parent_table, child_table, self.flatten_pair(parent_table, child_table)
 
     def flatten_pair(self, parent_table: Table, child_table: Table) -> Table:
@@ -209,14 +217,15 @@ class ParentChildSynthesizer:
         return Table.from_records(records, columns=self._parent_columns + self._child_columns)
 
     def sample_flat(self, n_parents: int, seed: int | None = None,
-                    subject_offset: int = 0) -> Table:
+                    subject_offset: int = 0, max_lanes: int | None = None) -> Table:
         """Sample and return the child table joined with its parent columns.
 
         This flat view (every child row carrying its parent's contextual
         columns) is what the fidelity evaluation compares against the original
         flat data.
         """
-        return self.sample_all(n_parents, seed=seed, subject_offset=subject_offset)[2]
+        return self.sample_all(n_parents, seed=seed, subject_offset=subject_offset,
+                               max_lanes=max_lanes)[2]
 
     def _draw_children_count(self, rng: random.Random) -> int:
         if isinstance(self.config.children_per_parent, int):

@@ -355,6 +355,48 @@ class SynthesisService:
                               faults_spec=config.faults, metrics=metrics)
         return cls(fitted, config=config, digest=digest, pool=pool, metrics=metrics)
 
+    @classmethod
+    def from_registry(cls, root, digest, config: ServingConfig | None = None) -> "SynthesisService":
+        """Serve an artifact resolved by content digest from a registry.
+
+        The registry analogue of :meth:`from_bundle`: ``digest`` (full or a
+        unique prefix) names the artifact, the parts stream straight from
+        the content-addressed object store (with ``config.mmap`` they are
+        memory-mapped from the object files, so every worker process
+        sharing the registry shares one page-cache copy per part), and the
+        worker pool cold-starts from a :class:`~repro.registry.cas.RegistrySource`
+        instead of a bundle path.
+        """
+        from repro.registry.cas import RegistrySource
+        from repro.registry.record import Registry
+
+        config = config or ServingConfig()
+        if config.trace is not None and not obs.enabled():
+            obs.configure(config.trace)
+        registry = Registry(root)
+        resolved = registry.resolve(digest)
+        record = registry.artifact(resolved)
+        if record["kind"] not in ("fitted_pipeline", "multitable_pipeline"):
+            raise ServingError(
+                "artifact {} is a {!r}; serving needs a fitted pipeline".format(
+                    resolved[:12], record["kind"]))
+        fitted, digest = registry.load(resolved, mmap=config.mmap)
+        pool = None
+        metrics = MetricsRegistry()
+        if config.executor == "process":
+            from repro.serving.workers import WorkerPool
+
+            source = RegistrySource(str(registry.root), resolved)
+            pool = WorkerPool(source, workers=config.shards, mmap=config.mmap,
+                              block_size=config.block_size, expected_digest=digest,
+                              retries=config.retries,
+                              retry_backoff_s=config.retry_backoff_s,
+                              breaker_threshold=config.breaker_threshold,
+                              breaker_window_s=config.breaker_window_s,
+                              breaker_cooldown_s=config.breaker_cooldown_s,
+                              faults_spec=config.faults, metrics=metrics)
+        return cls(fitted, config=config, digest=digest, pool=pool, metrics=metrics)
+
     def close(self) -> None:
         """Release the process worker pool (no-op for thread executors)."""
         if self.pool is not None:

@@ -147,9 +147,16 @@ def _worker_main(worker_index: int, bundle_path: str, mmap: bool, block_size: in
         return meta
 
     try:
+        from repro.registry.cas import RegistrySource
+
         config = ServingConfig(shards=1, block_size=block_size, cache_bytes=0,
                                batch_window_s=0.0, mmap=mmap)
-        service = SynthesisService.from_bundle(bundle_path, config=config)
+        if isinstance(bundle_path, RegistrySource):
+            service = SynthesisService.from_registry(bundle_path.root,
+                                                     bundle_path.digest,
+                                                     config=config)
+        else:
+            service = SynthesisService.from_bundle(bundle_path, config=config)
     except BaseException as error:
         results.put(("failed", None, worker_index, repr(error), _meta()))
         return
@@ -250,7 +257,12 @@ class WorkerPool:
             raise ValueError("retry_backoff_s must be non-negative")
         if breaker_threshold < 0:
             raise ValueError("breaker_threshold must be non-negative (0 disables)")
-        self.bundle_path = str(bundle_path)
+        from repro.registry.cas import RegistrySource
+
+        # a RegistrySource travels to the workers as-is (it is a frozen
+        # picklable reference); anything else is a bundle file path
+        self.bundle_path = (bundle_path if isinstance(bundle_path, RegistrySource)
+                            else str(bundle_path))
         self.workers = workers
         self.mmap = bool(mmap)
         self.block_size = block_size

@@ -39,8 +39,16 @@ _EXPORTS = {
     "table_to_arrays": "repro.store.tablefmt",
     "write_table": "repro.store.tablefmt",
     "BUNDLE_FORMAT_VERSION": "repro.store.bundle",
+    "BundleIntegrityError": "repro.store.bundle",
     "BundleReader": "repro.store.bundle",
     "BundleWriter": "repro.store.bundle",
+    "MemoryBundleReader": "repro.store.bundle",
+    "archive_bytes": "repro.store.bundle",
+    "bundle_writer_for": "repro.store.bundle",
+    "npz_bytes": "repro.store.bundle",
+    "parts_digest": "repro.store.bundle",
+    "read_bundle_object": "repro.store.bundle",
+    "verify_parts": "repro.store.bundle",
     "load_bundle": "repro.store.bundle",
     "load_fitted_pipeline": "repro.store.bundle",
     "load_great_synthesizer": "repro.store.bundle",

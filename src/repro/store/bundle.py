@@ -65,7 +65,8 @@ from repro.store.tablefmt import (
 from repro.textenc.decoder import TextualDecoder
 from repro.textenc.encoder import EncoderConfig
 
-#: Version of the bundle layout; readers reject newer versions.
+#: Version of the bundle layout; readers reject newer versions and migrate
+#: older ones on read through :mod:`repro.registry.migrations`.
 BUNDLE_FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
@@ -73,6 +74,98 @@ MANIFEST_NAME = "manifest.json"
 #: Bundle kinds understood by :func:`load_bundle`.
 BUNDLE_KINDS = ("great_synthesizer", "parent_child_synthesizer", "fitted_pipeline",
                 "multitable_synthesizer", "multitable_pipeline")
+
+#: Fixed timestamp for every zip entry (bundle archives and inner NPZ
+#: entries).  ``zipfile`` and ``numpy.savez`` stamp wall-clock time into
+#: entry headers, which would give two byte-identical parts different
+#: archive bytes — fatal for content addressing, part-level dedup and the
+#: byte-identity guarantees of format migrations.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+class BundleIntegrityError(StoreError):
+    """A bundle's bytes do not match its manifest (sizes or SHA-256 digest)."""
+
+
+def _zip_entry(name: str, compression: int = zipfile.ZIP_STORED) -> zipfile.ZipInfo:
+    info = zipfile.ZipInfo(name, date_time=_ZIP_EPOCH)
+    info.compress_type = compression
+    info.external_attr = 0o644 << 16
+    return info
+
+
+def npz_bytes(arrays: dict, compress: bool = False) -> bytes:
+    """Serialize a ``name -> ndarray`` mapping to deterministic NPZ bytes.
+
+    Identical arrays always produce identical bytes: entries are written in
+    sorted order with the fixed :data:`_ZIP_EPOCH` timestamp (``np.savez``
+    would stamp the current time).  The layout is otherwise exactly what
+    ``numpy.savez``/``savez_compressed`` produce, so ``numpy.load`` and
+    :mod:`repro.store.npymap` read it unchanged.
+    """
+    from numpy.lib import format as npy_format
+
+    compression = zipfile.ZIP_DEFLATED if compress else zipfile.ZIP_STORED
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", compression=compression) as archive:
+        for key in sorted(arrays):
+            payload = io.BytesIO()
+            npy_format.write_array(payload, np.asanyarray(arrays[key]),
+                                   allow_pickle=False)
+            archive.writestr(_zip_entry(key + ".npy", compression), payload.getvalue())
+    return buffer.getvalue()
+
+
+def parts_digest(parts: dict[str, bytes]) -> str:
+    """SHA-256 over every part (name + content, sorted by name).
+
+    The content address of a bundle: the same formula whether the parts
+    live in one archive file or in the registry's object store, so a
+    bundle file and its registry artifact share one digest.
+    """
+    sha = hashlib.sha256()
+    for name in sorted(parts):
+        sha.update(name.encode("utf-8"))
+        sha.update(b"\x00")
+        sha.update(parts[name])
+    return sha.hexdigest()
+
+
+def archive_bytes(parts: dict[str, bytes], manifest: dict) -> bytes:
+    """The deterministic bundle archive holding *parts* plus *manifest*."""
+    buffer = io.BytesIO()
+    with zipfile.ZipFile(buffer, "w", compression=zipfile.ZIP_STORED) as archive:
+        for name in sorted(parts):
+            archive.writestr(_zip_entry(name), parts[name])
+        archive.writestr(_zip_entry(MANIFEST_NAME),
+                         json.dumps(manifest, indent=2, sort_keys=True))
+    return buffer.getvalue()
+
+
+def verify_parts(manifest: dict, parts: dict[str, bytes], source) -> None:
+    """Check *parts* against the manifest; raise :class:`BundleIntegrityError`.
+
+    Three layers, cheapest first: the part-name sets must match, every
+    part's size must match, and the recomputed content digest must equal
+    the manifest's.
+    """
+    declared = manifest.get("parts", {})
+    if set(declared) != set(parts):
+        missing = sorted(set(declared) - set(parts))
+        extra = sorted(set(parts) - set(declared))
+        raise BundleIntegrityError(
+            "bundle at {} does not match its manifest (missing parts: {}, "
+            "undeclared parts: {})".format(source, missing, extra))
+    for name, size in declared.items():
+        if len(parts[name]) != size:
+            raise BundleIntegrityError(
+                "bundle part {!r} at {} is {} bytes, manifest declares {}".format(
+                    name, source, len(parts[name]), size))
+    digest = parts_digest(parts)
+    if digest != manifest.get("digest"):
+        raise BundleIntegrityError(
+            "bundle at {} fails digest verification: parts hash to {}, "
+            "manifest declares {}".format(source, digest, manifest.get("digest")))
 
 
 # ---------------------------------------------------------------------------
@@ -103,113 +196,64 @@ class BundleWriter:
 
     def add_arrays(self, name: str, arrays: dict) -> None:
         """Add an NPZ part from a name -> ndarray mapping."""
-        buffer = io.BytesIO()
-        if self.compress:
-            np.savez_compressed(buffer, **arrays)
-        else:
-            np.savez(buffer, **arrays)
-        self._parts[name + ".npz"] = buffer.getvalue()
+        self._parts[name + ".npz"] = npz_bytes(arrays, compress=self.compress)
 
     def add_table(self, name: str, table) -> None:
         """Add a table part in the binary columnar format."""
         self.add_arrays(name, table_to_arrays(table))
 
+    @property
+    def parts(self) -> dict[str, bytes]:
+        """The accumulated parts (name -> bytes) — the registry stores these."""
+        return dict(self._parts)
+
     def digest(self) -> str:
         """SHA-256 digest over every part (name + content, sorted by name)."""
-        sha = hashlib.sha256()
-        for name in sorted(self._parts):
-            sha.update(name.encode("utf-8"))
-            sha.update(b"\x00")
-            sha.update(self._parts[name])
-        return sha.hexdigest()
+        return parts_digest(self._parts)
+
+    def manifest(self) -> dict:
+        """The manifest describing the accumulated parts."""
+        return {
+            "format_version": BUNDLE_FORMAT_VERSION,
+            "kind": self.kind,
+            "digest": self.digest(),
+            "compress": self.compress,
+            "parts": {name: len(blob) for name, blob in sorted(self._parts.items())},
+            "meta": self.meta,
+        }
 
     def write(self, path) -> str:
         """Atomically write the bundle archive and return its digest.
 
         The parts are already compressed (NPZ) or tiny (JSON), so the
         archive stores them uncompressed; the whole file is published with
-        one ``os.replace``.
+        one ``os.replace``.  The archive bytes are a pure function of the
+        parts (fixed entry timestamps, sorted entries), so saving the same
+        fitted state twice produces byte-identical files.
         """
-        digest = self.digest()
-        manifest = {
-            "format_version": BUNDLE_FORMAT_VERSION,
-            "kind": self.kind,
-            "digest": digest,
-            "compress": self.compress,
-            "parts": {name: len(blob) for name, blob in sorted(self._parts.items())},
-            "meta": self.meta,
-        }
+        manifest = self.manifest()
+        data = archive_bytes(self._parts, manifest)
         with atomic_path(path) as tmp:
-            with zipfile.ZipFile(tmp, "w", compression=zipfile.ZIP_STORED) as archive:
-                for name in sorted(self._parts):
-                    archive.writestr(name, self._parts[name])
-                archive.writestr(MANIFEST_NAME,
-                                 json.dumps(manifest, indent=2, sort_keys=True))
-        return digest
+            Path(tmp).write_bytes(data)
+        return manifest["digest"]
 
 
-class BundleReader:
-    """Read parts of a bundle archive written by :class:`BundleWriter`.
+class BasePartReader:
+    """Shared part-decoding surface of every bundle reader.
 
-    With ``mmap=True`` the NPZ parts are not copied into memory: their byte
-    ranges are recorded and :meth:`arrays` hands out read-only
-    ``np.memmap`` views of the bundle file (:mod:`repro.store.npymap`), so
-    the n-gram count tables are backed by shared page cache instead of
-    per-process heap copies.  Entries that cannot be mapped — the deflated
-    NPZ entries of compressed bundles, object-dtype arrays — fall back to
-    the eager read transparently; the manifest records nothing about the
-    knob, it is purely a reader-side choice.
+    Subclasses supply ``manifest``, ``mmap``, a ``path``-like source label,
+    and :meth:`_part` returning raw part bytes; the typed accessors
+    (:meth:`json`, :meth:`arrays`, :meth:`table`) and the manifest
+    properties are common.  The per-kind readers (``_read_great`` & co.)
+    accept anything with this surface, which is how the registry loads
+    artifacts straight from its object store without a bundle file.
     """
 
-    def __init__(self, path, mmap: bool = False):
-        self.path = Path(path)
-        self.mmap = bool(mmap)
-        if not self.path.is_file():
-            raise StoreError("no bundle at {}".format(self.path))
-        if faults.check("bundle_truncated") is not None:
-            raise StoreError(
-                "injected truncated bundle read at {}".format(self.path))
-        self._npz_spans: dict[str, tuple[int, int]] = {}
-        try:
-            with zipfile.ZipFile(self.path) as archive:
-                if self.mmap:
-                    self._parts = {}
-                    for info in archive.infolist():
-                        stored = info.compress_type == zipfile.ZIP_STORED
-                        if stored and info.filename.endswith(".npz"):
-                            self._npz_spans[info.filename] = (info.header_offset,
-                                                              info.file_size)
-                        else:
-                            self._parts[info.filename] = archive.read(info.filename)
-                else:
-                    self._parts = {name: archive.read(name) for name in archive.namelist()}
-        except zipfile.BadZipFile as error:
-            raise StoreError("not a bundle archive: {} ({})".format(self.path, error)) from None
-        except (OSError, EOFError) as error:
-            # a bundle cut short mid-transfer can fail inside entry reads
-            # rather than at the central-directory check above
-            raise StoreError("truncated or unreadable bundle at {}: {}".format(
-                self.path, error)) from None
-        if MANIFEST_NAME not in self._parts:
-            raise StoreError("bundle at {} has no manifest".format(self.path))
-        try:
-            self.manifest = json.loads(self._parts[MANIFEST_NAME].decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as error:
-            raise StoreError("bundle manifest at {} is corrupt: {}".format(
-                self.path, error)) from None
-        version = self.manifest.get("format_version")
-        if version is None or version > BUNDLE_FORMAT_VERSION:
-            raise StoreError(
-                "bundle format version {} is newer than supported version {}".format(
-                    version, BUNDLE_FORMAT_VERSION
-                )
-            )
+    manifest: dict
+    mmap: bool = False
 
     def _part(self, name: str) -> bytes:
-        try:
-            return self._parts[name]
-        except KeyError:
-            raise StoreError("bundle at {} is missing part {!r}".format(self.path, name)) from None
+        raise NotImplementedError
 
     @property
     def kind(self) -> str:
@@ -235,9 +279,6 @@ class BundleReader:
         return codec.loads(self._part(name + ".json").decode("utf-8"))
 
     def arrays(self, name: str) -> dict:
-        span = self._npz_spans.get(name + ".npz")
-        if span is not None:
-            return npymap.map_npz(self.path, *span)
         with np.load(io.BytesIO(self._part(name + ".npz"))) as data:
             return {key: data[key] for key in data.files}
 
@@ -251,9 +292,136 @@ class BundleReader:
         return arrays_to_table(arrays)
 
 
+class BundleReader(BasePartReader):
+    """Read parts of a bundle archive written by :class:`BundleWriter`.
+
+    With ``mmap=True`` the NPZ parts are not copied into memory: their byte
+    ranges are recorded and :meth:`arrays` hands out read-only
+    ``np.memmap`` views of the bundle file (:mod:`repro.store.npymap`), so
+    the n-gram count tables are backed by shared page cache instead of
+    per-process heap copies.  Entries that cannot be mapped — the deflated
+    NPZ entries of compressed bundles, object-dtype arrays — fall back to
+    the eager read transparently; the manifest records nothing about the
+    knob, it is purely a reader-side choice.
+
+    With ``verify=True`` (the default) every part is re-hashed against the
+    manifest's sizes and SHA-256 content digest before any part is
+    decoded, raising :class:`BundleIntegrityError` on the first mismatch —
+    a truncated copy or a flipped bit is caught at load time, not as a
+    corrupt model downstream.
+
+    Bundles whose ``format_version`` predates :data:`BUNDLE_FORMAT_VERSION`
+    are migrated in memory on read through the selector-registered
+    migrations of :mod:`repro.registry.migrations` (integrity is verified
+    against the on-disk manifest *before* migrating; ``mmap`` is moot for
+    migrated bundles, which are always materialized).
+    """
+
+    def __init__(self, path, mmap: bool = False, verify: bool = True):
+        self.path = Path(path)
+        self.mmap = bool(mmap)
+        if not self.path.is_file():
+            raise StoreError("no bundle at {}".format(self.path))
+        if faults.check("bundle_truncated") is not None:
+            raise StoreError(
+                "injected truncated bundle read at {}".format(self.path))
+        self._npz_spans: dict[str, tuple[int, int]] = {}
+        try:
+            with zipfile.ZipFile(self.path) as archive:
+                names = archive.namelist()
+                if MANIFEST_NAME not in names:
+                    raise StoreError("bundle at {} has no manifest".format(self.path))
+                try:
+                    manifest = json.loads(archive.read(MANIFEST_NAME).decode("utf-8"))
+                except (ValueError, UnicodeDecodeError) as error:
+                    raise StoreError("bundle manifest at {} is corrupt: {}".format(
+                        self.path, error)) from None
+                version = manifest.get("format_version")
+                if version is None or version > BUNDLE_FORMAT_VERSION:
+                    raise StoreError(
+                        "bundle format version {} is newer than supported version {}".format(
+                            version, BUNDLE_FORMAT_VERSION))
+                legacy = version < BUNDLE_FORMAT_VERSION
+                part_names = [name for name in names if name != MANIFEST_NAME]
+                if legacy or verify or not self.mmap:
+                    raw = {name: archive.read(name) for name in part_names}
+                else:
+                    raw = {}
+                if verify:
+                    verify_parts(manifest, raw, self.path)
+                if legacy:
+                    from repro.registry.migrations import apply_migrations
+
+                    manifest, raw, _ = apply_migrations(manifest, raw)
+                    self._parts = raw
+                elif self.mmap:
+                    # keep only the byte ranges of the mappable NPZ parts;
+                    # the eager bytes read for verification are dropped
+                    self._parts = {}
+                    for info in archive.infolist():
+                        if info.filename == MANIFEST_NAME:
+                            continue
+                        stored = info.compress_type == zipfile.ZIP_STORED
+                        if stored and info.filename.endswith(".npz"):
+                            self._npz_spans[info.filename] = (info.header_offset,
+                                                              info.file_size)
+                        else:
+                            self._parts[info.filename] = (
+                                raw[info.filename] if raw
+                                else archive.read(info.filename))
+                else:
+                    self._parts = raw
+        except zipfile.BadZipFile as error:
+            raise StoreError("not a bundle archive: {} ({})".format(self.path, error)) from None
+        except (OSError, EOFError) as error:
+            # a bundle cut short mid-transfer can fail inside entry reads
+            # rather than at the central-directory check above
+            raise StoreError("truncated or unreadable bundle at {}: {}".format(
+                self.path, error)) from None
+        self.manifest = manifest
+
+    def _part(self, name: str) -> bytes:
+        try:
+            return self._parts[name]
+        except KeyError:
+            raise StoreError("bundle at {} is missing part {!r}".format(self.path, name)) from None
+
+    def arrays(self, name: str) -> dict:
+        span = self._npz_spans.get(name + ".npz")
+        if span is not None:
+            return npymap.map_npz(self.path, *span)
+        return super().arrays(name)
+
+
+class MemoryBundleReader(BasePartReader):
+    """A reader over an in-memory ``(manifest, parts)`` pair.
+
+    Used by the migration machinery (transform parts, read the result
+    without touching disk) and by the registry when loading a
+    pre-migration artifact.
+    """
+
+    def __init__(self, manifest: dict, parts: dict[str, bytes], verify: bool = False):
+        self.path = "<memory>"
+        self.mmap = False
+        if verify:
+            verify_parts(manifest, parts, self.path)
+        self.manifest = manifest
+        self._parts = dict(parts)
+
+    def _part(self, name: str) -> bytes:
+        try:
+            return self._parts[name]
+        except KeyError:
+            raise StoreError("in-memory bundle is missing part {!r}".format(name)) from None
+
+
 def read_manifest(path) -> dict:
-    """The manifest of the bundle at *path* (format version checked)."""
-    return BundleReader(path).manifest
+    """The manifest of the bundle at *path* (format version checked).
+
+    A metadata peek, so integrity verification is skipped — loaders verify.
+    """
+    return BundleReader(path, verify=False).manifest
 
 
 # ---------------------------------------------------------------------------
@@ -635,8 +803,9 @@ def _engine_meta(fine_tune_engine: str, sampler_engine: str) -> dict:
     }
 
 
-def save_great_synthesizer(synth: GReaTSynthesizer, path, compress: bool = False) -> str:
-    """Persist a fitted GReaT synthesizer bundle; returns the digest."""
+def writer_for_great_synthesizer(synth: GReaTSynthesizer,
+                                 compress: bool = False) -> BundleWriter:
+    """Build the bundle writer for a fitted GReaT synthesizer."""
     if not synth.is_fitted:
         raise StoreError("can only persist a fitted synthesizer")
     writer = BundleWriter("great_synthesizer", compress=compress, meta={
@@ -645,19 +814,26 @@ def save_great_synthesizer(synth: GReaTSynthesizer, path, compress: bool = False
         **_engine_meta(synth.config.fine_tune.engine, synth.config.sampler.engine),
     })
     _add_great(writer, "", synth)
-    return writer.write(path)
+    return writer
 
 
-def load_great_synthesizer(path, mmap: bool = False) -> GReaTSynthesizer:
-    reader = BundleReader(path, mmap=mmap)
+def save_great_synthesizer(synth: GReaTSynthesizer, path, compress: bool = False) -> str:
+    """Persist a fitted GReaT synthesizer bundle; returns the digest."""
+    return writer_for_great_synthesizer(synth, compress=compress).write(path)
+
+
+def load_great_synthesizer(path, mmap: bool = False,
+                           verify: bool = True) -> GReaTSynthesizer:
+    reader = BundleReader(path, mmap=mmap, verify=verify)
     if reader.kind != "great_synthesizer":
         raise StoreError("bundle at {} is a {!r}, not a GReaT synthesizer".format(
             path, reader.kind))
     return _read_great(reader, "")
 
 
-def save_parent_child(synth: ParentChildSynthesizer, path, compress: bool = False) -> str:
-    """Persist a fitted parent/child synthesizer bundle; returns the digest."""
+def writer_for_parent_child(synth: ParentChildSynthesizer,
+                            compress: bool = False) -> BundleWriter:
+    """Build the bundle writer for a fitted parent/child synthesizer."""
     if not synth.is_fitted:
         raise StoreError("can only persist a fitted synthesizer")
     writer = BundleWriter("parent_child_synthesizer", compress=compress, meta={
@@ -667,19 +843,25 @@ def save_parent_child(synth: ParentChildSynthesizer, path, compress: bool = Fals
                        synth.config.parent.sampler.engine),
     })
     _add_parent_child(writer, "", synth)
-    return writer.write(path)
+    return writer
 
 
-def load_parent_child(path, mmap: bool = False) -> ParentChildSynthesizer:
-    reader = BundleReader(path, mmap=mmap)
+def save_parent_child(synth: ParentChildSynthesizer, path, compress: bool = False) -> str:
+    """Persist a fitted parent/child synthesizer bundle; returns the digest."""
+    return writer_for_parent_child(synth, compress=compress).write(path)
+
+
+def load_parent_child(path, mmap: bool = False,
+                      verify: bool = True) -> ParentChildSynthesizer:
+    reader = BundleReader(path, mmap=mmap, verify=verify)
     if reader.kind != "parent_child_synthesizer":
         raise StoreError("bundle at {} is a {!r}, not a parent/child synthesizer".format(
             path, reader.kind))
     return _read_parent_child(reader, "")
 
 
-def save_fitted_pipeline(fitted, path, compress: bool = False) -> str:
-    """Persist a :class:`repro.pipelines.base.FittedPipeline`; returns the digest."""
+def writer_for_fitted_pipeline(fitted, compress: bool = False) -> BundleWriter:
+    """Build the bundle writer for a fitted flat pipeline."""
     writer = BundleWriter("fitted_pipeline", compress=compress, meta={
         "pipeline": fitted.name,
         "seed": fitted.config.seed,
@@ -698,19 +880,19 @@ def save_fitted_pipeline(fitted, path, compress: bool = False) -> str:
     writer.add_table("original_flat", fitted.original_flat)
     for index, synth in enumerate(fitted.synthesizers):
         _add_parent_child(writer, "synth{}.".format(index), synth)
-    return writer.write(path)
+    return writer
 
 
-def load_fitted_pipeline(path, mmap: bool = False):
-    """Load a fitted pipeline bundle; returns ``(fitted, digest)``."""
+def save_fitted_pipeline(fitted, path, compress: bool = False) -> str:
+    """Persist a :class:`repro.pipelines.base.FittedPipeline`; returns the digest."""
+    return writer_for_fitted_pipeline(fitted, compress=compress).write(path)
+
+
+def _read_fitted_pipeline(reader):
     from repro.connecting.connector import ConnectorConfig
     from repro.pipelines.base import FittedPipeline
     from repro.pipelines.config import PipelineConfig
 
-    reader = BundleReader(path, mmap=mmap)
-    if reader.kind != "fitted_pipeline":
-        raise StoreError("bundle at {} is a {!r}, not a fitted pipeline".format(
-            path, reader.kind))
     state = reader.json("pipeline")
     config_dict = reader.json("pipeline_config")
     config = PipelineConfig(**{
@@ -735,8 +917,17 @@ def load_fitted_pipeline(path, mmap: bool = False):
     return fitted, reader.digest
 
 
-def save_multitable(synth, path, compress: bool = False) -> str:
-    """Persist a fitted :class:`repro.schema.multitable.MultiTableSynthesizer`."""
+def load_fitted_pipeline(path, mmap: bool = False, verify: bool = True):
+    """Load a fitted pipeline bundle; returns ``(fitted, digest)``."""
+    reader = BundleReader(path, mmap=mmap, verify=verify)
+    if reader.kind != "fitted_pipeline":
+        raise StoreError("bundle at {} is a {!r}, not a fitted pipeline".format(
+            path, reader.kind))
+    return _read_fitted_pipeline(reader)
+
+
+def writer_for_multitable(synth, compress: bool = False) -> BundleWriter:
+    """Build the bundle writer for a fitted multi-table synthesizer."""
     if not synth.is_fitted:
         raise StoreError("can only persist a fitted synthesizer")
     backbone = synth.config.backbone
@@ -747,20 +938,25 @@ def save_multitable(synth, path, compress: bool = False) -> str:
         **_engine_meta(backbone.fine_tune.engine, backbone.sampler.engine),
     })
     _add_multitable(writer, "", synth)
-    return writer.write(path)
+    return writer
 
 
-def load_multitable(path, mmap: bool = False):
+def save_multitable(synth, path, compress: bool = False) -> str:
+    """Persist a fitted :class:`repro.schema.multitable.MultiTableSynthesizer`."""
+    return writer_for_multitable(synth, compress=compress).write(path)
+
+
+def load_multitable(path, mmap: bool = False, verify: bool = True):
     """Load a fitted multi-table synthesizer bundle."""
-    reader = BundleReader(path, mmap=mmap)
+    reader = BundleReader(path, mmap=mmap, verify=verify)
     if reader.kind != "multitable_synthesizer":
         raise StoreError("bundle at {} is a {!r}, not a multi-table synthesizer".format(
             path, reader.kind))
     return _read_multitable(reader, "")
 
 
-def save_multitable_pipeline(fitted, path, compress: bool = False) -> str:
-    """Persist a :class:`repro.pipelines.multitable.FittedMultiTablePipeline`."""
+def writer_for_multitable_pipeline(fitted, compress: bool = False) -> BundleWriter:
+    """Build the bundle writer for a fitted multitable pipeline."""
     backbone = fitted.synthesizer.config.backbone
     writer = BundleWriter("multitable_pipeline", compress=compress, meta={
         "pipeline": fitted.name,
@@ -772,21 +968,21 @@ def save_multitable_pipeline(fitted, path, compress: bool = False) -> str:
     writer.add_json("pipeline", {"name": fitted.name})
     writer.add_json("pipeline_config", asdict(fitted.config))
     _add_multitable(writer, "synth.", fitted.synthesizer)
-    return writer.write(path)
+    return writer
 
 
-def load_multitable_pipeline(path, mmap: bool = False):
-    """Load a fitted multitable-pipeline bundle; returns ``(fitted, digest)``."""
+def save_multitable_pipeline(fitted, path, compress: bool = False) -> str:
+    """Persist a :class:`repro.pipelines.multitable.FittedMultiTablePipeline`."""
+    return writer_for_multitable_pipeline(fitted, compress=compress).write(path)
+
+
+def _read_multitable_pipeline(reader):
     from repro.pipelines.multitable import (
         FittedMultiTablePipeline,
         MultiTablePipelineConfig,
     )
     from repro.schema.inference import InferenceConfig
 
-    reader = BundleReader(path, mmap=mmap)
-    if reader.kind != "multitable_pipeline":
-        raise StoreError("bundle at {} is a {!r}, not a multitable pipeline".format(
-            path, reader.kind))
     state = reader.json("pipeline")
     config_dict = reader.json("pipeline_config")
     config = MultiTablePipelineConfig(**{
@@ -801,22 +997,66 @@ def load_multitable_pipeline(path, mmap: bool = False):
     return fitted, reader.digest
 
 
-def load_bundle(path, mmap: bool = False):
+def load_multitable_pipeline(path, mmap: bool = False, verify: bool = True):
+    """Load a fitted multitable-pipeline bundle; returns ``(fitted, digest)``."""
+    reader = BundleReader(path, mmap=mmap, verify=verify)
+    if reader.kind != "multitable_pipeline":
+        raise StoreError("bundle at {} is a {!r}, not a multitable pipeline".format(
+            path, reader.kind))
+    return _read_multitable_pipeline(reader)
+
+
+def bundle_writer_for(obj, compress: bool = False) -> BundleWriter:
+    """The bundle writer for any persistable fitted object (type-dispatched).
+
+    The registry's save path: it enumerates ``writer.parts`` into the
+    content-addressed store instead of writing one archive file.
+    """
+    if isinstance(obj, GReaTSynthesizer):
+        return writer_for_great_synthesizer(obj, compress=compress)
+    if isinstance(obj, ParentChildSynthesizer):
+        return writer_for_parent_child(obj, compress=compress)
+    from repro.pipelines.base import FittedPipeline
+
+    if isinstance(obj, FittedPipeline):
+        return writer_for_fitted_pipeline(obj, compress=compress)
+    from repro.pipelines.multitable import FittedMultiTablePipeline
+
+    if isinstance(obj, FittedMultiTablePipeline):
+        return writer_for_multitable_pipeline(obj, compress=compress)
+    from repro.schema.multitable import MultiTableSynthesizer
+
+    if isinstance(obj, MultiTableSynthesizer):
+        return writer_for_multitable(obj, compress=compress)
+    raise StoreError("no bundle serializer for {!r}".format(type(obj).__name__))
+
+
+def read_bundle_object(reader):
+    """Load whatever fitted object *reader* (any :class:`BasePartReader`) holds.
+
+    Returns the loaded object; for fitted pipelines this is the
+    ``(fitted, digest)`` pair of :func:`load_fitted_pipeline` /
+    :func:`load_multitable_pipeline`.
+    """
+    kind = reader.kind
+    if kind == "great_synthesizer":
+        return _read_great(reader, "")
+    if kind == "parent_child_synthesizer":
+        return _read_parent_child(reader, "")
+    if kind == "fitted_pipeline":
+        return _read_fitted_pipeline(reader)
+    if kind == "multitable_synthesizer":
+        return _read_multitable(reader, "")
+    if kind == "multitable_pipeline":
+        return _read_multitable_pipeline(reader)
+    raise StoreError("unknown bundle kind {!r}".format(kind))
+
+
+def load_bundle(path, mmap: bool = False, verify: bool = True):
     """Load whatever fitted object the bundle at *path* contains.
 
     Returns the loaded object; for fitted pipelines this is the
     ``(fitted, digest)`` pair of :func:`load_fitted_pipeline` /
     :func:`load_multitable_pipeline`.
     """
-    kind = read_manifest(path)["kind"]
-    if kind == "great_synthesizer":
-        return load_great_synthesizer(path, mmap=mmap)
-    if kind == "parent_child_synthesizer":
-        return load_parent_child(path, mmap=mmap)
-    if kind == "fitted_pipeline":
-        return load_fitted_pipeline(path, mmap=mmap)
-    if kind == "multitable_synthesizer":
-        return load_multitable(path, mmap=mmap)
-    if kind == "multitable_pipeline":
-        return load_multitable_pipeline(path, mmap=mmap)
-    raise StoreError("unknown bundle kind {!r}".format(kind))
+    return read_bundle_object(BundleReader(path, mmap=mmap, verify=verify))

@@ -436,3 +436,100 @@ class TestParentChildBundle:
             "synthetic_subject_10", "synthetic_subject_11", "synthetic_subject_12"]
         assert off_parent.drop("user") == base_parent.drop("user")
         assert off_child.drop("user") == base_child.drop("user")
+
+
+class TestBundleVerification:
+    """The ``verify`` knob: digests re-checked against the manifest on load."""
+
+    @pytest.fixture(scope="class")
+    def saved(self, tmp_path_factory):
+        table = Table({
+            "name": ["grace", "yin", "anson", "maya"] * 6,
+            "lunch": [1, 2, 1, 3] * 6,
+            "score": [0.5, 1.5, 0.5, 2.5] * 6,
+        })
+        synth = GReaTSynthesizer(_great_config("compiled")).fit(table)
+        path = tmp_path_factory.mktemp("verify") / "bundle"
+        save_great_synthesizer(synth, path)
+        return path, synth
+
+    @staticmethod
+    def _rewrite(src, dst, mutate):
+        """Copy the bundle zip, letting *mutate* edit the raw part dict."""
+        import zipfile
+
+        with zipfile.ZipFile(src) as archive:
+            parts = {name: archive.read(name) for name in archive.namelist()}
+        mutate(parts)
+        with zipfile.ZipFile(dst, "w") as archive:
+            for name, blob in parts.items():
+                archive.writestr(name, blob)
+
+    def test_truncated_bundle_rejected(self, saved, tmp_path):
+        path, _ = saved
+        blob = path.read_bytes()
+        (tmp_path / "cut").write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(StoreError):
+            load_great_synthesizer(tmp_path / "cut")
+
+    def test_bit_flipped_part_rejected(self, saved, tmp_path):
+        from repro.store.bundle import BundleIntegrityError
+
+        path, _ = saved
+
+        def flip(parts):
+            victim = sorted(name for name in parts if name != "manifest.json")[0]
+            blob = parts[victim]
+            parts[victim] = bytes([blob[0] ^ 0x01]) + blob[1:]
+
+        self._rewrite(path, tmp_path / "flipped", flip)
+        with pytest.raises(BundleIntegrityError):
+            load_great_synthesizer(tmp_path / "flipped")
+
+    def test_missing_part_rejected(self, saved, tmp_path):
+        from repro.store.bundle import BundleIntegrityError
+
+        path, _ = saved
+
+        def drop(parts):
+            victim = sorted(name for name in parts if name != "manifest.json")[0]
+            del parts[victim]
+
+        self._rewrite(path, tmp_path / "short", drop)
+        with pytest.raises(BundleIntegrityError):
+            load_great_synthesizer(tmp_path / "short")
+
+    def test_size_mismatch_rejected(self, saved, tmp_path):
+        from repro.store.bundle import BundleIntegrityError
+
+        path, _ = saved
+
+        def grow(parts):
+            victim = sorted(name for name in parts if name != "manifest.json")[0]
+            parts[victim] = parts[victim] + b"\x00"
+
+        self._rewrite(path, tmp_path / "grown", grow)
+        with pytest.raises(BundleIntegrityError):
+            load_great_synthesizer(tmp_path / "grown")
+
+    def test_verify_false_skips_digest_check(self, saved, tmp_path):
+        from repro.store.bundle import BundleIntegrityError
+
+        path, synth = saved
+
+        def lie(parts):
+            manifest = json.loads(parts["manifest.json"])
+            manifest["digest"] = "0" * 64
+            parts["manifest.json"] = json.dumps(manifest).encode()
+
+        self._rewrite(path, tmp_path / "lied", lie)
+        with pytest.raises(BundleIntegrityError):
+            load_great_synthesizer(tmp_path / "lied")
+        loaded = load_great_synthesizer(tmp_path / "lied", verify=False)
+        assert loaded.sample(4, seed=1).num_rows == 4
+
+    def test_pristine_bundle_passes_verification(self, saved):
+        path, synth = saved
+        loaded = load_great_synthesizer(path, verify=True)
+        expected = synth.sample(6, seed=2)
+        assert loaded.sample(6, seed=2) == expected
